@@ -1,0 +1,62 @@
+"""Extension bench: write energy and endurance of the three backends.
+
+The paper argues steps; the same schedules also differ in how many
+voltage pulses (energy) and actual resistance switches (device wear)
+they spend per computed vector.  The IMP realization applies ~10 pulses
+per gate per evaluation, MAJ ~3 — the energy gap tracks the step gap.
+
+Run:  pytest benchmarks/bench_energy.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import load_mig
+from repro.mig import Realization, optimize_rram
+from repro.rram import (
+    compile_mig,
+    compile_plim,
+    measure_energy,
+    verification_vectors,
+)
+
+CIRCUITS = ["xor5_d", "rd53f1", "con1f1", "max46_d"]
+
+
+def test_energy_comparison(benchmark, capsys):
+    def sweep():
+        rows = {}
+        for name in CIRCUITS:
+            mig = load_mig(name)
+            optimize_rram(mig, Realization.MAJ, 8)
+            vectors = verification_vectors(mig.num_pis, samples=16)
+            rows[name] = {
+                "imp": measure_energy(
+                    compile_mig(mig, Realization.IMP).program, vectors
+                ),
+                "maj": measure_energy(
+                    compile_mig(mig, Realization.MAJ).program, vectors
+                ),
+                "plim": measure_energy(compile_plim(mig).program, vectors),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("write energy per computed vector (pJ, model values)")
+        print(
+            f"{'circuit':<10s} {'IMP':>8s} {'MAJ':>8s} {'PLiM':>8s}"
+            f" {'MAJ/IMP':>8s} {'switch-eff MAJ':>15s}"
+        )
+        for name, reports in rows.items():
+            imp = reports["imp"].energy_pj / reports["imp"].vectors
+            maj = reports["maj"].energy_pj / reports["maj"].vectors
+            plim = reports["plim"].energy_pj / reports["plim"].vectors
+            print(
+                f"{name:<10s} {imp:>8.1f} {maj:>8.1f} {plim:>8.1f}"
+                f" {maj / imp:>7.0%} {reports['maj'].switch_efficiency:>14.0%}"
+            )
+
+    for name, reports in rows.items():
+        assert reports["maj"].energy_pj < reports["imp"].energy_pj, name
+        assert reports["maj"].pulses < reports["imp"].pulses, name

@@ -1,0 +1,77 @@
+"""Figs. 1–3 micro-benchmarks: device ops, the two majority gadgets,
+and full compiled-program execution on the array simulator.
+
+These cover the paper's figure-level artifacts: Fig. 1 (IMP), Fig. 2
+(intrinsic majority switching), Fig. 3 / Sec. III-A (the 10-step and
+3-step gadgets), measuring simulator throughput for each.
+
+Run:  pytest benchmarks/bench_gadgets.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mig import Realization, mig_from_truth_tables
+from repro.rram import (
+    RramDevice,
+    compile_mig,
+    run_program,
+    standalone_majority_program,
+)
+from repro.truth import count_ones_function
+
+
+def test_device_switching(benchmark):
+    """Fig. 2 primitive: one voltage application on one device."""
+    device = RramDevice()
+
+    def cycle():
+        device.apply(True, False)
+        device.apply(False, True)
+        device.apply(False, False)
+        return device.state
+
+    benchmark(cycle)
+
+
+@pytest.mark.parametrize("realization", ["imp", "maj"])
+def test_majority_gadget_execution(benchmark, realization):
+    """Figs. 1/3: replay one majority gadget over all 8 input combos."""
+    program = standalone_majority_program(realization)
+
+    def all_combos():
+        outputs = []
+        for assignment in range(8):
+            inputs = [bool((assignment >> i) & 1) for i in range(3)]
+            outputs.append(run_program(program, inputs)[0])
+        return outputs
+
+    result = benchmark(all_combos)
+    expected = [bin(a).count("1") >= 2 for a in range(8)]
+    assert result == expected
+
+
+@pytest.mark.parametrize("realization", list(Realization))
+def test_compiled_circuit_execution(benchmark, realization):
+    """Sec. III-B methodology: level-by-level program on a real circuit."""
+    mig = mig_from_truth_tables(count_ones_function(5, 3), "rd53")
+    report = compile_mig(mig, realization)
+    assert report.steps_match_model
+
+    def run_all():
+        total = 0
+        for assignment in range(32):
+            inputs = [bool((assignment >> i) & 1) for i in range(5)]
+            total += sum(run_program(report.program, inputs))
+        return total
+
+    benchmark(run_all)
+
+
+@pytest.mark.parametrize("realization", list(Realization))
+def test_compile_throughput(benchmark, realization):
+    """Compiler speed: MIG → micro-program."""
+    mig = mig_from_truth_tables(count_ones_function(7, 3), "rd73")
+    report = benchmark(lambda: compile_mig(mig, realization))
+    assert report.steps_match_model

@@ -1,0 +1,55 @@
+"""Extension bench: level-parallel MAJ schedule vs PLiM serial RM3.
+
+The paper's reference [15] executes logic-in-memory one RM3 instruction
+per cycle; the paper's own Sec. III-B methodology executes a whole MIG
+level per K_S steps.  This bench quantifies the contrast on the
+benchmark suite: serial instruction counts scale with *node count*,
+level-parallel step counts with *depth*.
+
+Run:  pytest benchmarks/bench_plim.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import load_mig
+from repro.mig import Realization, optimize_steps
+from repro.rram import compile_mig, compile_plim
+
+CIRCUITS = ["xor5_d", "rd53f1", "9sym_d", "parity", "clip", "x2", "cm150a"]
+
+
+def test_plim_vs_level_parallel(benchmark, capsys):
+    def sweep():
+        rows = {}
+        for name in CIRCUITS:
+            mig = load_mig(name)
+            optimize_steps(mig, Realization.MAJ, 10)
+            parallel = compile_mig(mig, Realization.MAJ)
+            plim = compile_plim(mig)
+            rows[name] = (
+                mig.num_gates(),
+                parallel.measured_steps,
+                plim.instructions,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("level-parallel MAJ schedule vs PLiM serial RM3 stream")
+        print(
+            f"{'circuit':<10s} {'gates':>6s} {'MAJ steps':>10s} "
+            f"{'PLiM instr':>11s} {'serial/parallel':>16s}"
+        )
+        for name, (gates, steps, instructions) in rows.items():
+            print(
+                f"{name:<10s} {gates:>6d} {steps:>10d} {instructions:>11d} "
+                f"{instructions / steps:>15.1f}x"
+            )
+
+    for name, (gates, steps, instructions) in rows.items():
+        assert instructions > steps, name
+    # The contrast must widen with circuit size.
+    small = rows["xor5_d"]
+    large = rows["9sym_d"]
+    assert large[2] / large[1] > small[2] / small[1]

@@ -1,0 +1,44 @@
+"""Paper Table III (left) — BDD-based baseline [11] vs the proposed
+multi-objective MIG flow on the large benchmark set.
+
+Run:  pytest benchmarks/bench_table3_bdd.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from conftest import EFFORT, VERIFY, table2_names
+from repro.flows import largest_function_ratio, render_table3, run_table3_bdd
+
+
+def test_table3_bdd(benchmark, capsys):
+    """Regenerates Table III's BDD half and checks the headline shape."""
+    result = benchmark.pedantic(
+        lambda: run_table3_bdd(table2_names(), effort=EFFORT, verify=VERIFY),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print("Table III (BDD [11] baseline) reproduction")
+        print("=" * 72)
+        print(render_table3(result))
+        both = [n for n in ("apex6", "x3") if n in result.rows]
+        if both:
+            ratio = largest_function_ratio(result, names=both)
+            print(
+                f"largest functions ({'+'.join(both)}): BDD/MIG-MAJ step "
+                f"ratio = {ratio:.1f}x (paper: 26.5x)"
+            )
+
+    # Shape: aggregate BDD steps exceed the MAJ-realized MIG flow by a
+    # large factor, and the IMP-realized flow by a smaller one (paper:
+    # ~8x and ~4.5x / 3x).
+    maj_ratio, imp_ratio = result.step_ratios()
+    assert maj_ratio > 3.0
+    assert maj_ratio > imp_ratio
+    # The 135-input functions show the strongest separation.
+    for name in ("apex6", "x3"):
+        if name in result.rows:
+            row = result.rows[name]
+            assert row.baseline_steps > 5 * row.mig_maj[1], name

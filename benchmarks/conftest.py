@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_EFFORT``  — optimization cycle budget (default 40, the
+  paper's setting);
+* ``REPRO_BENCH_SUBSET``  — comma-separated benchmark names to restrict
+  the tables to (default: the full paper sets);
+* ``REPRO_BENCH_VERIFY``  — ``1`` to equivalence-check every optimized
+  graph (default on; set ``0`` for raw speed).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import pytest
+
+from repro.benchmarks import large_names, small_names
+
+EFFORT = int(os.environ.get("REPRO_BENCH_EFFORT", "40"))
+VERIFY = os.environ.get("REPRO_BENCH_VERIFY", "1") != "0"
+
+
+def _subset(defaults: List[str]) -> List[str]:
+    raw = os.environ.get("REPRO_BENCH_SUBSET")
+    if not raw:
+        return defaults
+    chosen = [name.strip() for name in raw.split(",") if name.strip()]
+    return [name for name in chosen if name in defaults] or defaults
+
+
+def table2_names() -> List[str]:
+    return _subset(large_names())
+
+
+def table3_small_names() -> List[str]:
+    return _subset(small_names())
+
+
+@pytest.fixture(scope="session")
+def table2_result():
+    """One full Table II run shared by every bench that needs it."""
+    from repro.flows import run_table2
+
+    return run_table2(table2_names(), effort=EFFORT, verify=VERIFY)

@@ -1,0 +1,61 @@
+"""MIG vs BDD vs AIG for RRAM-based computing (the paper's core claim).
+
+Synthesizes the same functions through all three flows and prints the
+step counts side by side: the MIG step count scales with logic *depth*
+while both baselines scale with *node count*, which is why the paper's
+MAJ-realized MIG flow wins by growing factors on larger functions.
+
+Run:  python examples/compare_representations.py
+"""
+
+from repro.aig import aig_from_netlist, aig_rram_costs
+from repro.bdd import bdd_rram_costs, build_best_order
+from repro.benchmarks import load_netlist
+from repro.mig import Realization, mig_from_netlist, optimize_rram, rram_costs
+from repro.rram import compile_plim
+
+FUNCTIONS = ["xor5_d", "rd53f1", "rd84f4", "9sym_d", "sym10_d", "parity", "t481", "cm150a"]
+
+
+def main() -> None:
+    header = (
+        f"{'function':<10s} {'inputs':>6s} | {'BDD S':>7s} {'AIG S':>7s} "
+        f"{'PLiM S':>7s} {'MIG-IMP S':>9s} {'MIG-MAJ S':>9s} | best"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in FUNCTIONS:
+        netlist = load_netlist(name)
+
+        manager, roots, _ = build_best_order(netlist, candidates=2)
+        bdd_steps = bdd_rram_costs(manager, roots).steps
+
+        aig_steps = aig_rram_costs(aig_from_netlist(netlist)).steps
+
+        mig = mig_from_netlist(netlist)
+        optimize_rram(mig, Realization.MAJ)
+        maj_steps = rram_costs(mig, Realization.MAJ).steps
+        imp_steps = rram_costs(mig, Realization.IMP).steps
+        plim_steps = compile_plim(mig).instructions
+
+        best = min(
+            ("BDD", bdd_steps),
+            ("AIG", aig_steps),
+            ("PLiM", plim_steps),
+            ("MIG-IMP", imp_steps),
+            ("MIG-MAJ", maj_steps),
+            key=lambda item: item[1],
+        )[0]
+        print(
+            f"{name:<10s} {len(netlist.inputs):>6d} | {bdd_steps:>7d} "
+            f"{aig_steps:>7d} {plim_steps:>7d} {imp_steps:>9d} "
+            f"{maj_steps:>9d} | {best}"
+        )
+    print()
+    print("Shape check (paper Sec. IV-C): MIG-MAJ steps stay depth-bounded")
+    print("while BDD/AIG step counts track node counts and blow up on the")
+    print("wider symmetric and parity-class functions.")
+
+
+if __name__ == "__main__":
+    main()

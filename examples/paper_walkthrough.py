@@ -1,0 +1,140 @@
+"""A guided tour of the paper, start to finish, on live objects.
+
+Walks the reader through every artifact of Shirinzadeh et al. (DATE'16)
+in order — device physics (Figs. 1–2), the majority gadgets
+(Fig. 3 / Sec. III-A), the cost model (Table I), the optimization
+algorithms (Sec. III-C/D), and finally a miniature Table II/III on one
+circuit — printing what the paper claims next to what this library
+measures.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.aig import aig_from_netlist, aig_rram_costs
+from repro.bdd import bdd_rram_costs, build_best_order
+from repro.benchmarks import load_netlist
+from repro.mig import (
+    EquivalenceGuard,
+    Realization,
+    level_stats,
+    mig_from_netlist,
+    optimize_area,
+    optimize_depth,
+    optimize_rram,
+    optimize_steps,
+    rram_costs,
+)
+from repro.rram import (
+    RramDevice,
+    compile_mig,
+    run_program,
+    standalone_majority_program,
+    verify_compiled,
+)
+
+BENCH = "cm150a"
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def main() -> None:
+    section("1. Device physics — Fig. 2: R' = M(P, !Q, R)")
+    print("   P Q | R'(R=0)  R'(R=1)")
+    for p in (0, 1):
+        for q in (0, 1):
+            nexts = []
+            for r in (0, 1):
+                device = RramDevice(bool(r))
+                device.apply(bool(p), bool(q))
+                nexts.append(int(device.state))
+            print(f"   {p} {q} |    {nexts[0]}        {nexts[1]}")
+    print("  (P=1,Q=0) sets, (P=0,Q=1) clears, P=Q holds — an intrinsic")
+    print("  majority vote between the electrodes and the stored state.")
+
+    section("2. The two majority gadgets — Sec. III-A (Fig. 3)")
+    for realization in ("imp", "maj"):
+        program = standalone_majority_program(realization)
+        ok = all(
+            run_program(program, [bool(a >> i & 1) for i in range(3)])[0]
+            == (bin(a).count("1") >= 2)
+            for a in range(8)
+        )
+        print(
+            f"  {realization.upper():3s}: {program.num_steps} steps on "
+            f"{program.num_devices} devices — computes M(x,y,z) on all "
+            f"8 inputs: {ok}"
+        )
+    print("  (paper: 10 steps / 6 RRAMs for IMP, 3 steps / 4 RRAMs for MAJ)")
+
+    section(f"3. Cost model on a real circuit — Table I ({BENCH})")
+    netlist = load_netlist(BENCH)
+    mig = mig_from_netlist(netlist)
+    stats = level_stats(mig)
+    print(f"  initial MIG: {stats.size} nodes, depth {stats.depth}, "
+          f"{stats.levels_with_complements} complemented levels")
+    for realization in Realization:
+        costs = rram_costs(mig, realization)
+        print(
+            f"  {realization.value.upper():3s}: "
+            f"R = max(K*Ni + Ci) = {costs.rrams},  "
+            f"S = K*D + L = {costs.steps}"
+        )
+
+    section("4. The four algorithms — Sec. III-C/D on " + BENCH)
+    rows = []
+    for label, optimizer, wants_realization in [
+        ("Alg.1 area ", optimize_area, False),
+        ("Alg.2 depth", optimize_depth, False),
+        ("Alg.3 RRAM ", optimize_rram, True),
+        ("Alg.4 steps", optimize_steps, True),
+    ]:
+        work = mig_from_netlist(netlist)
+        guard = EquivalenceGuard(work)
+        if wants_realization:
+            optimizer(work, Realization.MAJ, 12)
+        else:
+            optimizer(work, 12)
+        guard.verify_or_raise()
+        costs = rram_costs(work, Realization.MAJ)
+        rows.append((label, work, costs))
+        print(
+            f"  {label}: size {work.num_gates():4d}  depth "
+            f"{costs.depth:3d}  R {costs.rrams:4d}  S {costs.steps:4d}  "
+            "(equivalence verified)"
+        )
+    print("  -> the proposed algorithms (Alg.3/4) match or beat the")
+    print("     conventional ones on their objectives — the Table II ordering.")
+
+    section("5. Compile and execute — Sec. III-B methodology")
+    best = min(rows, key=lambda row: row[2].steps)
+    report = compile_mig(best[1], Realization.MAJ)
+    print(
+        f"  compiled {best[0].strip()}: {report.measured_steps} steps "
+        f"(model says {report.analytic.steps}; match = "
+        f"{report.steps_match_model}) on {report.measured_devices} devices"
+    )
+    print(f"  functional verification on the array simulator: "
+          f"{verify_compiled(best[1], report)}")
+
+    section("6. Against the baselines — Table III flavour")
+    manager, roots, _order = build_best_order(netlist, candidates=2)
+    bdd_steps = bdd_rram_costs(manager, roots).steps
+    aig_steps = aig_rram_costs(aig_from_netlist(netlist)).steps
+    mig_steps = best[2].steps
+    print(f"  BDD [11] steps : {bdd_steps}")
+    print(f"  AIG [12] steps : {aig_steps}")
+    print(f"  MIG-MAJ steps  : {mig_steps}")
+    print(
+        f"  ratios: BDD/MIG = {bdd_steps / mig_steps:.1f}x, "
+        f"AIG/MIG = {aig_steps / mig_steps:.1f}x "
+        "(paper: ~8x and ~7x aggregate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Reproduce a slice of paper Table II with paper-vs-measured rows.
+
+Runs all six algorithm/realization configurations on a representative
+subset of the large benchmark set (pass benchmark names as arguments to
+choose your own, or ``--all`` for the full 25 — a few minutes).
+
+Run:  python examples/reproduce_table2.py [--all | name ...]
+"""
+
+import sys
+
+from repro.benchmarks import large_names
+from repro.flows import (
+    render_summary,
+    render_table2,
+    run_table2,
+    summarize_table2,
+)
+
+DEFAULT_SUBSET = ["5xp1", "parity", "cm150a", "x2", "t481", "clip", "b9", "apex7"]
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if "--all" in args:
+        names = large_names()
+    elif args:
+        names = args
+    else:
+        names = DEFAULT_SUBSET
+    print(f"running Table II configurations on: {', '.join(names)}")
+    result = run_table2(names, verify=True)
+    print()
+    print(render_table2(result))
+    print()
+    print(render_summary(summarize_table2(result)))
+    print()
+    print("(absolute numbers differ — benchmark stand-ins and a Python")
+    print(" reimplementation — but the orderings should match the paper:")
+    print(" Step-MAJ < RRAM-MAJ < Step-IMP/RRAM-IMP < Depth < Area in S,")
+    print(" and RRAM-MAJ the smallest R.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Device-level walk-through of the paper's RRAM primitives.
+
+Reproduces, on the behavioural device model:
+
+* Fig. 1(b) — the IMP truth table (``q' = !p + q``);
+* Fig. 2    — the intrinsic majority switching tables
+  (``R' = P·!Q`` when R=0, ``R' = P + !Q`` when R=1);
+* Sec. III-A1 / Fig. 3 — the 10-step IMP-based majority gadget;
+* Sec. III-A2 — the 3-step MAJ-based majority gadget,
+
+printing each step's device states for one input combination.
+
+Run:  python examples/rram_microops.py
+"""
+
+from repro.rram import RramArray, RramDevice, standalone_majority_program
+
+
+def show_imp_truth_table() -> None:
+    print("Fig. 1(b) — IMP truth table (q' = !p + q):")
+    print("  p q | q'")
+    for p in (0, 1):
+        for q in (0, 1):
+            array = RramArray(2)
+            array.devices[0].write(bool(p))
+            array.devices[1].write(bool(q))
+            from repro.rram import Imp, Step
+
+            array.execute_step(Step([Imp(0, 1)]))
+            print(f"  {p} {q} |  {int(array.state(1))}")
+    print()
+
+
+def show_intrinsic_majority() -> None:
+    print("Fig. 2 — intrinsic majority R' = M(P, !Q, R):")
+    for r in (0, 1):
+        print(f"  R={r}:  P Q | R'")
+        for p in (0, 1):
+            for q in (0, 1):
+                device = RramDevice(bool(r))
+                device.apply(bool(p), bool(q))
+                print(f"        {p} {q} |  {int(device.state)}")
+    print()
+
+
+def trace_gadget(realization: str, inputs) -> None:
+    program = standalone_majority_program(realization)
+    array = RramArray(program.num_devices)
+    names = "XYZABC"[: program.num_devices]
+    print(
+        f"{realization.upper()}-based majority gadget, "
+        f"x={int(inputs[0])} y={int(inputs[1])} z={int(inputs[2])}:"
+    )
+    print(f"  step {'label':<12s} {' '.join(names)}")
+    for index, step in enumerate(program.steps, start=1):
+        array.execute_step(step, inputs)
+        states = " ".join(str(int(s)) for s in array.states())
+        print(f"  {index:>4d} {step.label:<12s} {states}")
+    out_device = program.output_devices[0]
+    expected = int(sum(inputs) >= 2)
+    print(
+        f"  result in device {names[out_device]}: {int(array.state(out_device))} "
+        f"(expected M(x,y,z) = {expected})"
+    )
+    print()
+
+
+def main() -> None:
+    show_imp_truth_table()
+    show_intrinsic_majority()
+    trace_gadget("imp", [True, False, True])
+    trace_gadget("maj", [True, False, True])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: all metadata lives in setup.cfg.
+
+A plain setup.py (rather than a pyproject build-system table) keeps
+``pip install -e .`` working in fully offline environments, where build
+isolation cannot fetch its requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — MIG-based logic synthesis for RRAM in-memory computing.
+
+A from-scratch reproduction of *"Fast Logic Synthesis for RRAM-based
+In-Memory Computing using Majority-Inverter Graphs"* (Shirinzadeh,
+Soeken, Gaillardon, Drechsler — DATE 2016).
+
+Public API highlights:
+
+* :mod:`repro.truth`      — bit-parallel truth tables;
+* :mod:`repro.network`    — gate-level netlists;
+* :mod:`repro.io`         — ``.bench`` / BLIF / PLA parsers;
+* :mod:`repro.mig`        — Majority-Inverter Graphs and the paper's
+  four optimization algorithms;
+* :mod:`repro.rram`       — RRAM device/array simulator, MIG→RRAM
+  compiler (IMP and MAJ realizations) and the Table I cost model;
+* :mod:`repro.bdd`        — ROBDD package + BDD-based RRAM baseline;
+* :mod:`repro.aig`        — AIG package + AIG-based RRAM baseline;
+* :mod:`repro.benchmarks` — the evaluation benchmark suites;
+* :mod:`repro.flows`      — one-call reproduction of Tables II/III.
+"""
+
+__version__ = "1.0.0"
+
+from .mig import (
+    Mig,
+    Realization,
+    mig_from_netlist,
+    mig_from_truth_tables,
+    optimize_area,
+    optimize_depth,
+    optimize_rram,
+    optimize_steps,
+    rram_costs,
+)
+from .network import Netlist
+from .truth import TruthTable
+
+__all__ = [
+    "__version__",
+    "Mig",
+    "Realization",
+    "mig_from_netlist",
+    "mig_from_truth_tables",
+    "optimize_area",
+    "optimize_depth",
+    "optimize_rram",
+    "optimize_steps",
+    "rram_costs",
+    "Netlist",
+    "TruthTable",
+]

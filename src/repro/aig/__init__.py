@@ -1,0 +1,37 @@
+"""AIG package and the AIG-based RRAM synthesis baseline [12]."""
+
+from .graph import (
+    CONST0,
+    CONST1,
+    Aig,
+    Signal,
+    aig_from_netlist,
+    signal_is_complemented,
+    signal_node,
+    signal_not,
+)
+from .balance import balance
+from .synthesis import (
+    STEPS_PER_COMPLEMENTED_EDGE,
+    STEPS_PER_NODE,
+    AigRealizationCosts,
+    aig_rram_costs,
+    compile_aig,
+)
+
+__all__ = [
+    "CONST0",
+    "CONST1",
+    "Aig",
+    "Signal",
+    "aig_from_netlist",
+    "signal_is_complemented",
+    "signal_node",
+    "signal_not",
+    "STEPS_PER_COMPLEMENTED_EDGE",
+    "STEPS_PER_NODE",
+    "AigRealizationCosts",
+    "aig_rram_costs",
+    "compile_aig",
+    "balance",
+]

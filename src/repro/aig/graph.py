@@ -1,0 +1,298 @@
+"""And-Inverter Graphs.
+
+The substrate for the AIG-based RRAM-synthesis baseline [12].  Same
+signal convention as :mod:`repro.mig` (``(node << 1) | complement``),
+two-input AND nodes with structural hashing and constant/idempotence
+simplification at creation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..network import GateType, Netlist, NetlistError
+from ..truth import TruthTable, table_mask
+
+Signal = int
+
+CONST0: Signal = 0
+CONST1: Signal = 1
+
+
+def signal_node(signal: Signal) -> int:
+    """Node index behind a signal."""
+    return signal >> 1
+
+
+def signal_is_complemented(signal: Signal) -> bool:
+    """True iff the signal is complemented."""
+    return bool(signal & 1)
+
+
+def signal_not(signal: Signal) -> Signal:
+    """Negate a signal."""
+    return signal ^ 1
+
+
+class Aig:
+    """A structurally hashed And-Inverter Graph."""
+
+    def __init__(self, name: str = "aig") -> None:
+        self.name = name
+        self._children: List[Optional[Tuple[Signal, Signal]]] = [None]
+        self._pis: List[int] = []
+        self._pi_names: List[str] = []
+        self._pos: List[Signal] = []
+        self._po_names: List[str] = []
+        self._strash: Dict[Tuple[Signal, Signal], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_pi(self, name: Optional[str] = None) -> Signal:
+        """Create a primary input; returns its signal."""
+        node = len(self._children)
+        self._children.append(None)
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"x{len(self._pis) - 1}")
+        return node << 1
+
+    def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
+        """Register a primary output; returns its index."""
+        self._check(signal)
+        self._pos.append(signal)
+        self._po_names.append(name if name is not None else f"f{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    def make_and(self, a: Signal, b: Signal) -> Signal:
+        """``a AND b`` with constant folding and structural hashing."""
+        self._check(a)
+        self._check(b)
+        if a == CONST0 or b == CONST0 or a == signal_not(b):
+            return CONST0
+        if a == CONST1:
+            return b
+        if b == CONST1:
+            return a
+        if a == b:
+            return a
+        key = (a, b) if a < b else (b, a)
+        found = self._strash.get(key)
+        if found is not None:
+            return found << 1
+        node = len(self._children)
+        self._children.append(key)
+        self._strash[key] = node
+        return node << 1
+
+    def make_or(self, a: Signal, b: Signal) -> Signal:
+        """``a OR b`` via De Morgan."""
+        return signal_not(self.make_and(signal_not(a), signal_not(b)))
+
+    def make_xor(self, a: Signal, b: Signal) -> Signal:
+        """``a XOR b`` as ``!( !(a!b) · !(!ab) )`` (three AND nodes)."""
+        return self.make_or(
+            self.make_and(a, signal_not(b)), self.make_and(signal_not(a), b)
+        )
+
+    def make_mux(self, sel: Signal, then: Signal, other: Signal) -> Signal:
+        """``sel ? then : other``."""
+        return self.make_or(
+            self.make_and(sel, then), self.make_and(signal_not(sel), other)
+        )
+
+    def make_maj(self, a: Signal, b: Signal, c: Signal) -> Signal:
+        """Ternary majority as ``mux(a, b+c, bc)`` (five AND nodes)."""
+        return self.make_mux(a, self.make_or(b, c), self.make_and(b, c))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        """Primary input count."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Primary output count."""
+        return len(self._pos)
+
+    @property
+    def pis(self) -> List[int]:
+        """Primary-input node indices."""
+        return list(self._pis)
+
+    @property
+    def pos(self) -> List[Signal]:
+        """Primary-output signals."""
+        return list(self._pos)
+
+    @property
+    def pi_names(self) -> List[str]:
+        """Primary-input names."""
+        return list(self._pi_names)
+
+    @property
+    def po_names(self) -> List[str]:
+        """Primary-output names."""
+        return list(self._po_names)
+
+    def is_and(self, node: int) -> bool:
+        """True iff ``node`` is an AND gate."""
+        return self._children[node] is not None
+
+    def is_pi(self, node: int) -> bool:
+        """True iff ``node`` is a primary input."""
+        return node != 0 and self._children[node] is None
+
+    def children(self, node: int) -> Tuple[Signal, Signal]:
+        """Child signals of an AND node."""
+        pair = self._children[node]
+        if pair is None:
+            raise ValueError(f"node {node} is not an AND gate")
+        return pair
+
+    def reachable_nodes(self) -> List[int]:
+        """AND nodes reachable from the POs, topologically ordered.
+
+        Node indices grow monotonically with creation and children
+        always precede parents, so index order is a topological order.
+        """
+        seen: Set[int] = set()
+        stack = [signal_node(po) for po in self._pos]
+        while stack:
+            node = stack.pop()
+            if node in seen or not self.is_and(node):
+                continue
+            seen.add(node)
+            for child in self._children[node]:  # type: ignore[union-attr]
+                stack.append(signal_node(child))
+        return sorted(seen)
+
+    def num_ands(self) -> int:
+        """Number of live AND nodes — the AIG *size*."""
+        return len(self.reachable_nodes())
+
+    def depth(self) -> int:
+        """Longest PI→PO path measured in AND gates."""
+        levels: Dict[int, int] = {0: 0}
+        for pi in self._pis:
+            levels[pi] = 0
+        for node in self.reachable_nodes():
+            a, b = self.children(node)
+            levels[node] = 1 + max(
+                levels.get(signal_node(a), 0), levels.get(signal_node(b), 0)
+            )
+        return max(
+            (levels.get(signal_node(po), 0) for po in self._pos), default=0
+        )
+
+    def complemented_edge_count(self) -> int:
+        """Complemented fanin edges of live nodes (constants excluded)."""
+        count = 0
+        for node in self.reachable_nodes():
+            for child in self.children(node):
+                if signal_is_complemented(child) and signal_node(child) != 0:
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate_words(self, input_words: Sequence[int], mask: int) -> List[int]:
+        """Bit-parallel simulation (same contract as :meth:`Mig.simulate_words`)."""
+        if len(input_words) != len(self._pis):
+            raise ValueError(
+                f"expected {len(self._pis)} input words, got {len(input_words)}"
+            )
+        values: Dict[int, int] = {0: 0}
+        for node, word in zip(self._pis, input_words):
+            values[node] = word & mask
+
+        def word_of(signal: Signal) -> int:
+            value = values[signal_node(signal)]
+            return value ^ mask if signal & 1 else value
+
+        for node in self.reachable_nodes():
+            a, b = self.children(node)
+            values[node] = word_of(a) & word_of(b)
+        return [word_of(po) for po in self._pos]
+
+    def truth_tables(self) -> List[TruthTable]:
+        """Exhaustive per-output truth tables (guarded to 20 inputs)."""
+        num_vars = len(self._pis)
+        if num_vars > 20:
+            raise ValueError(f"refusing exhaustive simulation of {num_vars} inputs")
+        mask = table_mask(num_vars)
+        words = [TruthTable.variable(num_vars, i).bits for i in range(num_vars)]
+        return [
+            TruthTable(num_vars, word)
+            for word in self.simulate_words(words, mask)
+        ]
+
+    def _check(self, signal: Signal) -> None:
+        if not 0 <= signal_node(signal) < len(self._children):
+            raise ValueError(f"signal {signal} references an unknown node")
+
+    def __repr__(self) -> str:
+        return (
+            f"Aig({self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"ands={self.num_ands()})"
+        )
+
+
+def aig_from_netlist(netlist: Netlist) -> Aig:
+    """Lower a gate-level netlist into a fresh AIG (balanced n-ary trees)."""
+    netlist.validate()
+    aig = Aig(netlist.name)
+    values: Dict[str, Signal] = {}
+    for name in netlist.inputs:
+        values[name] = aig.add_pi(name)
+
+    def reduce_balanced(operands: List[Signal], combine) -> Signal:
+        work = list(operands)
+        while len(work) > 1:
+            nxt = [combine(work[i], work[i + 1]) for i in range(0, len(work) - 1, 2)]
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    for gate in netlist.topological_order():
+        operands = [values[op] for op in gate.operands]
+        kind = gate.gate_type
+        if kind is GateType.CONST0:
+            signal = CONST0
+        elif kind is GateType.CONST1:
+            signal = CONST1
+        elif kind is GateType.BUF:
+            signal = operands[0]
+        elif kind is GateType.NOT:
+            signal = signal_not(operands[0])
+        elif kind in (GateType.AND, GateType.NAND):
+            signal = reduce_balanced(operands, aig.make_and)
+            if kind is GateType.NAND:
+                signal = signal_not(signal)
+        elif kind in (GateType.OR, GateType.NOR):
+            signal = reduce_balanced(operands, aig.make_or)
+            if kind is GateType.NOR:
+                signal = signal_not(signal)
+        elif kind in (GateType.XOR, GateType.XNOR):
+            signal = reduce_balanced(operands, aig.make_xor)
+            if kind is GateType.XNOR:
+                signal = signal_not(signal)
+        elif kind is GateType.MAJ:
+            signal = aig.make_maj(*operands)
+        elif kind is GateType.MUX:
+            signal = aig.make_mux(*operands)
+        else:
+            raise NetlistError(f"cannot lower gate type {kind} to AIG")
+        values[gate.name] = signal
+
+    for name in netlist.outputs:
+        aig.add_po(values[name], name)
+    return aig

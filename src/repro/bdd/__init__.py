@@ -1,0 +1,26 @@
+"""ROBDD package and the BDD-based RRAM synthesis baseline [11]."""
+
+from .bdd import FALSE, TRUE, Bdd, BddOverflowError
+from .build import build_bdd_from_netlist, build_best_order, dfs_variable_order
+from .sifting import sift_bdd
+from .synthesis import (
+    DEFAULT_PORT_LIMIT,
+    BddRealizationCosts,
+    bdd_rram_costs,
+    compile_bdd,
+)
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "Bdd",
+    "BddOverflowError",
+    "build_bdd_from_netlist",
+    "build_best_order",
+    "dfs_variable_order",
+    "sift_bdd",
+    "DEFAULT_PORT_LIMIT",
+    "BddRealizationCosts",
+    "bdd_rram_costs",
+    "compile_bdd",
+]

@@ -1,0 +1,219 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+A from-scratch BDD package used as the substrate for the BDD-based
+RRAM-synthesis baseline [11] the paper compares against.  Classic
+design: hash-consed ``(var, lo, hi)`` nodes over the two terminals,
+an ITE core with memoization, and Boolean operators layered on ITE.
+
+Nodes are integers: 0 is the FALSE terminal, 1 is the TRUE terminal,
+gate nodes are ≥ 2.  Variables are indexed by *level*: level 0 is
+tested first (root side).  The manager holds a node limit so runaway
+functions fail loudly instead of consuming the machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+FALSE = 0
+TRUE = 1
+
+
+class BddOverflowError(RuntimeError):
+    """Raised when the node table exceeds the configured limit."""
+
+
+class Bdd:
+    """An ROBDD manager over a fixed number of variables."""
+
+    def __init__(self, num_vars: int, node_limit: int = 1_000_000) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self.node_limit = node_limit
+        # Parallel arrays: index -> (level, lo, hi); terminals use var
+        # index num_vars so terminals sort below every variable.
+        self._level: List[int] = [num_vars, num_vars]
+        self._lo: List[int] = [0, 1]
+        self._hi: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes_allocated(self) -> int:
+        """Total nodes ever created, including terminals."""
+        return len(self._level)
+
+    def level_of(self, node: int) -> int:
+        """The variable level a node tests (``num_vars`` for terminals)."""
+        return self._level[node]
+
+    def lo(self, node: int) -> int:
+        """The else-cofactor (variable = 0) child."""
+        return self._lo[node]
+
+    def hi(self, node: int) -> int:
+        """The then-cofactor (variable = 1) child."""
+        return self._hi[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the FALSE/TRUE terminals."""
+        return node <= 1
+
+    def mk(self, level: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(level, lo, hi)`` (reduced)."""
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        if len(self._level) >= self.node_limit:
+            raise BddOverflowError(
+                f"BDD node limit {self.node_limit} exceeded"
+            )
+        node = len(self._level)
+        self._level.append(level)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        self._unique[key] = node
+        return node
+
+    def var(self, level: int) -> int:
+        """The projection function of the variable at ``level``."""
+        if not 0 <= level < self.num_vars:
+            raise ValueError(f"variable level {level} out of range")
+        return self.mk(level, FALSE, TRUE)
+
+    # ------------------------------------------------------------------
+    # ITE core
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``f ? g : h`` — the universal ternary operator."""
+        # Terminal shortcuts.
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        lo = self.ite(f0, g0, h0)
+        hi = self.ite(f1, g1, h1)
+        result = self.mk(level, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self._level[node] == level:
+            return self._lo[node], self._hi[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # Boolean operators
+    # ------------------------------------------------------------------
+
+    def apply_not(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_maj(self, f: int, g: int, h: int) -> int:
+        """Ternary majority."""
+        return self.apply_or(
+            self.apply_and(f, g),
+            self.apply_or(self.apply_and(f, h), self.apply_and(g, h)),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def reachable(self, roots: Sequence[int]) -> Set[int]:
+        """All non-terminal nodes reachable from ``roots``."""
+        seen: Set[int] = set()
+        stack = [r for r in roots if r > 1]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for child in (self._lo[node], self._hi[node]):
+                if child > 1 and child not in seen:
+                    stack.append(child)
+        return seen
+
+    def count_nodes(self, roots: Sequence[int]) -> int:
+        """Number of internal nodes shared among ``roots``."""
+        return len(self.reachable(roots))
+
+    def nodes_per_level(self, roots: Sequence[int]) -> List[int]:
+        """Histogram of reachable nodes by variable level."""
+        histogram = [0] * self.num_vars
+        for node in self.reachable(roots):
+            histogram[self._level[node]] += 1
+        return histogram
+
+    def evaluate(self, root: int, assignment: Sequence[bool]) -> bool:
+        """Evaluate the function for one input assignment.
+
+        ``assignment[level]`` is the value of the variable at ``level``.
+        """
+        node = root
+        while node > 1:
+            if assignment[self._level[node]]:
+                node = self._hi[node]
+            else:
+                node = self._lo[node]
+        return node == TRUE
+
+    def satisfy_count(self, root: int) -> int:
+        """Number of satisfying assignments over all variables."""
+        cache: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1 << self.num_vars
+            if node in cache:
+                return cache[node]
+            # Counting over all `num_vars` variables, the cofactors are
+            # independent of this node's variable, so each contributes
+            # exactly half of its own (even) count.
+            result = (count(self._lo[node]) + count(self._hi[node])) >> 1
+            cache[node] = result
+            return result
+
+        return count(root)
+
+    def support(self, root: int) -> Tuple[int, ...]:
+        """Variable levels the function depends on."""
+        return tuple(
+            sorted({self._level[node] for node in self.reachable([root])})
+        )

@@ -1,0 +1,152 @@
+"""Building BDDs from netlists, with variable-ordering heuristics.
+
+The variable order dominates BDD size; the builder supports an explicit
+order, the classic depth-first fanin traversal heuristic (good static
+orders for the ISCAS-style circuits used here), and a best-of-N search
+over seeded candidate orders — a pragmatic stand-in for dynamic sifting
+(documented in DESIGN.md §3; the baseline paper [11] reports results
+with static orders as well).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network import GateType, Netlist
+from .bdd import Bdd, BddOverflowError, FALSE, TRUE
+
+
+def dfs_variable_order(netlist: Netlist) -> List[str]:
+    """Depth-first fanin traversal order from the outputs.
+
+    Inputs encountered first on deep paths are tested first — the
+    classic static ordering heuristic of Malik et al.
+    """
+    order: List[str] = []
+    seen = set()
+
+    def visit(net: str) -> None:
+        if net in seen:
+            return
+        seen.add(net)
+        if net in netlist.inputs:
+            order.append(net)
+            return
+        for operand in netlist.gate(net).operands:
+            visit(operand)
+
+    for output in netlist.outputs:
+        visit(output)
+    # Unreferenced inputs go last.
+    for name in netlist.inputs:
+        if name not in seen:
+            order.append(name)
+    return order
+
+
+def build_bdd_from_netlist(
+    netlist: Netlist,
+    variable_order: Optional[Sequence[str]] = None,
+    node_limit: int = 1_000_000,
+) -> Tuple[Bdd, List[int]]:
+    """Build one shared BDD for all outputs of a netlist.
+
+    Returns the manager and the per-output root list (in netlist output
+    order).  Raises :class:`BddOverflowError` past ``node_limit``.
+    """
+    netlist.validate()
+    if variable_order is None:
+        variable_order = dfs_variable_order(netlist)
+    if sorted(variable_order) != sorted(netlist.inputs):
+        raise ValueError("variable_order must be a permutation of the inputs")
+
+    manager = Bdd(len(variable_order), node_limit=node_limit)
+    values: Dict[str, int] = {
+        name: manager.var(level) for level, name in enumerate(variable_order)
+    }
+
+    for gate in netlist.topological_order():
+        operands = [values[op] for op in gate.operands]
+        values[gate.name] = _lower_gate(manager, gate.gate_type, operands)
+
+    roots = [values[name] for name in netlist.outputs]
+    return manager, roots
+
+
+def _lower_gate(manager: Bdd, gate_type: GateType, operands: List[int]) -> int:
+    if gate_type is GateType.CONST0:
+        return FALSE
+    if gate_type is GateType.CONST1:
+        return TRUE
+    if gate_type is GateType.BUF:
+        return operands[0]
+    if gate_type is GateType.NOT:
+        return manager.apply_not(operands[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        acc = TRUE
+        for operand in operands:
+            acc = manager.apply_and(acc, operand)
+        return acc if gate_type is GateType.AND else manager.apply_not(acc)
+    if gate_type in (GateType.OR, GateType.NOR):
+        acc = FALSE
+        for operand in operands:
+            acc = manager.apply_or(acc, operand)
+        return acc if gate_type is GateType.OR else manager.apply_not(acc)
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        acc = FALSE
+        for operand in operands:
+            acc = manager.apply_xor(acc, operand)
+        return acc if gate_type is GateType.XOR else manager.apply_not(acc)
+    if gate_type is GateType.MAJ:
+        return manager.apply_maj(*operands)
+    if gate_type is GateType.MUX:
+        sel, then, other = operands
+        return manager.ite(sel, then, other)
+    raise ValueError(f"cannot lower gate type {gate_type} to BDD")
+
+
+def build_best_order(
+    netlist: Netlist,
+    *,
+    candidates: int = 4,
+    node_limit: int = 1_000_000,
+    seed: int = 0xB0D,
+) -> Tuple[Bdd, List[int], List[str]]:
+    """Best-of-N static-order search.
+
+    Tries the DFS heuristic order, the declaration order, their
+    reversals, and ``candidates`` seeded shuffles; returns the manager,
+    roots, and the winning order.  Orders that overflow the node limit
+    are skipped (at least one order must fit).
+    """
+    rng = random.Random(seed)
+    base = dfs_variable_order(netlist)
+    orders: List[List[str]] = [
+        base,
+        list(reversed(base)),
+        netlist.inputs,
+        list(reversed(netlist.inputs)),
+    ]
+    for _ in range(candidates):
+        shuffled = list(base)
+        rng.shuffle(shuffled)
+        orders.append(shuffled)
+
+    best: Optional[Tuple[int, Bdd, List[int], List[str]]] = None
+    last_error: Optional[BddOverflowError] = None
+    for order in orders:
+        try:
+            manager, roots = build_bdd_from_netlist(
+                netlist, order, node_limit=node_limit
+            )
+        except BddOverflowError as exc:
+            last_error = exc
+            continue
+        size = manager.count_nodes(roots)
+        if best is None or size < best[0]:
+            best = (size, manager, roots, list(order))
+    if best is None:
+        assert last_error is not None
+        raise last_error
+    return best[1], best[2], best[3]

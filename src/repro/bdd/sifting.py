@@ -1,0 +1,297 @@
+"""Dynamic variable reordering by sifting (Rudell, ICCAD'93).
+
+Operates on a mutable level-table representation converted from a
+:class:`~repro.bdd.Bdd`: nodes live in per-level unique tables, ids are
+stable, and merged nodes are handled through a forwarding map with path
+compression.  The classic adjacent-swap is the primitive: swapping the
+variables at positions ``i``/``i+1`` only rewrites nodes at those two
+positions, so sifting one variable across all positions costs a series
+of local operations rather than global rebuilds.
+
+Use :func:`sift_bdd` to reorder a built BDD; it returns a fresh manager,
+re-rooted functions, and the final variable order (as a permutation of
+the original level indices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .bdd import Bdd, FALSE, TRUE
+
+
+class _LevelTable:
+    """Mutable BDD with per-level unique tables and id forwarding."""
+
+    def __init__(self, manager: Bdd, roots: Sequence[int]) -> None:
+        self.num_vars = manager.num_vars
+        # node id -> [level, lo, hi]; terminals keep ids 0/1.
+        self.level: Dict[int, int] = {0: self.num_vars, 1: self.num_vars}
+        self.lo: Dict[int, int] = {0: 0, 1: 1}
+        self.hi: Dict[int, int] = {0: 0, 1: 1}
+        self.forward: Dict[int, int] = {}
+        self.unique: List[Dict[Tuple[int, int], int]] = [
+            {} for _ in range(self.num_vars)
+        ]
+        self.roots: List[int] = []
+        # `position_of[original_level] = current position`, and its
+        # inverse tells callers which original variable sits where.
+        self.variable_at: List[int] = list(range(self.num_vars))
+
+        for node in sorted(manager.reachable(roots)):
+            level = manager.level_of(node)
+            self.level[node] = level
+            self.lo[node] = manager.lo(node)
+            self.hi[node] = manager.hi(node)
+            self.unique[level][(manager.lo(node), manager.hi(node))] = node
+        self._next_id = manager.num_nodes_allocated
+        self.roots = list(roots)
+
+    # ------------------------------------------------------------------
+
+    def find(self, node: int) -> int:
+        """Resolve forwarding with path compression."""
+        seen = []
+        while node in self.forward:
+            seen.append(node)
+            node = self.forward[node]
+        for item in seen:
+            self.forward[item] = node
+        return node
+
+    def _fresh(self, level: int, lo: int, hi: int) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.level[node] = level
+        self.lo[node] = lo
+        self.hi[node] = hi
+        self.unique[level][(lo, hi)] = node
+        return node
+
+    def mk(self, level: int, lo: int, hi: int) -> int:
+        """Find-or-create with reduction at ``level``."""
+        lo = self.find(lo)
+        hi = self.find(hi)
+        if lo == hi:
+            return lo
+        found = self.unique[level].get((lo, hi))
+        if found is not None:
+            return found
+        return self._fresh(level, lo, hi)
+
+    def size(self) -> int:
+        """Live node count from the roots."""
+        seen = set()
+        stack = [self.find(r) for r in self.roots]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self.find(self.lo[node]))
+            stack.append(self.find(self.hi[node]))
+        return len(seen)
+
+    # ------------------------------------------------------------------
+
+    def swap(self, position: int) -> None:
+        """Exchange the variables at ``position`` and ``position + 1``.
+
+        Only nodes at these two positions are touched; references from
+        above stay valid because affected nodes mutate in place (their
+        id is preserved) and vacated nodes are forwarded.
+        """
+        upper = position
+        lower = position + 1
+        upper_nodes = list(self.unique[upper].values())
+        # Collect live references into the lower level from *above* the
+        # pair (and the roots) before mutating, so surviving B-nodes can
+        # be relocated afterwards.
+        self.unique[upper] = {}
+
+        rebuilt: List[Tuple[int, int, int, int, int]] = []
+        movers: List[int] = []
+        for node in upper_nodes:
+            node = self.find(node)
+            if self.level.get(node) != upper:
+                continue
+            lo = self.find(self.lo[node])
+            hi = self.find(self.hi[node])
+            lo_tests_lower = self.level.get(lo) == lower
+            hi_tests_lower = self.level.get(hi) == lower
+            if not lo_tests_lower and not hi_tests_lower:
+                # Node is independent of the lower variable: it simply
+                # moves down one position (it still tests A).
+                movers.append(node)
+                continue
+            l0, l1 = (
+                (self.find(self.lo[lo]), self.find(self.hi[lo]))
+                if lo_tests_lower
+                else (lo, lo)
+            )
+            h0, h1 = (
+                (self.find(self.lo[hi]), self.find(self.hi[hi]))
+                if hi_tests_lower
+                else (hi, hi)
+            )
+            rebuilt.append((node, l0, h0, l1, h1))
+
+        # Surviving lower-level (B) nodes move up to `upper`.  A node
+        # survives if anything other than the rebuilt uppers still
+        # references it; conservatively move all of them — unreferenced
+        # ones simply become dead entries that `size()` ignores.
+        lower_nodes = list(self.unique[lower].values())
+        self.unique[lower] = {}
+        for node in lower_nodes:
+            node = self.find(node)
+            if self.level.get(node) != lower:
+                continue
+            self._place(node, upper)
+
+        for node in movers:
+            self._place(node, lower)
+
+        for node, l0, h0, l1, h1 in rebuilt:
+            # After the swap the node tests B at `upper`; its children
+            # test A at `lower`.
+            new_lo = self.mk(lower, l0, h0)
+            new_hi = self.mk(lower, l1, h1)
+            if new_lo == new_hi:
+                # The node reduces away entirely: forward it.
+                self._vacate(node)
+                self.forward[node] = new_lo
+                continue
+            existing = self.unique[upper].get((new_lo, new_hi))
+            if existing is not None and existing != node:
+                self._vacate(node)
+                self.forward[node] = existing
+                continue
+            self.level[node] = upper
+            self.lo[node] = new_lo
+            self.hi[node] = new_hi
+            self.unique[upper][(new_lo, new_hi)] = node
+
+        self.variable_at[upper], self.variable_at[lower] = (
+            self.variable_at[lower],
+            self.variable_at[upper],
+        )
+
+    def _place(self, node: int, level: int) -> None:
+        """Re-register ``node`` at ``level``, merging duplicates."""
+        key = (self.find(self.lo[node]), self.find(self.hi[node]))
+        existing = self.unique[level].get(key)
+        if existing is not None and existing != node:
+            self._vacate(node)
+            self.forward[node] = existing
+            return
+        self.level[node] = level
+        self.lo[node], self.hi[node] = key
+        self.unique[level][key] = node
+
+    def _vacate(self, node: int) -> None:
+        self.level.pop(node, None)
+        self.lo.pop(node, None)
+        self.hi.pop(node, None)
+
+    # ------------------------------------------------------------------
+
+    def export(self) -> Tuple[Bdd, List[int], List[int]]:
+        """Rebuild a fresh hash-consed :class:`Bdd` from the table."""
+        manager = Bdd(self.num_vars, node_limit=max(1 << 20, 4 * self.size()))
+        memo: Dict[int, int] = {0: FALSE, 1: TRUE}
+
+        def convert(node: int) -> int:
+            node = self.find(node)
+            if node in memo:
+                return memo[node]
+            result = manager.mk(
+                self.level[node],
+                convert(self.lo[node]),
+                convert(self.hi[node]),
+            )
+            memo[node] = result
+            return result
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * self.num_vars * 64 + 10000))
+        try:
+            roots = [convert(root) for root in self.roots]
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return manager, roots, list(self.variable_at)
+
+
+def sift_bdd(
+    manager: Bdd,
+    roots: Sequence[int],
+    *,
+    max_growth: float = 1.2,
+    rounds: int = 1,
+) -> Tuple[Bdd, List[int], List[int]]:
+    """Sift every variable to its locally best position.
+
+    Variables are processed in decreasing order of their level
+    population; each is moved to every position via adjacent swaps,
+    recording the best, with early abort when the table grows past
+    ``max_growth`` times the best size seen.  Returns ``(manager,
+    roots, variable_at)`` where ``variable_at[p]`` is the *original*
+    level index now tested at position ``p``.
+    """
+    table = _LevelTable(manager, roots)
+    num_vars = table.num_vars
+
+    for _round in range(rounds):
+        # Population census (live nodes only).
+        population = [0] * num_vars
+        seen = set()
+        stack = [table.find(r) for r in table.roots]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            population[table.level[node]] += 1
+            stack.append(table.find(table.lo[node]))
+            stack.append(table.find(table.hi[node]))
+        order = sorted(
+            range(num_vars), key=lambda p: population[p], reverse=True
+        )
+
+        improved = False
+        for start_variable in [table.variable_at[p] for p in order]:
+            position = table.variable_at.index(start_variable)
+            best_size = table.size()
+            best_position = position
+            size_limit = best_size * max_growth + 16
+
+            # Sift down to the bottom...
+            current = position
+            while current < num_vars - 1:
+                table.swap(current)
+                current += 1
+                size = table.size()
+                if size < best_size:
+                    best_size, best_position = size, current
+                if size > size_limit:
+                    break
+            # ...then up to the top...
+            while current > 0:
+                table.swap(current - 1)
+                current -= 1
+                size = table.size()
+                if size < best_size:
+                    best_size, best_position = size, current
+                if size > size_limit and current < best_position:
+                    break
+            # ...then settle at the best position seen.
+            while current < best_position:
+                table.swap(current)
+                current += 1
+            if best_position != position:
+                improved = True
+        if not improved:
+            break
+
+    return table.export()

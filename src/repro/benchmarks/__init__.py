@@ -1,0 +1,32 @@
+"""Benchmark circuits: structural builders, synthetic generator, the
+two evaluation suites, and the paper's published numbers."""
+
+from . import builders, paperdata
+from .generators import SyntheticSpec, synthesize
+from .suite import (
+    ALL_BENCHMARKS,
+    LARGE_BENCHMARKS,
+    SMALL_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark,
+    large_names,
+    load_mig,
+    load_netlist,
+    small_names,
+)
+
+__all__ = [
+    "builders",
+    "paperdata",
+    "SyntheticSpec",
+    "synthesize",
+    "ALL_BENCHMARKS",
+    "LARGE_BENCHMARKS",
+    "SMALL_BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark",
+    "large_names",
+    "load_mig",
+    "load_netlist",
+    "small_names",
+]

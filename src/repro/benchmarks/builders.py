@@ -1,0 +1,509 @@
+"""Structural netlist builders for exactly-specified benchmark functions.
+
+These construct gate-level netlists for the benchmark functions whose
+mathematical definition is public (DESIGN.md §3): parity trees,
+population counters (the ``rd`` rate-detection family), symmetric band
+detectors (``9sym``/``sym10``), wide multiplexers (``cm150a``),
+arithmetic (adders, squarers, a 4-bit ALU for ``alu4``'s interface),
+and small two-level control functions.  Every builder is checked
+against the reference truth tables of :mod:`repro.truth` in the
+test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network import GateType, Netlist
+
+class _NetNamer:
+    """Fresh, readable net names."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        count = self._counts.get(prefix, 0)
+        self._counts[prefix] = count + 1
+        return f"{prefix}{count}"
+
+
+def _xor_tree(netlist: Netlist, namer: _NetNamer, nets: Sequence[str]) -> str:
+    work = list(nets)
+    while len(work) > 1:
+        nxt = []
+        for i in range(0, len(work) - 1, 2):
+            name = namer.fresh("xr")
+            netlist.add_gate(name, GateType.XOR, [work[i], work[i + 1]])
+            nxt.append(name)
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]
+
+
+def parity_netlist(num_inputs: int, name: str = "parity") -> Netlist:
+    """Balanced XOR tree — ``parity`` (16 inputs) and ``xor5``."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    inputs = [netlist.add_input(f"x{i}") for i in range(num_inputs)]
+    netlist.set_output(_xor_tree(netlist, namer, inputs))
+    return netlist
+
+
+def _full_adder(
+    netlist: Netlist, namer: _NetNamer, a: str, b: str, c: str
+) -> Tuple[str, str]:
+    """Full adder: returns (sum, carry) nets; carry is a MAJ gate."""
+    s = namer.fresh("fas")
+    carry = namer.fresh("fac")
+    ab = namer.fresh("fax")
+    netlist.add_gate(ab, GateType.XOR, [a, b])
+    netlist.add_gate(s, GateType.XOR, [ab, c])
+    netlist.add_gate(carry, GateType.MAJ, [a, b, c])
+    return s, carry
+
+
+def _half_adder(
+    netlist: Netlist, namer: _NetNamer, a: str, b: str
+) -> Tuple[str, str]:
+    s = namer.fresh("has")
+    carry = namer.fresh("hac")
+    netlist.add_gate(s, GateType.XOR, [a, b])
+    netlist.add_gate(carry, GateType.AND, [a, b])
+    return s, carry
+
+
+def popcount_nets(
+    netlist: Netlist, namer: _NetNamer, bits: Sequence[str]
+) -> List[str]:
+    """Carry-save population counter; returns count bits, LSB first."""
+    columns: List[List[str]] = [list(bits)]
+    result: List[str] = []
+    column = 0
+    while column < len(columns):
+        current = columns[column]
+        while len(current) > 1:
+            if len(current) >= 3:
+                a, b, c = current.pop(), current.pop(), current.pop()
+                s, carry = _full_adder(netlist, namer, a, b, c)
+            else:
+                a, b = current.pop(), current.pop()
+                s, carry = _half_adder(netlist, namer, a, b)
+            current.append(s)
+            while len(columns) <= column + 1:
+                columns.append([])
+            columns[column + 1].append(carry)
+        if current:
+            result.append(current[0])
+        else:
+            const = namer.fresh("zero")
+            netlist.add_gate(const, GateType.CONST0, [])
+            result.append(const)
+        column += 1
+    return result
+
+
+def count_ones_netlist(
+    num_inputs: int, num_outputs: int, name: str = "rd"
+) -> Netlist:
+    """The ``rd53``/``rd73``/``rd84`` family: binary count of ones."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    inputs = [netlist.add_input(f"x{i}") for i in range(num_inputs)]
+    count = popcount_nets(netlist, namer, inputs)
+    for bit in range(num_outputs):
+        if bit < len(count):
+            netlist.set_output(count[bit])
+        else:  # pragma: no cover - callers request valid widths
+            zero = namer.fresh("zero")
+            netlist.add_gate(zero, GateType.CONST0, [])
+            netlist.set_output(zero)
+    return netlist
+
+
+def _compare_const(
+    netlist: Netlist,
+    namer: _NetNamer,
+    bits: Sequence[str],
+    constant: int,
+) -> Tuple[str, str]:
+    """Return nets (bits >= constant, bits <= constant) for an unsigned
+    comparison against a compile-time constant."""
+    gt: Optional[str] = None  # strictly-greater given equal prefix
+    eq: Optional[str] = None  # prefix equal so far (None = trivially true)
+    for index in reversed(range(len(bits))):
+        bit = bits[index]
+        want = (constant >> index) & 1
+        if want:
+            this_eq = bit
+            this_gt: Optional[str] = None  # a single bit cannot exceed 1
+        else:
+            inv = namer.fresh("cmpn")
+            netlist.add_gate(inv, GateType.NOT, [bit])
+            this_eq = inv
+            this_gt = bit
+        if this_gt is not None:
+            if eq is None:
+                term = this_gt
+            else:
+                term = namer.fresh("cmpg")
+                netlist.add_gate(term, GateType.AND, [eq, this_gt])
+            if gt is None:
+                gt = term
+            else:
+                new_gt = namer.fresh("cmpo")
+                netlist.add_gate(new_gt, GateType.OR, [gt, term])
+                gt = new_gt
+        if eq is None:
+            eq = this_eq
+        else:
+            new_eq = namer.fresh("cmpe")
+            netlist.add_gate(new_eq, GateType.AND, [eq, this_eq])
+            eq = new_eq
+    assert eq is not None
+    if gt is None:
+        zero = namer.fresh("zero")
+        netlist.add_gate(zero, GateType.CONST0, [])
+        gt = zero
+    ge_or_eq = namer.fresh("cmpge")
+    netlist.add_gate(ge_or_eq, GateType.OR, [gt, eq])
+    le = namer.fresh("cmple")
+    netlist.add_gate(le, GateType.NOT, [gt])
+    return ge_or_eq, le
+
+
+def symmetric_band_netlist(
+    num_inputs: int, low: int, high: int, name: str = "sym"
+) -> Netlist:
+    """``9sym``/``sym10``: 1 iff ``low <= popcount(x) <= high``."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    inputs = [netlist.add_input(f"x{i}") for i in range(num_inputs)]
+    count = popcount_nets(netlist, namer, inputs)
+    ge_low, _ = _compare_const(netlist, namer, count, low)
+    _, le_high = _compare_const(netlist, namer, count, high)
+    out = namer.fresh("band")
+    netlist.add_gate(out, GateType.AND, [ge_low, le_high])
+    netlist.set_output(out)
+    return netlist
+
+
+def mux_netlist(
+    select_bits: int, name: str = "cm150a", with_enable: bool = False
+) -> Netlist:
+    """``2**k``-to-1 multiplexer tree — ``cm150a`` at ``k = 4`` with the
+    enable pin that brings its interface to 21 inputs."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    data = [netlist.add_input(f"d{i}") for i in range(1 << select_bits)]
+    selects = [netlist.add_input(f"s{i}") for i in range(select_bits)]
+    enable = netlist.add_input("en") if with_enable else None
+    layer = data
+    for level in range(select_bits):
+        nxt = []
+        for i in range(0, len(layer), 2):
+            net = namer.fresh(f"m{level}_")
+            netlist.add_gate(
+                net, GateType.MUX, [selects[level], layer[i + 1], layer[i]]
+            )
+            nxt.append(net)
+        layer = nxt
+    out = layer[0]
+    if enable is not None:
+        gated = namer.fresh("out_en")
+        netlist.add_gate(gated, GateType.AND, [out, enable])
+        out = gated
+    netlist.set_output(out)
+    return netlist
+
+
+def ripple_adder_nets(
+    netlist: Netlist,
+    namer: _NetNamer,
+    a: Sequence[str],
+    b: Sequence[str],
+    carry_in: Optional[str] = None,
+) -> Tuple[List[str], str]:
+    """Ripple-carry adder over equal-width operands; returns (sums, cout)."""
+    assert len(a) == len(b)
+    if carry_in is None:
+        carry_in = namer.fresh("zero")
+        netlist.add_gate(carry_in, GateType.CONST0, [])
+    sums: List[str] = []
+    carry = carry_in
+    for bit_a, bit_b in zip(a, b):
+        s, carry = _full_adder(netlist, namer, bit_a, bit_b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def adder_netlist(width: int, name: str = "adder") -> Netlist:
+    """``a + b + cin`` with ``width``-bit operands."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    a = [netlist.add_input(f"a{i}") for i in range(width)]
+    b = [netlist.add_input(f"b{i}") for i in range(width)]
+    cin = netlist.add_input("cin")
+    sums, cout = ripple_adder_nets(netlist, namer, a, b, cin)
+    for s in sums:
+        netlist.set_output(s)
+    netlist.set_output(cout)
+    return netlist
+
+
+def squarer_plus_netlist(name: str = "5xp1") -> Netlist:
+    """7-in/10-out arithmetic circuit standing in for MCNC ``5xp1``:
+    ``out = x*x + y`` with a 5-bit ``x`` and 2-bit ``y``."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    x = [netlist.add_input(f"x{i}") for i in range(5)]
+    y = [netlist.add_input(f"y{i}") for i in range(2)]
+    # Partial products of the squarer feed a carry-save column adder.
+    columns: List[List[str]] = [[] for _ in range(10)]
+    for i in range(5):
+        for j in range(5):
+            if i == j:
+                columns[i + j].append(x[i])
+            elif i < j:
+                # x_i x_j appears twice: once shifted (2·x_i·x_j).
+                pp = namer.fresh("pp")
+                netlist.add_gate(pp, GateType.AND, [x[i], x[j]])
+                columns[i + j + 1].append(pp)
+    columns[0].append(y[0])
+    columns[1].append(y[1])
+    outputs: List[str] = []
+    for index in range(10):
+        column = columns[index]
+        while len(column) > 1:
+            if len(column) >= 3:
+                a, b, c = column.pop(), column.pop(), column.pop()
+                s, carry = _full_adder(netlist, namer, a, b, c)
+            else:
+                a, b = column.pop(), column.pop()
+                s, carry = _half_adder(netlist, namer, a, b)
+            column.append(s)
+            if index + 1 < 10:
+                columns[index + 1].append(carry)
+        if column:
+            outputs.append(column[0])
+        else:
+            zero = namer.fresh("zero")
+            netlist.add_gate(zero, GateType.CONST0, [])
+            outputs.append(zero)
+    for out in outputs:
+        netlist.set_output(out)
+    return netlist
+
+
+def alu_netlist(name: str = "alu4") -> Netlist:
+    """A 14-in/8-out 4-bit ALU standing in for MCNC ``alu4``.
+
+    Inputs: ``a[4]``, ``b[4]``, opcode ``op[3]``, ``cin``, ``en``, ``inv``.
+    Ops 0–7: add, sub, and, or, xor, nor, pass-a, maj.  Outputs:
+    ``f[4]``, ``cout``, ``zero``, ``neg``, ``parity`` gated by ``en``,
+    with ``inv`` optionally complementing ``b`` first.
+    """
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    a = [netlist.add_input(f"a{i}") for i in range(4)]
+    b_raw = [netlist.add_input(f"b{i}") for i in range(4)]
+    op = [netlist.add_input(f"op{i}") for i in range(3)]
+    cin = netlist.add_input("cin")
+    en = netlist.add_input("en")
+    inv = netlist.add_input("inv")
+
+    b: List[str] = []
+    for i, bit in enumerate(b_raw):
+        net = namer.fresh("bx")
+        netlist.add_gate(net, GateType.XOR, [bit, inv])
+        b.append(net)
+
+    add_sums, add_cout = ripple_adder_nets(netlist, namer, a, b, cin)
+    # Subtraction: a + !b + 1 (reuse the inverter ability via fresh nets).
+    nb = []
+    for bit in b:
+        net = namer.fresh("nb")
+        netlist.add_gate(net, GateType.NOT, [bit])
+        nb.append(net)
+    one = namer.fresh("one")
+    netlist.add_gate(one, GateType.CONST1, [])
+    sub_sums, sub_cout = ripple_adder_nets(netlist, namer, a, nb, one)
+
+    def bitwise(kind: GateType, prefix: str) -> List[str]:
+        nets = []
+        for bit_a, bit_b in zip(a, b):
+            net = namer.fresh(prefix)
+            netlist.add_gate(net, kind, [bit_a, bit_b])
+            nets.append(net)
+        return nets
+
+    and_bits = bitwise(GateType.AND, "fa")
+    or_bits = bitwise(GateType.OR, "fo")
+    xor_bits = bitwise(GateType.XOR, "fx")
+    nor_bits = bitwise(GateType.NOR, "fn")
+    maj_bits = []
+    for i in range(4):
+        net = namer.fresh("fm")
+        netlist.add_gate(net, GateType.MAJ, [a[i], b[i], cin])
+        maj_bits.append(net)
+
+    choices = [add_sums, sub_sums, and_bits, or_bits, xor_bits, nor_bits, a, maj_bits]
+    f_bits: List[str] = []
+    for bit in range(4):
+        layer = [choice[bit] for choice in choices]
+        for level in range(3):
+            nxt = []
+            for i in range(0, len(layer), 2):
+                net = namer.fresh(f"sel{bit}_")
+                netlist.add_gate(
+                    net, GateType.MUX, [op[level], layer[i + 1], layer[i]]
+                )
+                nxt.append(net)
+            layer = nxt
+        gated = namer.fresh(f"f{bit}_")
+        netlist.add_gate(gated, GateType.AND, [layer[0], en])
+        f_bits.append(gated)
+        netlist.set_output(gated)
+
+    cout = namer.fresh("cout")
+    netlist.add_gate(cout, GateType.MUX, [op[0], sub_cout, add_cout])
+    netlist.set_output(cout)
+
+    nzero = namer.fresh("nzero")
+    netlist.add_gate(nzero, GateType.OR, f_bits)
+    zero = namer.fresh("zero_")
+    netlist.add_gate(zero, GateType.NOT, [nzero])
+    netlist.set_output(zero)
+    netlist.set_output(f_bits[3])  # sign
+    par = _xor_tree(netlist, namer, f_bits)
+    netlist.set_output(par)
+    return netlist
+
+
+def sop_netlist(
+    name: str,
+    num_inputs: int,
+    products_per_output: Sequence[Sequence[Sequence[Tuple[int, bool]]]],
+) -> Netlist:
+    """Two-level AND-OR netlist from literal lists.
+
+    ``products_per_output[o]`` is a list of products; each product is a
+    list of ``(input_index, positive)`` literals.
+    """
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    inputs = [netlist.add_input(f"x{i}") for i in range(num_inputs)]
+    inverted: Dict[int, str] = {}
+
+    def literal(index: int, positive: bool) -> str:
+        if positive:
+            return inputs[index]
+        if index not in inverted:
+            net = namer.fresh("inv")
+            netlist.add_gate(net, GateType.NOT, [inputs[index]])
+            inverted[index] = net
+        return inverted[index]
+
+    for out_index, products in enumerate(products_per_output):
+        product_nets = []
+        for product in products:
+            literals = [literal(i, pos) for i, pos in product]
+            if len(literals) == 1:
+                product_nets.append(literals[0])
+            else:
+                net = namer.fresh("p")
+                netlist.add_gate(net, GateType.AND, literals)
+                product_nets.append(net)
+        out = f"f{out_index}"
+        if len(product_nets) == 1:
+            netlist.add_gate(out, GateType.BUF, product_nets)
+        else:
+            netlist.add_gate(out, GateType.OR, product_nets)
+        netlist.set_output(out)
+    return netlist
+
+
+def con1_style_netlist(name: str = "con1") -> Netlist:
+    """Structural netlist matching
+    :func:`repro.truth.con1_style_function`."""
+    return sop_netlist(
+        name,
+        7,
+        [
+            [
+                [(0, True), (2, True), (4, False)],
+                [(1, True), (3, True), (5, True)],
+                [(0, False), (6, True)],
+            ],
+            [
+                [(4, True), (5, True)],
+                [(0, True), (1, False), (6, True)],
+                [(2, True), (3, False), (6, False)],
+            ],
+        ],
+    )
+
+
+def t481_style_netlist(name: str = "t481") -> Netlist:
+    """16-in/1-out structured function standing in for MCNC ``t481``:
+    XOR over four group predicates ``(a·b) OR (c XOR d)``."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    inputs = [netlist.add_input(f"x{i}") for i in range(16)]
+    groups = []
+    for g in range(4):
+        a, b, c, d = inputs[4 * g : 4 * g + 4]
+        conj = namer.fresh("g_and")
+        netlist.add_gate(conj, GateType.AND, [a, b])
+        xr = namer.fresh("g_xor")
+        netlist.add_gate(xr, GateType.XOR, [c, d])
+        pred = namer.fresh("g_or")
+        netlist.add_gate(pred, GateType.OR, [conj, xr])
+        groups.append(pred)
+    netlist.set_output(_xor_tree(netlist, namer, groups))
+    return netlist
+
+
+def count_compare_netlist(
+    num_inputs: int, split: int, name: str = "max46"
+) -> Netlist:
+    """``popcount(x[:split]) > popcount(x[split:])`` — ``max46`` stand-in."""
+    netlist = Netlist(name)
+    namer = _NetNamer()
+    inputs = [netlist.add_input(f"x{i}") for i in range(num_inputs)]
+    left = popcount_nets(netlist, namer, inputs[:split])
+    right = popcount_nets(netlist, namer, inputs[split:])
+    width = max(len(left), len(right))
+
+    def pad(bits: List[str]) -> List[str]:
+        while len(bits) < width:
+            zero = namer.fresh("zero")
+            netlist.add_gate(zero, GateType.CONST0, [])
+            bits.append(zero)
+        return bits
+
+    left, right = pad(left), pad(right)
+    gt: Optional[str] = None
+    eq: Optional[str] = None
+    for index in reversed(range(width)):
+        nr = namer.fresh("nr")
+        netlist.add_gate(nr, GateType.NOT, [right[index]])
+        here_gt = namer.fresh("hg")
+        netlist.add_gate(here_gt, GateType.AND, [left[index], nr])
+        here_eq = namer.fresh("he")
+        netlist.add_gate(here_eq, GateType.XNOR, [left[index], right[index]])
+        if gt is None:
+            gt, eq = here_gt, here_eq
+        else:
+            assert eq is not None
+            with_eq = namer.fresh("we")
+            netlist.add_gate(with_eq, GateType.AND, [eq, here_gt])
+            new_gt = namer.fresh("ng")
+            netlist.add_gate(new_gt, GateType.OR, [gt, with_eq])
+            new_eq = namer.fresh("ne")
+            netlist.add_gate(new_eq, GateType.AND, [eq, here_eq])
+            gt, eq = new_gt, new_eq
+    assert gt is not None
+    netlist.set_output(gt)
+    return netlist

@@ -1,0 +1,229 @@
+"""Deterministic synthetic benchmark circuits.
+
+The MCNC/espresso PLA sources of many paper benchmarks are not
+redistributable in this offline environment (DESIGN.md §3).  This
+module generates seeded stand-ins with the same primary-input/output
+counts and sizes in the same regime, so the optimization algorithms and
+cost models are exercised on graphs of comparable shape.
+
+The generator builds a *layered funnel* of banded random logic:
+
+* gates live on ``target_depth`` layers; each layer's gates sit at
+  evenly spaced *positions* along the primary-input tape and draw their
+  operands from nearby nets of the previous layers (a locality band);
+* every net of a layer is consumed by at least one gate of the next
+  layer (assigned to the nearest position), so the generated logic is
+  almost entirely live — sizes track ``num_gates`` faithfully;
+* the last layer has exactly ``num_outputs`` gates, which become the
+  primary outputs, spread across the tape.
+
+Local operand selection keeps each output cone's input support banded,
+which keeps the BDDs of Table III's baseline buildable in natural input
+order even for the 135-input circuits, while depth stays near
+``target_depth`` — the regime of the paper's benchmark set.  Everything
+is driven by an explicit seed: a spec always yields the same netlist.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..network import GateType, Netlist
+
+# Gate palette: (type, weight).  XOR kept moderate to bound BDD growth.
+_PALETTE: Sequence[Tuple[GateType, float]] = (
+    (GateType.AND, 0.24),
+    (GateType.OR, 0.24),
+    (GateType.NAND, 0.10),
+    (GateType.NOR, 0.06),
+    (GateType.XOR, 0.12),
+    (GateType.XNOR, 0.04),
+    (GateType.MAJ, 0.12),
+    (GateType.MUX, 0.08),
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic benchmark circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    seed: int
+    bandwidth: float = 6.0  # operand reach in tape positions
+    target_depth: int = 12  # number of gate layers
+    chain_bias: float = 0.25  # probability of intra-layer chaining
+
+    def build(self) -> Netlist:
+        """Generate the netlist (deterministic in the spec)."""
+        return synthesize(self)
+
+
+def _pick_gate_type(rng: random.Random) -> GateType:
+    roll = rng.random()
+    acc = 0.0
+    for gate_type, weight in _PALETTE:
+        acc += weight
+        if roll < acc:
+            return gate_type
+    return GateType.AND
+
+
+class _Net:
+    __slots__ = ("name", "position")
+
+    def __init__(self, name: str, position: float) -> None:
+        self.name = name
+        self.position = position
+
+
+def synthesize(spec: SyntheticSpec) -> Netlist:
+    """Build the layered banded netlist described by ``spec``."""
+    if spec.num_inputs < 2:
+        raise ValueError("synthetic circuits need at least two inputs")
+    if spec.num_outputs < 1:
+        raise ValueError("synthetic circuits need at least one output")
+    layers = max(2, spec.target_depth)
+    rng = random.Random(spec.seed)
+    netlist = Netlist(spec.name)
+
+    previous: List[_Net] = [
+        _Net(netlist.add_input(f"x{i}"), float(i))
+        for i in range(spec.num_inputs)
+    ]
+    older: List[_Net] = []  # nets from layers before the previous one
+
+    widths = _width_schedule(layers, spec.num_gates, spec.num_outputs)
+    gate_count = 0
+
+    for layer in range(1, layers + 1):
+        width = widths[layer - 1]
+        # Gate skeletons: type, arity, anchor position.
+        skeletons: List[Tuple[GateType, int, float]] = []
+        for j in range(width):
+            gate_type = _pick_gate_type(rng)
+            arity = 3 if gate_type in (GateType.MAJ, GateType.MUX) else 2
+            anchor = (j + 0.5) * spec.num_inputs / width
+            anchor += rng.uniform(-0.5, 0.5)
+            skeletons.append((gate_type, arity, anchor))
+
+        operand_lists: List[List[_Net]] = [[] for _ in range(width)]
+
+        # Pass 1 — consumption guarantee: assign every previous-layer
+        # net to the nearest gate with spare capacity.
+        order = sorted(range(len(previous)), key=lambda i: previous[i].position)
+        for index in order:
+            net = previous[index]
+            best_gate = None
+            best_distance = None
+            for g, (gtype, arity, anchor) in enumerate(skeletons):
+                if len(operand_lists[g]) >= arity:
+                    continue
+                if any(o is net for o in operand_lists[g]):
+                    continue
+                distance = abs(anchor - net.position)
+                if best_distance is None or distance < best_distance:
+                    best_gate, best_distance = g, distance
+            if best_gate is not None:
+                operand_lists[best_gate].append(net)
+
+        # Pass 2 — fill remaining slots from the locality band (the
+        # previous layer preferred, older nets occasionally for
+        # reconvergence and cross-layer fanout).  With `chain_bias`
+        # probability a gate instead consumes a net created earlier in
+        # its *own* layer, producing the depth skew real multi-level
+        # netlists have (and giving push-up something to optimize).
+        pool = previous + older
+        current: List[_Net] = []
+        for g, (gtype, arity, anchor) in enumerate(skeletons):
+            attempts = 0
+            while len(operand_lists[g]) < arity and attempts < 64:
+                attempts += 1
+                if current and rng.random() < spec.chain_bias:
+                    candidate = _nearest_sample(
+                        rng, current, anchor, spec.bandwidth
+                    )
+                    if candidate is not None and not any(
+                        o is candidate for o in operand_lists[g]
+                    ):
+                        operand_lists[g].append(candidate)
+                    continue
+                source = previous if rng.random() < 0.8 or not older else older
+                candidate = _nearest_sample(rng, source, anchor, spec.bandwidth)
+                if candidate is None:
+                    candidate = _nearest_sample(
+                        rng, pool, anchor, spec.bandwidth * 4
+                    )
+                if candidate is None or any(
+                    o is candidate for o in operand_lists[g]
+                ):
+                    continue
+                operand_lists[g].append(candidate)
+            while len(operand_lists[g]) < arity:
+                # Degenerate fallback: widen to the whole pool.
+                candidate = pool[rng.randrange(len(pool))]
+                if not any(o is candidate for o in operand_lists[g]):
+                    operand_lists[g].append(candidate)
+            # Create the gate immediately so later gates of this layer
+            # can chain onto it.
+            operands = operand_lists[g]
+            name = f"g{gate_count}"
+            netlist.add_gate(name, gtype, [o.name for o in operands])
+            gate_count += 1
+            position = sum(o.position for o in operands) / len(operands)
+            current.append(_Net(name, position))
+
+        older = previous + older
+        if len(older) > 4 * spec.num_inputs:
+            older = older[: 4 * spec.num_inputs]
+        previous = current
+
+    for net in previous:
+        netlist.set_output(net.name)
+    netlist.validate()
+    return netlist
+
+
+def _width_schedule(layers: int, num_gates: int, num_outputs: int) -> List[int]:
+    """Per-layer gate counts: geometric taper ending at ``num_outputs``.
+
+    The taper ratio is what keeps the funnel *live*: a layer can consume
+    at most ~2.3× its own operand capacity, so each layer must hold at
+    least ~45% of the previous one.  The first width is searched so the
+    total tracks ``num_gates``.
+    """
+
+    def widths_for(first: float) -> List[int]:
+        if layers == 1:
+            return [num_outputs]
+        ratio = (num_outputs / first) ** (1.0 / (layers - 1))
+        ratio = max(ratio, 0.45)
+        values = [max(1, round(first * ratio**i)) for i in range(layers)]
+        values[-1] = num_outputs
+        return values
+
+    low, high = 1.0, float(max(num_gates, num_outputs, 2))
+    for _ in range(40):
+        mid = (low + high) / 2
+        if sum(widths_for(mid)) < num_gates:
+            low = mid
+        else:
+            high = mid
+    return widths_for(high)
+
+
+def _nearest_sample(
+    rng: random.Random,
+    nets: Sequence[_Net],
+    anchor: float,
+    band: float,
+):
+    """A random net within ``band`` of ``anchor`` (None if none)."""
+    candidates = [net for net in nets if abs(net.position - anchor) <= band]
+    if not candidates:
+        return None
+    return candidates[rng.randrange(len(candidates))]

@@ -1,0 +1,273 @@
+"""The evaluation benchmark suites (paper Sec. IV-A).
+
+Two groups, mirroring the paper's tables:
+
+* ``large`` — the 25 ISCAS89/LGsynth91-derived functions of Tables II
+  and III (left), 7–135 inputs;
+* ``small`` — the 25 Reed-Muller-workshop functions of Table III
+  (right), 3–16 inputs.
+
+Functions with a public mathematical definition are built *exactly*
+(structural builders checked against reference truth tables); the
+remaining MCNC PLA benchmarks are deterministic seeded synthetics with
+matching interfaces (DESIGN.md §3).  ``kind`` records which is which so
+EXPERIMENTS.md can report provenance per row.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List
+
+from ..mig import Mig, mig_from_netlist, mig_from_truth_tables, mig_to_netlist
+from ..network import Netlist
+from ..truth import TruthTable, clip_style_function
+from . import builders
+from .generators import SyntheticSpec
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark circuit: interface, provenance, and builder."""
+
+    name: str
+    group: str  # "large" | "small"
+    num_inputs: int
+    num_outputs: int
+    kind: str  # "exact" | "structured" | "synthetic"
+    builder: Callable[[], Netlist] = field(compare=False)
+    description: str = ""
+
+
+def _seeded_table_netlist(
+    name: str, num_vars: int, seed: int
+) -> Callable[[], Netlist]:
+    """A deterministic random single-output function, lowered through
+    Shannon decomposition (used for tiny benchmarks whose original
+    content is unavailable)."""
+
+    def build() -> Netlist:
+        rng = random.Random(seed)
+        bits = rng.getrandbits(1 << num_vars)
+        table = TruthTable(num_vars, bits)
+        mig = mig_from_truth_tables([table], name)
+        netlist = mig_to_netlist(mig)
+        netlist.name = name
+        return netlist
+
+    return build
+
+
+def _tables_netlist(
+    name: str, tables_fn: Callable[[], List[TruthTable]]
+) -> Callable[[], Netlist]:
+    def build() -> Netlist:
+        mig = mig_from_truth_tables(tables_fn(), name)
+        netlist = mig_to_netlist(mig)
+        netlist.name = name
+        return netlist
+
+    return build
+
+
+def _single_output(
+    name: str,
+    base_builder: Callable[[], Netlist],
+    output_index: int,
+) -> Callable[[], Netlist]:
+    """Project one output of a multi-output builder (``rd53f1`` etc.),
+    preserving the structural logic of its cone."""
+
+    def build() -> Netlist:
+        return base_builder().extract_output_cone(output_index, name)
+
+    return build
+
+
+def _synthetic(spec: SyntheticSpec) -> Callable[[], Netlist]:
+    return spec.build
+
+
+def _spec(
+    name: str,
+    group: str,
+    inputs: int,
+    outputs: int,
+    kind: str,
+    builder: Callable[[], Netlist],
+    description: str = "",
+) -> BenchmarkSpec:
+    return BenchmarkSpec(name, group, inputs, outputs, kind, builder, description)
+
+
+# ----------------------------------------------------------------------
+# Large set — Tables II and III (left)
+# ----------------------------------------------------------------------
+
+_LARGE: List[BenchmarkSpec] = [
+    _spec("5xp1", "large", 7, 10, "exact",
+          builders.squarer_plus_netlist,
+          "x*x + y arithmetic (5-bit x, 2-bit y)"),
+    _spec("alu4", "large", 14, 8, "exact",
+          builders.alu_netlist, "4-bit 8-function ALU"),
+    _spec("apex1", "large", 45, 45, "synthetic",
+          _synthetic(SyntheticSpec("apex1", 45, 45, 1300, seed=0xA9E1, bandwidth=3.5))),
+    _spec("apex2", "large", 39, 3, "synthetic",
+          _synthetic(SyntheticSpec("apex2", 39, 3, 520, seed=0xA9E2, bandwidth=4.0))),
+    _spec("apex4", "large", 9, 19, "synthetic",
+          _synthetic(SyntheticSpec("apex4", 9, 19, 1500, seed=0xA9E4, bandwidth=3.0))),
+    _spec("apex5", "large", 117, 88, "synthetic",
+          _synthetic(SyntheticSpec("apex5", 117, 88, 1200, seed=0xA9E5, bandwidth=5.0))),
+    _spec("apex6", "large", 135, 99, "synthetic",
+          _synthetic(SyntheticSpec("apex6", 135, 99, 1250, seed=0xA9E6, bandwidth=5.0))),
+    _spec("apex7", "large", 49, 37, "synthetic",
+          _synthetic(SyntheticSpec("apex7", 49, 37, 420, seed=0xA9E7, bandwidth=4.0))),
+    _spec("b9", "large", 41, 21, "synthetic",
+          _synthetic(SyntheticSpec("b9", 41, 21, 240, seed=0xB9, bandwidth=4.0))),
+    _spec("clip", "large", 9, 5, "exact",
+          _tables_netlist("clip", clip_style_function),
+          "signed 9-bit saturation to 5 bits"),
+    _spec("cm150a", "large", 21, 1, "exact",
+          lambda: builders.mux_netlist(4, "cm150a", with_enable=True),
+          "16:1 multiplexer with enable"),
+    _spec("cm162a", "large", 14, 5, "synthetic",
+          _synthetic(SyntheticSpec("cm162a", 14, 5, 80, seed=0xC162, bandwidth=4.0, target_depth=8))),
+    _spec("cm163a", "large", 16, 5, "synthetic",
+          _synthetic(SyntheticSpec("cm163a", 16, 5, 90, seed=0xC163, bandwidth=4.0, target_depth=8))),
+    _spec("cordic", "large", 23, 2, "synthetic",
+          _synthetic(SyntheticSpec("cordic", 23, 2, 320, seed=0xC0D1, bandwidth=4.0))),
+    _spec("misex1", "large", 8, 7, "synthetic",
+          _synthetic(SyntheticSpec("misex1", 8, 7, 110, seed=0x35E1, bandwidth=3.0, target_depth=9))),
+    _spec("misex3", "large", 14, 14, "synthetic",
+          _synthetic(SyntheticSpec("misex3", 14, 14, 1250, seed=0x35E3, bandwidth=3.0))),
+    _spec("parity", "large", 16, 1, "exact",
+          lambda: builders.parity_netlist(16, "parity"), "16-input odd parity"),
+    _spec("seq", "large", 41, 35, "synthetic",
+          _synthetic(SyntheticSpec("seq", 41, 35, 1800, seed=0x5E9, bandwidth=3.0))),
+    _spec("t481", "large", 16, 1, "structured",
+          builders.t481_style_netlist,
+          "XOR of four group predicates (t481-style decomposition)"),
+    _spec("table5", "large", 17, 15, "synthetic",
+          _synthetic(SyntheticSpec("table5", 17, 15, 1350, seed=0x7AB5, bandwidth=3.0))),
+    _spec("too_large", "large", 38, 3, "synthetic",
+          _synthetic(SyntheticSpec("too_large", 38, 3, 460, seed=0x700, bandwidth=4.0))),
+    _spec("x1", "large", 51, 35, "synthetic",
+          _synthetic(SyntheticSpec("x1", 51, 35, 620, seed=0x1001, bandwidth=4.0))),
+    _spec("x2", "large", 10, 7, "synthetic",
+          _synthetic(SyntheticSpec("x2", 10, 7, 80, seed=0x1002, bandwidth=3.0, target_depth=8))),
+    _spec("x3", "large", 135, 99, "synthetic",
+          _synthetic(SyntheticSpec("x3", 135, 99, 1100, seed=0x1003, bandwidth=5.0))),
+    _spec("x4", "large", 94, 71, "synthetic",
+          _synthetic(SyntheticSpec("x4", 94, 71, 900, seed=0x1004, bandwidth=5.0))),
+]
+
+
+# ----------------------------------------------------------------------
+# Small set — Table III (right)
+# ----------------------------------------------------------------------
+
+
+def _rd_bit(name: str, inputs: int, outputs: int, bit: int) -> BenchmarkSpec:
+    return _spec(
+        name, "small", inputs, 1, "exact",
+        _single_output(
+            name, lambda: builders.count_ones_netlist(inputs, outputs, name), bit
+        ),
+        f"bit {bit} of the {inputs}-input ones-count",
+    )
+
+
+_SMALL: List[BenchmarkSpec] = [
+    _spec("9sym_d", "small", 9, 1, "exact",
+          lambda: builders.symmetric_band_netlist(9, 3, 6, "9sym_d"),
+          "1 iff 3..6 of 9 inputs set"),
+    _spec("con1f1", "small", 7, 1, "exact",
+          _single_output("con1f1", builders.con1_style_netlist, 0)),
+    _spec("con2f2", "small", 7, 1, "exact",
+          _single_output("con2f2", builders.con1_style_netlist, 1)),
+    _spec("exam1_d", "small", 3, 1, "synthetic",
+          _seeded_table_netlist("exam1_d", 3, 0xE1)),
+    _spec("exam3_d", "small", 4, 1, "synthetic",
+          _seeded_table_netlist("exam3_d", 4, 0xE3)),
+    _spec("max46_d", "small", 9, 1, "structured",
+          lambda: builders.count_compare_netlist(9, 5, "max46_d"),
+          "popcount(x[:5]) > popcount(x[5:])"),
+    _spec("newill_d", "small", 8, 1, "synthetic",
+          _seeded_table_netlist("newill_d", 8, 0x111)),
+    _spec("newtag_d", "small", 8, 1, "synthetic",
+          _seeded_table_netlist("newtag_d", 8, 0x7A6)),
+    _rd_bit("rd53f1", 5, 3, 0),
+    _rd_bit("rd53f2", 5, 3, 1),
+    _rd_bit("rd53f3", 5, 3, 2),
+    _rd_bit("rd73f1", 7, 3, 0),
+    _rd_bit("rd73f2", 7, 3, 1),
+    _rd_bit("rd73f3", 7, 3, 2),
+    _rd_bit("rd84f1", 8, 4, 0),
+    _rd_bit("rd84f2", 8, 4, 1),
+    _rd_bit("rd84f3", 8, 4, 2),
+    _rd_bit("rd84f4", 8, 4, 3),
+    _spec("sao2f1", "small", 10, 1, "synthetic",
+          _synthetic(SyntheticSpec("sao2f1", 10, 1, 90, seed=0x5A01, bandwidth=3.0, target_depth=9))),
+    _spec("sao2f2", "small", 10, 1, "synthetic",
+          _synthetic(SyntheticSpec("sao2f2", 10, 1, 100, seed=0x5A02, bandwidth=3.0, target_depth=9))),
+    _spec("sao2f3", "small", 10, 1, "synthetic",
+          _synthetic(SyntheticSpec("sao2f3", 10, 1, 110, seed=0x5A03, bandwidth=3.0, target_depth=9))),
+    _spec("sao2f4", "small", 10, 1, "synthetic",
+          _synthetic(SyntheticSpec("sao2f4", 10, 1, 120, seed=0x5A04, bandwidth=3.0, target_depth=9))),
+    _spec("sym10_d", "small", 10, 1, "exact",
+          lambda: builders.symmetric_band_netlist(10, 3, 6, "sym10_d"),
+          "1 iff 3..6 of 10 inputs set"),
+    _spec("t481_d", "small", 16, 1, "structured",
+          lambda: builders.t481_style_netlist("t481_d")),
+    _spec("xor5_d", "small", 5, 1, "exact",
+          lambda: builders.parity_netlist(5, "xor5_d"), "5-input parity"),
+]
+
+LARGE_BENCHMARKS: Dict[str, BenchmarkSpec] = {b.name: b for b in _LARGE}
+SMALL_BENCHMARKS: Dict[str, BenchmarkSpec] = {b.name: b for b in _SMALL}
+ALL_BENCHMARKS: Dict[str, BenchmarkSpec] = {**LARGE_BENCHMARKS, **SMALL_BENCHMARKS}
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name."""
+    try:
+        return ALL_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(ALL_BENCHMARKS)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def load_netlist(name: str) -> Netlist:
+    """Build (and cache) the netlist of a benchmark."""
+    spec = benchmark(name)
+    netlist = spec.builder()
+    if len(netlist.inputs) != spec.num_inputs:
+        raise RuntimeError(
+            f"{name}: built {len(netlist.inputs)} inputs, "
+            f"spec says {spec.num_inputs}"
+        )
+    if len(netlist.outputs) != spec.num_outputs:
+        raise RuntimeError(
+            f"{name}: built {len(netlist.outputs)} outputs, "
+            f"spec says {spec.num_outputs}"
+        )
+    return netlist
+
+
+def load_mig(name: str) -> Mig:
+    """Build a fresh MIG for a benchmark (safe to mutate)."""
+    return mig_from_netlist(load_netlist(name))
+
+
+def large_names() -> List[str]:
+    """The 25 large benchmark names in table order."""
+    return [b.name for b in _LARGE]
+
+
+def small_names() -> List[str]:
+    """The 25 small benchmark names in table order."""
+    return [b.name for b in _SMALL]

@@ -1,0 +1,325 @@
+"""Command-line interface: ``repro-synth`` / ``python -m repro``.
+
+Subcommands
+-----------
+``synth``     Optimize a circuit (``.bench``/``.blif``/``.pla`` file or a
+              named benchmark) with one of the paper's algorithms and
+              report the RRAM cost model, optionally compiling and
+              functionally verifying the micro-program.
+``table2``    Reproduce paper Table II (optionally a subset).
+``table3``    Reproduce paper Table III (``--baseline bdd|aig``).
+``bench-list``  List the built-in benchmark suites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .benchmarks import ALL_BENCHMARKS, benchmark, large_names, load_netlist, small_names
+from .io import (
+    pla_to_netlist,
+    read_bench,
+    read_blif,
+    read_pla,
+    read_verilog,
+    save_bench,
+    save_blif,
+    save_pla,
+    save_verilog,
+    tables_to_pla,
+)
+from .mig import (
+    ALGORITHMS,
+    EquivalenceGuard,
+    Realization,
+    mig_from_netlist,
+    rram_costs,
+)
+from .network import Netlist
+from .rram import compile_mig, compile_plim, verify_compiled
+
+
+def _load_circuit(source: str, minimize: bool = False) -> Netlist:
+    if source in ALL_BENCHMARKS:
+        return load_netlist(source)
+    if source.endswith(".bench"):
+        return read_bench(source)
+    if source.endswith(".blif"):
+        return read_blif(source)
+    if source.endswith(".pla"):
+        cover = read_pla(source)
+        if minimize:
+            from .twolevel import minimize_pla
+
+            cover = minimize_pla(cover)
+        return pla_to_netlist(cover)
+    if source.endswith(".v"):
+        return read_verilog(source)
+    raise SystemExit(
+        f"cannot load {source!r}: not a known benchmark and not a "
+        ".bench/.blif/.pla/.v file"
+    )
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    netlist = _load_circuit(args.circuit, minimize=args.minimize)
+    mig = mig_from_netlist(netlist)
+    realization = Realization(args.realization)
+    guard = EquivalenceGuard(mig, num_vectors=512) if args.verify else None
+
+    initial = rram_costs(mig, realization)
+    start = time.perf_counter()
+    if args.algorithm != "none":
+        optimizer = ALGORITHMS[args.algorithm]
+        if args.algorithm in ("rram", "steps"):
+            optimizer(mig, realization, args.effort)
+        else:
+            optimizer(mig, args.effort)
+    elapsed = time.perf_counter() - start
+    final = rram_costs(mig, realization)
+
+    print(f"circuit      : {netlist.name}")
+    print(f"interface    : {netlist.inputs and len(netlist.inputs)} inputs, "
+          f"{len(netlist.outputs)} outputs")
+    print(f"algorithm    : {args.algorithm} (effort {args.effort})")
+    print(f"realization  : {realization.value.upper()}")
+    print(f"initial      : size={initial.size} depth={initial.depth} "
+          f"R={initial.rrams} S={initial.steps}")
+    print(f"optimized    : size={final.size} depth={final.depth} "
+          f"R={final.rrams} S={final.steps}")
+    print(f"runtime      : {elapsed:.2f}s")
+
+    if guard is not None:
+        ok = guard.verify()
+        print(f"equivalence  : {'PASS' if ok else 'FAIL'}")
+        if not ok:
+            return 1
+
+    if args.compile:
+        if args.backend == "plim":
+            plim = compile_plim(mig)
+            print(f"compiled     : {plim.instructions} serial RM3 "
+                  f"instructions on {plim.program.num_devices} devices "
+                  f"(PLiM backend)")
+            if args.verify:
+                from .rram import run_program
+
+                ok = True
+                from .rram.verify import verification_vectors
+
+                for vector in verification_vectors(mig.num_pis):
+                    words = [1 if bit else 0 for bit in vector]
+                    expected = [
+                        bool(w & 1) for w in mig.simulate_words(words, 1)
+                    ]
+                    if run_program(plim.program, list(vector)) != expected:
+                        ok = False
+                        break
+                print(f"execution    : {'PASS' if ok else 'FAIL'}")
+                if not ok:
+                    return 1
+        else:
+            report = compile_mig(mig, realization)
+            print(f"compiled     : {report.measured_steps} steps on "
+                  f"{report.measured_devices} devices "
+                  f"(model S={report.analytic.steps}, "
+                  f"match={report.steps_match_model})")
+            if args.verify:
+                ok = verify_compiled(mig, report)
+                print(f"execution    : {'PASS' if ok else 'FAIL'}")
+                if not ok:
+                    return 1
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .flows import render_summary, render_table2, run_table2, summarize_table2
+
+    names = args.benchmarks or None
+    result = run_table2(names, effort=args.effort, verify=args.verify)
+    print(render_table2(result, with_paper=not args.no_paper))
+    print()
+    print(render_summary(summarize_table2(result), with_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .flows import render_table3, run_table3_aig, run_table3_bdd
+
+    names = args.benchmarks or None
+    if args.baseline == "bdd":
+        result = run_table3_bdd(names, effort=args.effort, verify=args.verify)
+    else:
+        result = run_table3_aig(names, effort=args.effort, verify=args.verify)
+    print(render_table3(result, with_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the archived results/ tables from scratch."""
+    import os
+
+    from .flows import (
+        largest_function_ratio,
+        render_summary,
+        render_table2,
+        render_table3,
+        run_table2,
+        run_table3_aig,
+        run_table3_bdd,
+        summarize_table2,
+    )
+
+    os.makedirs(args.output, exist_ok=True)
+    effort, verify = args.effort, args.verify
+
+    print(f"running Table II (effort={effort}) ...")
+    table2 = run_table2(effort=effort, verify=verify)
+    with open(os.path.join(args.output, "table2_full.txt"), "w") as handle:
+        handle.write(render_table2(table2) + "\n\n")
+        handle.write(render_summary(summarize_table2(table2)) + "\n")
+    print("running Table III (AIG baseline) ...")
+    aig = run_table3_aig(effort=effort, verify=verify)
+    print("running Table III (BDD baseline) ...")
+    bdd = run_table3_bdd(effort=effort, verify=verify)
+    with open(os.path.join(args.output, "table3_full.txt"), "w") as handle:
+        handle.write(render_table3(aig) + "\n\n")
+        handle.write(render_table3(bdd) + "\n")
+        handle.write(
+            f"largest-function ratio (apex6+x3): "
+            f"{largest_function_ratio(bdd):.1f}x (paper 26.5x)\n"
+        )
+    print(f"wrote {args.output}/table2_full.txt and table3_full.txt")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    netlist = _load_circuit(args.source, minimize=args.minimize)
+    target = args.target
+    if target.endswith(".bench"):
+        save_bench(netlist, target)
+    elif target.endswith(".blif"):
+        save_blif(netlist, target)
+    elif target.endswith(".v"):
+        save_verilog(netlist, target)
+    elif target.endswith(".pla"):
+        if len(netlist.inputs) > 16:
+            raise SystemExit("PLA export limited to 16 inputs")
+        save_pla(
+            tables_to_pla(
+                netlist.truth_tables(),
+                name=netlist.name,
+                input_labels=netlist.inputs,
+                output_labels=[f"f{i}" for i in range(len(netlist.outputs))],
+            ),
+            target,
+        )
+    else:
+        raise SystemExit(f"unknown target format for {target!r}")
+    print(f"wrote {target} ({netlist.stats()})")
+    return 0
+
+
+def _cmd_bench_list(_args: argparse.Namespace) -> int:
+    print("large (Tables II / III-left):")
+    for name in large_names():
+        spec = benchmark(name)
+        print(f"  {name:<11s} {spec.num_inputs:>3d} in {spec.num_outputs:>3d} out"
+              f"  [{spec.kind}] {spec.description}")
+    print("small (Table III-right):")
+    for name in small_names():
+        spec = benchmark(name)
+        print(f"  {name:<11s} {spec.num_inputs:>3d} in {spec.num_outputs:>3d} out"
+              f"  [{spec.kind}] {spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-synth`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-synth",
+        description="MIG-based logic synthesis for RRAM in-memory computing "
+        "(DATE 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="optimize one circuit")
+    synth.add_argument("circuit", help="benchmark name or .bench/.blif/.pla path")
+    synth.add_argument(
+        "--algorithm", choices=[*ALGORITHMS, "none"], default="rram",
+        help="optimization algorithm (default: the paper's multi-objective)",
+    )
+    synth.add_argument(
+        "--realization", choices=["imp", "maj"], default="maj",
+        help="RRAM realization for cost reporting (default maj)",
+    )
+    synth.add_argument("--effort", type=int, default=40, help="cycle budget")
+    synth.add_argument(
+        "--compile", action="store_true",
+        help="compile the optimized MIG to an RRAM micro-program",
+    )
+    synth.add_argument(
+        "--minimize", action="store_true",
+        help="two-level minimize PLA inputs (espresso-style) before synthesis",
+    )
+    synth.add_argument(
+        "--backend", choices=["level", "plim"], default="level",
+        help="compilation backend: the paper's level-parallel schedule "
+        "or a PLiM-style serial RM3 stream (default level)",
+    )
+    synth.add_argument(
+        "--verify", action="store_true",
+        help="check equivalence (and execution, with --compile)",
+    )
+    synth.set_defaults(func=_cmd_synth)
+
+    table2 = sub.add_parser("table2", help="reproduce paper Table II")
+    table2.add_argument("benchmarks", nargs="*", help="subset (default: all 25)")
+    table2.add_argument("--effort", type=int, default=40)
+    table2.add_argument("--verify", action="store_true")
+    table2.add_argument("--no-paper", action="store_true",
+                        help="omit the published reference rows")
+    table2.set_defaults(func=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="reproduce paper Table III")
+    table3.add_argument("--baseline", choices=["bdd", "aig"], required=True)
+    table3.add_argument("benchmarks", nargs="*")
+    table3.add_argument("--effort", type=int, default=40)
+    table3.add_argument("--verify", action="store_true")
+    table3.add_argument("--no-paper", action="store_true")
+    table3.set_defaults(func=_cmd_table3)
+
+    report = sub.add_parser(
+        "report", help="regenerate the archived results/ tables"
+    )
+    report.add_argument("--output", default="results")
+    report.add_argument("--effort", type=int, default=40)
+    report.add_argument("--verify", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    convert = sub.add_parser(
+        "convert", help="convert circuits between .bench/.blif/.pla/.v"
+    )
+    convert.add_argument("source", help="benchmark name or circuit file")
+    convert.add_argument("target", help="output path (format by extension)")
+    convert.add_argument("--minimize", action="store_true",
+                         help="two-level minimize PLA inputs first")
+    convert.set_defaults(func=_cmd_convert)
+
+    bench_list = sub.add_parser("bench-list", help="list built-in benchmarks")
+    bench_list.set_defaults(func=_cmd_bench_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Experiment flows: one-call reproduction of the paper's tables."""
+
+from .experiments import (
+    DEFAULT_EFFORT,
+    BaselineRow,
+    ConfigResult,
+    SummaryStatistics,
+    TABLE2_CONFIGS,
+    Table2Result,
+    Table3Result,
+    largest_function_ratio,
+    run_table2,
+    run_table3_aig,
+    run_table3_bdd,
+    summarize_table2,
+)
+from .render import render_summary, render_table2, render_table3
+
+__all__ = [
+    "DEFAULT_EFFORT",
+    "BaselineRow",
+    "ConfigResult",
+    "SummaryStatistics",
+    "TABLE2_CONFIGS",
+    "Table2Result",
+    "Table3Result",
+    "largest_function_ratio",
+    "run_table2",
+    "run_table3_aig",
+    "run_table3_bdd",
+    "summarize_table2",
+    "render_summary",
+    "render_table2",
+    "render_table3",
+]

@@ -1,0 +1,28 @@
+"""Optional sifting hook for the BDD baseline flow.
+
+Kept in its own module so the (comparatively expensive) reordering code
+is only imported when a flow actually asks for it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..bdd import Bdd, sift_bdd
+
+
+def maybe_sift(
+    manager: Bdd, roots: Sequence[int], *, size_limit: int
+) -> Tuple[Bdd, List[int]]:
+    """Sift when the diagram is small enough to afford it.
+
+    Returns the (possibly new) manager and roots; the caller only needs
+    node counts and level histograms, which are order-relative anyway.
+    """
+    size = manager.count_nodes(roots)
+    if size == 0 or size > size_limit:
+        return manager, list(roots)
+    sifted_manager, sifted_roots, _variable_at = sift_bdd(manager, roots)
+    if sifted_manager.count_nodes(sifted_roots) < size:
+        return sifted_manager, sifted_roots
+    return manager, list(roots)

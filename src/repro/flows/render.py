@@ -1,0 +1,163 @@
+"""Plain-text rendering of the reproduced tables.
+
+The renderers print each measured row next to the paper's published
+number (from :mod:`repro.benchmarks.paperdata`), in the layout of the
+original tables, so a reader can eyeball shape agreement directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..benchmarks import benchmark, paperdata
+from .experiments import (
+    SummaryStatistics,
+    Table2Result,
+    Table3Result,
+)
+
+_CONFIG_TITLES = {
+    "area_imp": "Area-IMP",
+    "depth_imp": "Depth-IMP",
+    "rram_imp": "RRAM-IMP",
+    "rram_maj": "RRAM-MAJ",
+    "step_imp": "Step-IMP",
+    "step_maj": "Step-MAJ",
+}
+
+
+def _pair(value: Tuple[int, int]) -> str:
+    return f"{value[0]:>6d} {value[1]:>5d}"
+
+
+def render_table2(result: Table2Result, *, with_paper: bool = True) -> str:
+    """Render a Table II run (optionally with the published numbers)."""
+    lines: List[str] = []
+    header = f"{'benchmark':<11s}"
+    for config in _CONFIG_TITLES.values():
+        header += f" | {config + ' R':>8s} {'S':>5s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in result.rows.items():
+        line = f"{name:<11s}"
+        for config in _CONFIG_TITLES:
+            cell = row[config]
+            line += f" | {cell.rrams:>8d} {cell.steps:>5d}"
+        lines.append(line)
+        if with_paper and name in paperdata.TABLE2:
+            paper_line = f"{'  (paper)':<11s}"
+            for config in _CONFIG_TITLES:
+                pr, ps = paperdata.TABLE2[name][config]
+                paper_line += f" | {pr:>8d} {ps:>5d}"
+            lines.append(paper_line)
+    totals = result.totals()
+    total_line = f"{'SUM':<11s}"
+    for config in _CONFIG_TITLES:
+        r_total, s_total = totals[config]
+        total_line += f" | {r_total:>8d} {s_total:>5d}"
+    lines.append("-" * len(header))
+    lines.append(total_line)
+    if with_paper:
+        paper_total = f"{'SUM (paper)':<11s}"
+        for config in _CONFIG_TITLES:
+            pr, ps = paperdata.TABLE2_TOTALS[config]
+            paper_total += f" | {pr:>8d} {ps:>5d}"
+        lines.append(paper_total)
+    return "\n".join(lines)
+
+
+def render_table3(result: Table3Result, *, with_paper: bool = True) -> str:
+    """Render a Table III run (either half)."""
+    is_bdd = result.baseline == "bdd"
+    title = "BDD [11]" if is_bdd else "AIG [12]"
+    lines: List[str] = []
+    header = (
+        f"{'benchmark':<11s} | {title + ' R':>9s} {'S':>6s}"
+        f" | {'MIG-IMP R':>9s} {'S':>5s} | {'MIG-MAJ R':>9s} {'S':>5s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in result.rows.items():
+        base_r = f"{row.baseline_rrams:>9d}" if row.baseline_rrams is not None else "        -"
+        line = (
+            f"{name:<11s} | {base_r} {row.baseline_steps:>6d}"
+            f" | {row.mig_imp[0]:>9d} {row.mig_imp[1]:>5d}"
+            f" | {row.mig_maj[0]:>9d} {row.mig_maj[1]:>5d}"
+        )
+        if row.note:
+            line += f"   # {row.note}"
+        lines.append(line)
+        if with_paper:
+            paper_cells = _paper_table3_row(result.baseline, name)
+            if paper_cells is not None:
+                lines.append(f"{'  (paper)':<11s} | {paper_cells}")
+    totals = result.totals()
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'SUM':<11s} | {'':>9s} {totals['baseline_steps']:>6d}"
+        f" | {totals['mig_imp_rrams']:>9d} {totals['mig_imp_steps']:>5d}"
+        f" | {totals['mig_maj_rrams']:>9d} {totals['mig_maj_steps']:>5d}"
+    )
+    maj_ratio, imp_ratio = result.step_ratios()
+    lines.append(
+        f"step ratios: {title}/MIG-MAJ = {maj_ratio:.1f}x, "
+        f"{title}/MIG-IMP = {imp_ratio:.1f}x"
+    )
+    if with_paper:
+        if is_bdd:
+            pr, ps = paperdata.TABLE3_BDD_TOTALS
+            lines.append(
+                f"paper totals: BDD R={pr} S={ps}; paper step ratio "
+                f"BDD/MIG-MAJ ≈ {paperdata.PAPER_CLAIMS['bdd_over_mig_maj_steps']}x"
+            )
+        else:
+            s, imp, maj = paperdata.TABLE3_AIG_TOTALS
+            lines.append(
+                f"paper totals: AIG S={s}, MIG-IMP {imp}, MIG-MAJ {maj}; "
+                f"paper ratios ≈ {paperdata.PAPER_CLAIMS['aig_over_mig_maj_steps']}x (MAJ), "
+                f"{paperdata.PAPER_CLAIMS['aig_over_mig_imp_steps']}x (IMP)"
+            )
+    return "\n".join(lines)
+
+
+def _paper_table3_row(baseline: str, name: str) -> Optional[str]:
+    if baseline == "bdd":
+        pair = paperdata.TABLE3_BDD.get(name)
+        mig = paperdata.TABLE2.get(name)
+        if pair is None or mig is None:
+            return None
+        imp = mig["rram_imp"]
+        maj = mig["rram_maj"]
+        return (
+            f"{pair[0]:>9d} {pair[1]:>6d}"
+            f" | {imp[0]:>9d} {imp[1]:>5d} | {maj[0]:>9d} {maj[1]:>5d}"
+        )
+    entry = paperdata.TABLE3_AIG.get(name)
+    if entry is None:
+        return None
+    steps, imp, maj = entry
+    return (
+        f"{'-':>9s} {steps:>6d}"
+        f" | {imp[0]:>9d} {imp[1]:>5d} | {maj[0]:>9d} {maj[1]:>5d}"
+    )
+
+
+def render_summary(stats: SummaryStatistics, *, with_paper: bool = True) -> str:
+    """Render the Sec. IV-B aggregate percentages."""
+    claims = paperdata.PAPER_CLAIMS
+    rows = [
+        ("multi-objective (IMP) steps vs area opt", stats.rram_imp_steps_vs_area,
+         claims["rram_imp_steps_vs_area"]),
+        ("multi-objective (IMP) steps vs depth opt", stats.rram_imp_steps_vs_depth,
+         claims["rram_imp_steps_vs_depth"]),
+        ("multi-objective (MAJ) RRAMs vs step opt", stats.rram_maj_rrams_vs_step,
+         claims["rram_maj_rrams_vs_step"]),
+        ("multi-objective (MAJ) step penalty vs step opt",
+         stats.rram_maj_steps_penalty_vs_step,
+         claims["rram_maj_steps_penalty_vs_step"]),
+    ]
+    lines = [f"{'aggregate claim':<48s} {'measured':>9s} {'paper':>8s}"]
+    for label, measured, paper_value in rows:
+        paper_cell = f"{paper_value:>7.1%}" if with_paper else ""
+        lines.append(f"{label:<48s} {measured:>8.1%} {paper_cell:>8s}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Benchmark file formats: ISCAS89 ``.bench``, BLIF, and espresso PLA."""
+
+from .bench import (
+    BenchFormatError,
+    parse_bench,
+    read_bench,
+    save_bench,
+    write_bench,
+)
+from .blif import BlifFormatError, parse_blif, read_blif, save_blif, write_blif
+from .verilog import save_verilog, write_verilog
+from .verilog_reader import VerilogFormatError, parse_verilog, read_verilog
+from .pla import (
+    PlaCover,
+    PlaFormatError,
+    parse_pla,
+    pla_to_netlist,
+    pla_truth_tables,
+    read_pla,
+    save_pla,
+    tables_to_pla,
+    write_pla,
+)
+
+__all__ = [
+    "BenchFormatError",
+    "parse_bench",
+    "read_bench",
+    "save_bench",
+    "write_bench",
+    "BlifFormatError",
+    "parse_blif",
+    "read_blif",
+    "save_blif",
+    "write_blif",
+    "PlaCover",
+    "PlaFormatError",
+    "parse_pla",
+    "pla_to_netlist",
+    "pla_truth_tables",
+    "read_pla",
+    "save_pla",
+    "tables_to_pla",
+    "write_pla",
+    "save_verilog",
+    "write_verilog",
+    "VerilogFormatError",
+    "parse_verilog",
+    "read_verilog",
+]

@@ -1,0 +1,223 @@
+"""Espresso PLA format reader and writer.
+
+Supports the common subset used by the MCNC two-level benchmarks:
+``.i``, ``.o``, ``.p``, ``.ilb``, ``.ob``, ``.type`` (``f``/``fr``/
+``fd`` treated as ON-set specifications), cube rows, and ``.e``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..network import GateType, Netlist
+from ..truth import TruthTable
+
+
+class PlaFormatError(ValueError):
+    """Raised on malformed PLA input."""
+
+
+class PlaCover:
+    """A parsed two-level cover: cubes over inputs with per-output tags."""
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_outputs: int,
+        input_labels: Optional[List[str]] = None,
+        output_labels: Optional[List[str]] = None,
+        name: str = "pla",
+    ) -> None:
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.input_labels = input_labels or [f"x{i}" for i in range(num_inputs)]
+        self.output_labels = output_labels or [f"f{i}" for i in range(num_outputs)]
+        self.name = name
+        self.cubes: List[Tuple[str, str]] = []  # (input part, output part)
+
+    def add_cube(self, input_part: str, output_part: str) -> None:
+        """Append a product-term row after validating its width."""
+        if len(input_part) != self.num_inputs:
+            raise PlaFormatError(
+                f"cube input width {len(input_part)} != .i {self.num_inputs}"
+            )
+        if len(output_part) != self.num_outputs:
+            raise PlaFormatError(
+                f"cube output width {len(output_part)} != .o {self.num_outputs}"
+            )
+        for char in input_part:
+            if char not in "01-":
+                raise PlaFormatError(f"invalid input cube char {char!r}")
+        for char in output_part:
+            if char not in "01-~4":
+                raise PlaFormatError(f"invalid output cube char {char!r}")
+        self.cubes.append((input_part, output_part))
+
+
+def parse_pla(text: str, name: str = "pla") -> PlaCover:
+    """Parse PLA source text into a :class:`PlaCover`."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    input_labels: Optional[List[str]] = None
+    output_labels: Optional[List[str]] = None
+    rows: List[Tuple[int, str, str]] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".i":
+            num_inputs = int(tokens[1])
+        elif keyword == ".o":
+            num_outputs = int(tokens[1])
+        elif keyword == ".ilb":
+            input_labels = tokens[1:]
+        elif keyword == ".ob":
+            output_labels = tokens[1:]
+        elif keyword in (".p", ".type", ".phase", ".pair", ".mv"):
+            continue
+        elif keyword == ".e" or keyword == ".end":
+            break
+        elif keyword.startswith("."):
+            continue  # tolerate unknown directives
+        else:
+            if len(tokens) == 2:
+                rows.append((line_no, tokens[0], tokens[1]))
+            elif len(tokens) == 1 and num_outputs is not None and num_inputs:
+                # Some writers put no space between parts.
+                cube = tokens[0]
+                rows.append(
+                    (line_no, cube[:num_inputs], cube[num_inputs:])
+                )
+            else:
+                raise PlaFormatError(f"line {line_no}: bad cube row {line!r}")
+
+    if num_inputs is None or num_outputs is None:
+        raise PlaFormatError("missing .i or .o declaration")
+
+    cover = PlaCover(num_inputs, num_outputs, input_labels, output_labels, name)
+    for line_no, input_part, output_part in rows:
+        try:
+            cover.add_cube(input_part, output_part)
+        except PlaFormatError as exc:
+            raise PlaFormatError(f"line {line_no}: {exc}") from exc
+    return cover
+
+
+def read_pla(path: str) -> PlaCover:
+    """Read and parse a PLA file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_pla(handle.read(), name=path)
+
+
+def pla_to_netlist(cover: PlaCover) -> Netlist:
+    """Lower a two-level cover into an AND/OR/NOT netlist."""
+    netlist = Netlist(cover.name)
+    for label in cover.input_labels:
+        netlist.add_input(label)
+
+    inverter_cache = {}
+
+    def inverted(net: str) -> str:
+        if net not in inverter_cache:
+            inv = f"__{net}_n"
+            netlist.add_gate(inv, GateType.NOT, [net])
+            inverter_cache[net] = inv
+        return inverter_cache[net]
+
+    product_nets: List[Optional[str]] = []
+    for index, (input_part, _output_part) in enumerate(cover.cubes):
+        literals = []
+        for char, label in zip(input_part, cover.input_labels):
+            if char == "1":
+                literals.append(label)
+            elif char == "0":
+                literals.append(inverted(label))
+        if not literals:
+            product_nets.append(None)  # tautology cube
+            continue
+        if len(literals) == 1:
+            product_nets.append(literals[0])
+        else:
+            product = f"__p{index}"
+            netlist.add_gate(product, GateType.AND, literals)
+            product_nets.append(product)
+
+    for out_index, label in enumerate(cover.output_labels):
+        terms = []
+        tautology = False
+        for cube_index, (_input_part, output_part) in enumerate(cover.cubes):
+            if output_part[out_index] in ("1", "4"):
+                net = product_nets[cube_index]
+                if net is None:
+                    tautology = True
+                    break
+                terms.append(net)
+        if tautology:
+            netlist.add_gate(label, GateType.CONST1, [])
+        elif not terms:
+            netlist.add_gate(label, GateType.CONST0, [])
+        elif len(terms) == 1:
+            netlist.add_gate(label, GateType.BUF, terms)
+        else:
+            netlist.add_gate(label, GateType.OR, terms)
+        netlist.set_output(label)
+
+    netlist.validate()
+    return netlist
+
+
+def pla_truth_tables(cover: PlaCover) -> List[TruthTable]:
+    """Evaluate a cover exhaustively into per-output truth tables."""
+    return pla_to_netlist(cover).truth_tables()
+
+
+def write_pla(cover: PlaCover) -> str:
+    """Render a :class:`PlaCover` as PLA source text."""
+    lines = [
+        f".i {cover.num_inputs}",
+        f".o {cover.num_outputs}",
+        ".ilb " + " ".join(cover.input_labels),
+        ".ob " + " ".join(cover.output_labels),
+        f".p {len(cover.cubes)}",
+    ]
+    for input_part, output_part in cover.cubes:
+        lines.append(f"{input_part} {output_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def tables_to_pla(
+    tables: Sequence[TruthTable],
+    name: str = "pla",
+    input_labels: Optional[List[str]] = None,
+    output_labels: Optional[List[str]] = None,
+) -> PlaCover:
+    """Build a minterm-canonical cover from truth tables (small n only)."""
+    if not tables:
+        raise PlaFormatError("need at least one output table")
+    num_vars = tables[0].num_vars
+    if any(t.num_vars != num_vars for t in tables):
+        raise PlaFormatError("all output tables must share the variable count")
+    if num_vars > 16:
+        raise PlaFormatError("refusing canonical cover for more than 16 inputs")
+    cover = PlaCover(num_vars, len(tables), input_labels, output_labels, name)
+    for assignment in range(1 << num_vars):
+        output_part = "".join(
+            "1" if table.value_at(assignment) else "0" for table in tables
+        )
+        if "1" not in output_part:
+            continue
+        input_part = "".join(
+            "1" if (assignment >> i) & 1 else "0" for i in range(num_vars)
+        )
+        cover.add_cube(input_part, output_part)
+    return cover
+
+
+def save_pla(cover: PlaCover, path: str) -> None:
+    """Write a :class:`PlaCover` to a PLA file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_pla(cover))

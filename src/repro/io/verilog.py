@@ -1,0 +1,101 @@
+"""Structural Verilog writer.
+
+Emits a synthesizable gate-level module from a :class:`Netlist` using
+Verilog primitives plus ``assign`` expressions for MAJ/MUX (which have
+no primitive gate).  Write-only: round-tripping is covered by the
+``.bench``/BLIF formats; this exists for handing results to downstream
+EDA tools.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..network import GateType, Netlist
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-legal identifier (escaped-identifier syntax if needed)."""
+    if _IDENT.match(name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(netlist: Netlist, module_name: str = "") -> str:
+    """Render a :class:`Netlist` as a structural Verilog module."""
+    netlist.validate()
+    module = module_name or re.sub(r"\W", "_", netlist.name) or "top"
+
+    inputs = [_escape(name) for name in netlist.inputs]
+    # Outputs must be distinct ports; alias duplicates through wires.
+    out_ports: List[str] = []
+    out_drivers: List[str] = []
+    used: Dict[str, int] = {}
+    for name in netlist.outputs:
+        count = used.get(name, 0)
+        used[name] = count + 1
+        port = name if count == 0 else f"{name}_dup{count}"
+        out_ports.append(_escape(port))
+        out_drivers.append(_escape(name))
+
+    lines = [f"module {module} ("]
+    lines.append("    " + ",\n    ".join(inputs + out_ports))
+    lines.append(");")
+    for name in inputs:
+        lines.append(f"  input {name};")
+    for port in out_ports:
+        lines.append(f"  output {port};")
+
+    output_set = set(netlist.outputs)
+    for gate in netlist.topological_order():
+        if gate.name not in output_set:
+            lines.append(f"  wire {_escape(gate.name)};")
+
+    for gate in netlist.topological_order():
+        target = _escape(gate.name)
+        operands = [_escape(op) for op in gate.operands]
+        kind = gate.gate_type
+        if kind is GateType.CONST0:
+            lines.append(f"  assign {target} = 1'b0;")
+        elif kind is GateType.CONST1:
+            lines.append(f"  assign {target} = 1'b1;")
+        elif kind is GateType.BUF:
+            lines.append(f"  buf({target}, {operands[0]});")
+        elif kind is GateType.NOT:
+            lines.append(f"  not({target}, {operands[0]});")
+        elif kind in (
+            GateType.AND,
+            GateType.NAND,
+            GateType.OR,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ):
+            lines.append(
+                f"  {kind.value}({target}, {', '.join(operands)});"
+            )
+        elif kind is GateType.MAJ:
+            a, b, c = operands
+            lines.append(
+                f"  assign {target} = ({a} & {b}) | ({a} & {c}) | ({b} & {c});"
+            )
+        elif kind is GateType.MUX:
+            s, t, e = operands
+            lines.append(f"  assign {target} = {s} ? {t} : {e};")
+        else:  # pragma: no cover - exhaustive over GateType
+            raise ValueError(f"cannot render {kind} to Verilog")
+
+    for port, driver in zip(out_ports, out_drivers):
+        if port != driver:
+            lines.append(f"  assign {port} = {driver};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(netlist: Netlist, path: str, module_name: str = "") -> None:
+    """Write a :class:`Netlist` to a Verilog file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_verilog(netlist, module_name))

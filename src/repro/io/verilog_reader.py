@@ -1,0 +1,243 @@
+"""Structural Verilog reader (the subset the writer emits, and a bit
+more).
+
+Supported constructs:
+
+* one ``module`` with a port list, ``input``/``output``/``wire``
+  declarations (scalar nets only);
+* gate primitives ``and/nand/or/nor/xor/xnor/not/buf(out, in...)``;
+* ``assign target = expr;`` where *expr* is built from identifiers,
+  ``1'b0``/``1'b1``, parentheses, ``~``, ``&``, ``^``, ``|`` and the
+  ternary ``?:`` (standard precedence) — enough for the majority/mux
+  assigns :func:`~repro.io.verilog.write_verilog` produces;
+* escaped identifiers (``\\name ``).
+
+Expressions are lowered to netlist gates with fresh intermediate nets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..network import GateType, Netlist
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<escaped>\\[^\s]+\s)
+  | (?P<const>1'b[01])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<symbol>[()?:~&^|,;=])
+    """,
+    re.VERBOSE,
+)
+
+_GATE_KEYWORDS = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+
+class VerilogFormatError(ValueError):
+    """Raised on unsupported or malformed Verilog input."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    text = _strip_comments(text)
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise VerilogFormatError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        if match.lastgroup == "escaped":
+            tokens.append(match.group().strip()[1:])  # drop backslash
+        else:
+            tokens.append(match.group())
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.netlist: Optional[Netlist] = None
+        self.outputs: List[str] = []
+        self.fresh_counter = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise VerilogFormatError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise VerilogFormatError(f"expected {token!r}, got {got!r}")
+
+    # -- module structure ----------------------------------------------
+
+    def parse_module(self) -> Netlist:
+        self.expect("module")
+        name = self.take()
+        self.netlist = Netlist(name)
+        self.expect("(")
+        while self.peek() != ")":
+            self.take()  # port names repeat in the declarations
+            if self.peek() == ",":
+                self.take()
+        self.expect(")")
+        self.expect(";")
+
+        while self.peek() != "endmodule":
+            keyword = self.take()
+            if keyword == "input":
+                for port in self._name_list():
+                    self.netlist.add_input(port)
+            elif keyword == "output":
+                self.outputs.extend(self._name_list())
+            elif keyword == "wire":
+                self._name_list()  # declarations carry no information
+            elif keyword in _GATE_KEYWORDS:
+                self._gate_instance(_GATE_KEYWORDS[keyword])
+            elif keyword == "assign":
+                self._assign()
+            else:
+                raise VerilogFormatError(
+                    f"unsupported construct {keyword!r}"
+                )
+        self.take()  # endmodule
+
+        for port in self.outputs:
+            self.netlist.set_output(port)
+        self.netlist.validate()
+        return self.netlist
+
+    def _name_list(self) -> List[str]:
+        names = [self.take()]
+        while self.peek() == ",":
+            self.take()
+            names.append(self.take())
+        self.expect(";")
+        return names
+
+    def _gate_instance(self, gate_type: GateType) -> None:
+        assert self.netlist is not None
+        # Optional instance name before the parenthesis.
+        if self.peek() != "(":
+            self.take()
+        self.expect("(")
+        operands = [self.take()]
+        while self.peek() == ",":
+            self.take()
+            operands.append(self.take())
+        self.expect(")")
+        self.expect(";")
+        target, sources = operands[0], operands[1:]
+        self.netlist.add_gate(target, gate_type, sources)
+
+    # -- expressions ----------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self.fresh_counter += 1
+        return f"__{prefix}_{self.fresh_counter}"
+
+    def _emit(self, gate_type: GateType, operands: List[str]) -> str:
+        assert self.netlist is not None
+        net = self._fresh(gate_type.value)
+        self.netlist.add_gate(net, gate_type, operands)
+        return net
+
+    def _assign(self) -> None:
+        assert self.netlist is not None
+        target = self.take()
+        self.expect("=")
+        result = self._ternary()
+        self.expect(";")
+        self.netlist.add_gate(target, GateType.BUF, [result])
+
+    def _ternary(self) -> str:
+        condition = self._or_expr()
+        if self.peek() != "?":
+            return condition
+        self.take()
+        then_net = self._ternary()
+        self.expect(":")
+        else_net = self._ternary()
+        return self._emit(GateType.MUX, [condition, then_net, else_net])
+
+    def _or_expr(self) -> str:
+        left = self._xor_expr()
+        while self.peek() == "|":
+            self.take()
+            left = self._emit(GateType.OR, [left, self._xor_expr()])
+        return left
+
+    def _xor_expr(self) -> str:
+        left = self._and_expr()
+        while self.peek() == "^":
+            self.take()
+            left = self._emit(GateType.XOR, [left, self._and_expr()])
+        return left
+
+    def _and_expr(self) -> str:
+        left = self._unary()
+        while self.peek() == "&":
+            self.take()
+            left = self._emit(GateType.AND, [left, self._unary()])
+        return left
+
+    def _unary(self) -> str:
+        token = self.peek()
+        if token == "~":
+            self.take()
+            return self._emit(GateType.NOT, [self._unary()])
+        if token == "(":
+            self.take()
+            inner = self._ternary()
+            self.expect(")")
+            return inner
+        if token in ("1'b0", "1'b1"):
+            self.take()
+            gate_type = (
+                GateType.CONST1 if token == "1'b1" else GateType.CONST0
+            )
+            return self._emit(gate_type, [])
+        return self.take()
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse structural Verilog source into a :class:`Netlist`."""
+    return _Parser(_tokenize(text)).parse_module()
+
+
+def read_verilog(path: str) -> Netlist:
+    """Read and parse a structural Verilog file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read())

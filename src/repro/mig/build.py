@@ -1,0 +1,176 @@
+"""Constructing MIGs from other representations and exporting them.
+
+Lowering rules follow the MIG literature [13]:
+``AND(a,b) = M(a,b,0)``, ``OR(a,b) = M(a,b,1)``, n-ary gates decompose
+into balanced trees (minimizing depth, which matters because the step
+count ``S`` of the paper's cost model is depth-dominated), XOR uses the
+3-node ``AND(OR(a,b), NAND(a,b))`` form, and MAJ maps natively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..network import GateType, Netlist, NetlistError
+from ..truth import TruthTable
+from .graph import CONST0, CONST1, Mig, Signal, signal_not
+
+
+def _balanced_reduce(
+    signals: Sequence[Signal], combine: Callable[[Signal, Signal], Signal]
+) -> Signal:
+    """Combine signals pairwise into a balanced (minimum-depth) tree."""
+    work = list(signals)
+    if not work:
+        raise ValueError("cannot reduce an empty operand list")
+    while len(work) > 1:
+        next_layer = [
+            combine(work[i], work[i + 1]) for i in range(0, len(work) - 1, 2)
+        ]
+        if len(work) % 2:
+            next_layer.append(work[-1])
+        work = next_layer
+    return work[0]
+
+
+def mig_from_netlist(netlist: Netlist) -> Mig:
+    """Lower a gate-level netlist into a fresh MIG."""
+    netlist.validate()
+    mig = Mig(netlist.name)
+    values: Dict[str, Signal] = {}
+    for name in netlist.inputs:
+        values[name] = mig.add_pi(name)
+
+    for gate in netlist.topological_order():
+        operands = [values[op] for op in gate.operands]
+        gate_type = gate.gate_type
+        if gate_type is GateType.CONST0:
+            signal = CONST0
+        elif gate_type is GateType.CONST1:
+            signal = CONST1
+        elif gate_type is GateType.BUF:
+            signal = operands[0]
+        elif gate_type is GateType.NOT:
+            signal = signal_not(operands[0])
+        elif gate_type in (GateType.AND, GateType.NAND):
+            signal = _balanced_reduce(operands, mig.make_and)
+            if gate_type is GateType.NAND:
+                signal = signal_not(signal)
+        elif gate_type in (GateType.OR, GateType.NOR):
+            signal = _balanced_reduce(operands, mig.make_or)
+            if gate_type is GateType.NOR:
+                signal = signal_not(signal)
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            signal = _balanced_reduce(operands, mig.make_xor)
+            if gate_type is GateType.XNOR:
+                signal = signal_not(signal)
+        elif gate_type is GateType.MAJ:
+            signal = mig.make_maj(*operands)
+        elif gate_type is GateType.MUX:
+            signal = mig.make_mux(*operands)
+        else:
+            raise NetlistError(f"cannot lower gate type {gate_type}")
+        values[gate.name] = signal
+
+    for name in netlist.outputs:
+        mig.add_po(values[name], name)
+    return mig
+
+
+def mig_from_truth_tables(
+    tables: Sequence[TruthTable], name: str = "mig"
+) -> Mig:
+    """Synthesize an MIG by recursive Shannon decomposition.
+
+    Cofactor tables are memoized across outputs, so shared logic is
+    discovered automatically.  Suitable for the exactly-specified
+    benchmark functions (≤ ~16 inputs).
+    """
+    if not tables:
+        raise ValueError("need at least one output table")
+    num_vars = tables[0].num_vars
+    if any(t.num_vars != num_vars for t in tables):
+        raise ValueError("all output tables must share the variable count")
+
+    mig = Mig(name)
+    pi_signals = [mig.add_pi() for _ in range(num_vars)]
+    memo: Dict[TruthTable, Signal] = {}
+
+    def build(table: TruthTable, var: int) -> Signal:
+        known = memo.get(table)
+        if known is not None:
+            return known
+        complement = memo.get(~table)
+        if complement is not None:
+            return signal_not(complement)
+        if table.bits == 0:
+            return CONST0
+        if (~table).bits == 0:
+            return CONST1
+        # Find the highest variable the function still depends on.
+        while var >= 0 and not table.depends_on(var):
+            var -= 1
+        assert var >= 0, "non-constant table must depend on something"
+        hi = build(table.cofactor(var, True), var - 1)
+        lo = build(table.cofactor(var, False), var - 1)
+        if hi == signal_not(lo):
+            # f = x ? !lo : lo  ==  x XOR lo
+            signal = mig.make_xor(pi_signals[var], lo)
+        else:
+            signal = mig.make_mux(pi_signals[var], hi, lo)
+        memo[table] = signal
+        return signal
+
+    for index, table in enumerate(tables):
+        mig.add_po(build(table, num_vars - 1), f"f{index}")
+    return mig
+
+
+def mig_to_netlist(mig: Mig) -> Netlist:
+    """Export an MIG as a MAJ/NOT netlist (round-trippable to .bench)."""
+    netlist = Netlist(mig.name)
+    names: Dict[int, str] = {}
+    for node, name in zip(mig.pis, mig.pi_names):
+        netlist.add_input(name)
+        names[node] = name
+
+    const_needed = any(
+        s >> 1 == 0 for node in mig.reachable_nodes() for s in mig.children(node)
+    ) or any(po >> 1 == 0 for po in mig.pos)
+    if const_needed:
+        netlist.add_gate("__const0", GateType.CONST0, [])
+        names[0] = "__const0"
+
+    inverters: Dict[str, str] = {}
+
+    def net_of(signal: Signal) -> str:
+        base = names[signal >> 1]
+        if not signal & 1:
+            return base
+        if base not in inverters:
+            inv = f"__{base}_n"
+            netlist.add_gate(inv, GateType.NOT, [base])
+            inverters[base] = inv
+        return inverters[base]
+
+    for node in mig.reachable_nodes():
+        gate_name = f"n{node}"
+        operands = [net_of(s) for s in mig.children(node)]
+        netlist.add_gate(gate_name, GateType.MAJ, operands)
+        names[node] = gate_name
+
+    used: Dict[str, int] = {}
+    for po, po_name in zip(mig.pos, mig.po_names):
+        net = net_of(po)
+        # Outputs must be distinct nets for formats like .bench; add
+        # buffers when several POs share a driver.
+        if net in used or po_name != net:
+            buf_name = po_name if po_name not in names.values() else f"__{po_name}"
+            if netlist.has_net(buf_name):
+                buf_name = f"__{po_name}_{used.get(net, 0)}"
+            netlist.add_gate(buf_name, GateType.BUF, [net])
+            net = buf_name
+        used[net] = used.get(net, 0) + 1
+        netlist.set_output(net)
+    netlist.validate()
+    return netlist

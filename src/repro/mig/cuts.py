@@ -1,0 +1,161 @@
+"""K-feasible cut enumeration and MFFC computation.
+
+Substrate for cut-based rewriting (:mod:`repro.mig.rewriting`): a *cut*
+of node *n* is a set of nodes (leaves) such that every path from the
+primary inputs to *n* passes through a leaf; the logic between the
+leaves and *n* computes a small local function that can be resynthesized
+in isolation.  The classic bottom-up enumeration merges child cut sets
+with size filtering and dominance pruning.
+
+The *maximum fanout-free cone* (MFFC) of a node w.r.t. a cut is the set
+of cone nodes that die if the node is replaced — the "gain budget" a
+rewrite can spend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..truth import TruthTable
+from .graph import Mig, signal_is_complemented, signal_node
+
+Cut = FrozenSet[int]
+
+DEFAULT_CUT_SIZE = 4
+DEFAULT_CUTS_PER_NODE = 12
+
+
+def enumerate_cuts(
+    mig: Mig,
+    *,
+    cut_size: int = DEFAULT_CUT_SIZE,
+    cuts_per_node: int = DEFAULT_CUTS_PER_NODE,
+) -> Dict[int, List[Cut]]:
+    """All k-feasible cuts of every live gate node.
+
+    Each node's list starts with its trivial cut ``{node}``; constant
+    children do not occupy leaf slots (they are free in any
+    resynthesis).  Dominated cuts (supersets of another cut) are pruned
+    and each node keeps at most ``cuts_per_node`` cuts, smallest first.
+    """
+    cuts: Dict[int, List[Cut]] = {}
+    for pi in mig.pis:
+        cuts[pi] = [frozenset((pi,))]
+    for node in mig.reachable_nodes():
+        child_cut_sets: List[List[Cut]] = []
+        for child in mig.children(node):
+            child_node = signal_node(child)
+            if child_node == 0:
+                child_cut_sets.append([frozenset()])
+            else:
+                child_cut_sets.append(cuts.get(child_node, [frozenset((child_node,))]))
+        merged: Set[Cut] = set()
+        for cut_a in child_cut_sets[0]:
+            for cut_b in child_cut_sets[1]:
+                ab = cut_a | cut_b
+                if len(ab) > cut_size:
+                    continue
+                for cut_c in child_cut_sets[2]:
+                    abc = ab | cut_c
+                    if len(abc) <= cut_size:
+                        merged.add(abc)
+        pruned = _prune_dominated(merged)
+        pruned.sort(key=len)
+        result = [frozenset((node,))] + pruned[: cuts_per_node - 1]
+        cuts[node] = result
+    return cuts
+
+
+def _prune_dominated(cuts: Set[Cut]) -> List[Cut]:
+    """Drop any cut that is a superset of another cut."""
+    ordered = sorted(cuts, key=len)
+    kept: List[Cut] = []
+    for cut in ordered:
+        if not any(other <= cut for other in kept if other != cut):
+            kept.append(cut)
+    return kept
+
+
+def cut_function(mig: Mig, node: int, leaves: Sequence[int]) -> TruthTable:
+    """Truth table of ``node`` over the ordered cut ``leaves``.
+
+    Local bit-parallel simulation of the cone between the leaves and
+    the node; at most 6 leaves (64-row tables) for sanity.
+    """
+    if len(leaves) > 6:
+        raise ValueError("cut function limited to 6 leaves")
+    num_vars = len(leaves)
+    mask = (1 << (1 << num_vars)) - 1
+    words: Dict[int, int] = {0: 0}
+    for index, leaf in enumerate(leaves):
+        words[leaf] = TruthTable.variable(num_vars, index).bits
+
+    def signal_word(signal: int) -> int:
+        word = compute(signal_node(signal))
+        return word ^ mask if signal_is_complemented(signal) else word
+
+    def compute(target: int) -> int:
+        if target in words:
+            return words[target]
+        if not mig.is_gate(target):
+            raise ValueError(
+                f"cone of node {node} escapes the cut at node {target}"
+            )
+        a, b, c = (signal_word(s) for s in mig.children(target))
+        word = (a & b) | (a & c) | (b & c)
+        words[target] = word
+        return word
+
+    return TruthTable(num_vars, compute(node))
+
+
+def cone_between(mig: Mig, node: int, leaves: Sequence[int]) -> List[int]:
+    """Gate nodes strictly inside the cut cone (node included)."""
+    leaf_set = set(leaves)
+    cone: List[int] = []
+    seen: Set[int] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current in seen or current in leaf_set or not mig.is_gate(current):
+            continue
+        seen.add(current)
+        cone.append(current)
+        for child in mig.children(current):
+            stack.append(signal_node(child))
+    return cone
+
+
+def mffc_size(
+    mig: Mig,
+    node: int,
+    leaves: Sequence[int],
+    live: Optional[Set[int]] = None,
+) -> int:
+    """Nodes that die if ``node`` is replaced (cut-bounded MFFC).
+
+    A cone node (other than ``node`` itself) belongs to the MFFC iff
+    every one of its fanouts (and no primary output) lies inside the
+    MFFC.  Computed by fixpoint from the root.
+
+    ``live`` restricts which fanout parents count: speculative rewriting
+    leaves dead-but-attached candidate nodes whose references must not
+    block MFFC membership (pass the current live-node set).
+    """
+    cone = set(cone_between(mig, node, leaves))
+    mffc: Set[int] = {node}
+    changed = True
+    while changed:
+        changed = False
+        for candidate in cone:
+            if candidate in mffc:
+                continue
+            if mig.po_refs(candidate):
+                continue
+            parents = mig.fanout_counts(candidate)
+            if live is not None:
+                parents = {p: c for p, c in parents.items() if p in live}
+            if parents and all(parent in mffc for parent in parents):
+                mffc.add(candidate)
+                changed = True
+    return len(mffc)

@@ -1,0 +1,104 @@
+"""Equivalence checking utilities.
+
+Optimization must never change function; every algorithm in this
+library is checked with these helpers.  Small circuits (≤ 14 inputs by
+default) are compared exhaustively via bit-parallel truth tables;
+larger ones with a seeded batch of random simulation vectors (a
+pragmatic miter — adequate here because every individual rewrite step
+is axiom-derived and already function-preserving by construction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..truth import TruthTable
+from .graph import Mig
+
+EXHAUSTIVE_LIMIT = 14
+DEFAULT_RANDOM_VECTORS = 2048
+
+
+def mig_truth_tables(mig: Mig) -> List[TruthTable]:
+    """Alias of :meth:`Mig.truth_tables` for symmetric naming."""
+    return mig.truth_tables()
+
+
+def _random_words(
+    num_inputs: int, num_vectors: int, seed: int
+) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(num_vectors) for _ in range(num_inputs)]
+
+
+def migs_equivalent(
+    first: Mig,
+    second: Mig,
+    *,
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+    num_vectors: int = DEFAULT_RANDOM_VECTORS,
+    seed: int = 0xD47E,
+) -> bool:
+    """Check two MIGs compute the same outputs (same PI/PO order)."""
+    if first.num_pis != second.num_pis or first.num_pos != second.num_pos:
+        return False
+    num_inputs = first.num_pis
+    if num_inputs <= exhaustive_limit:
+        return first.truth_tables() == second.truth_tables()
+    mask = (1 << num_vectors) - 1
+    words = _random_words(num_inputs, num_vectors, seed)
+    return first.simulate_words(words, mask) == second.simulate_words(words, mask)
+
+
+def mig_matches_tables(
+    mig: Mig, tables: Sequence[TruthTable]
+) -> bool:
+    """Check an MIG against reference truth tables (exhaustive)."""
+    if mig.num_pos != len(tables):
+        return False
+    return mig.truth_tables() == list(tables)
+
+
+class EquivalenceGuard:
+    """Snapshot-and-verify wrapper used by tests and the safe optimizer.
+
+    Records the reference behaviour of an MIG at construction; a later
+    :meth:`verify` call checks the (mutated) MIG still matches.
+    """
+
+    def __init__(
+        self,
+        mig: Mig,
+        *,
+        exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+        num_vectors: int = DEFAULT_RANDOM_VECTORS,
+        seed: int = 0xD47E,
+    ) -> None:
+        self._mig = mig
+        self._num_inputs = mig.num_pis
+        self._exhaustive = self._num_inputs <= exhaustive_limit
+        if self._exhaustive:
+            self._reference: object = mig.truth_tables()
+            self._words: Optional[List[int]] = None
+            self._mask = 0
+        else:
+            self._words = _random_words(self._num_inputs, num_vectors, seed)
+            self._mask = (1 << num_vectors) - 1
+            self._reference = mig.simulate_words(self._words, self._mask)
+
+    def verify(self) -> bool:
+        """True iff the guarded MIG still matches its recorded behaviour."""
+        if self._exhaustive:
+            return self._mig.truth_tables() == self._reference
+        assert self._words is not None
+        return (
+            self._mig.simulate_words(self._words, self._mask) == self._reference
+        )
+
+    def verify_or_raise(self) -> None:
+        """Raise ``AssertionError`` when the function changed."""
+        if not self.verify():
+            raise AssertionError(
+                f"MIG {self._mig.name!r} no longer matches its reference function"
+            )

@@ -1,0 +1,246 @@
+"""Exact-size MIG synthesis for small functions (BFS over structures).
+
+Computes, for any function of up to 3 variables, an MIG structure with
+the minimum number of majority nodes among *tree-shaped* recipes
+(operand cones are inlined without node sharing — for the 3-variable
+space, where minima are ≤ 4 nodes, this matches the known optimal sizes;
+the test-suite pins the classics: one node for MAJ/AND/OR, three for
+XOR2 and XOR3).
+
+Search: breadth-first over total node cost — cost-*k* functions are
+built as ``M(a, b, c)`` with operand costs summing to ``k − 1``,
+operands drawn from literals, constants, and cheaper discovered
+functions (both polarities).  The space is tiny (256 functions) and
+closed once per process; lookups go through NPN canonization
+(:mod:`repro.mig.npn`), so only class representatives are stored.
+
+Used by cut rewriting as the candidate generator for 3-input cuts, with
+the decomposition engine (:mod:`repro.mig.resynth`) covering larger
+cuts heuristically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..truth import TruthTable, table_mask
+from .graph import CONST0, CONST1, Mig, Signal, signal_not
+from .npn import apply_npn_to_signals, npn_canonize
+
+#: Operand reference inside a recipe: ``("leaf", index, negate)``,
+#: ``("const", value)`` or ``("node", index, negate)``.
+Operand = Tuple
+#: A recipe: node definitions in build order; the last node is the root.
+Recipe = Tuple[Tuple[Operand, Operand, Operand], ...]
+
+_NUM_VARS = 3
+_MASK = table_mask(_NUM_VARS)
+_MAX_COST = 6  # every 3-variable function closes at cost ≤ 4
+
+# representative bits -> (recipe, root_negate); empty recipe = trivial.
+_RECIPE_CACHE: Dict[int, Tuple[Recipe, bool]] = {}
+_CACHE_BUILT = False
+
+
+class _Entry:
+    """One discovered function: its bits, cost, and flat recipe."""
+
+    __slots__ = ("bits", "cost", "recipe")
+
+    def __init__(self, bits: int, cost: int, recipe: Recipe) -> None:
+        self.bits = bits
+        self.cost = cost
+        self.recipe = recipe
+
+
+def _trivial_entries() -> List[Tuple[Operand, int]]:
+    """(operand, bits) for constants and both literal polarities."""
+    entries: List[Tuple[Operand, int]] = [
+        (("const", False), 0),
+        (("const", True), _MASK),
+    ]
+    for index in range(_NUM_VARS):
+        bits = TruthTable.variable(_NUM_VARS, index).bits
+        entries.append((("leaf", index, False), bits))
+        entries.append((("leaf", index, True), bits ^ _MASK))
+    return entries
+
+
+def _inline(op_entry, offset_recipe: List[Tuple[Operand, Operand, Operand]]):
+    """Materialize an operand into the recipe under construction.
+
+    ``op_entry`` is either a trivial ``(operand, bits)`` pair or a
+    ``(_Entry, negate)`` pair for a discovered function.
+    """
+    if isinstance(op_entry[0], tuple):
+        return op_entry[0]
+    entry, negate = op_entry
+    offset = len(offset_recipe)
+    for triple in entry.recipe:
+        offset_recipe.append(
+            tuple(
+                ("node", op[1] + offset, op[2]) if op[0] == "node" else op
+                for op in triple
+            )  # type: ignore[arg-type]
+        )
+    return ("node", offset + len(entry.recipe) - 1, negate)
+
+
+def _build_cache() -> None:
+    global _CACHE_BUILT
+    if _CACHE_BUILT:
+        return
+
+    trivial = _trivial_entries()
+    trivial_bits = {bits for _op, bits in trivial}
+    known: Dict[int, _Entry] = {}
+    # Operand pool grouped by cost: cost 0 = trivial (operand, bits);
+    # cost k = list of (_Entry, negate) pairs with that recipe cost.
+    by_cost: Dict[int, List] = {0: list(trivial)}
+
+    def operand_bits(op_entry) -> int:
+        if isinstance(op_entry[0], tuple):
+            return op_entry[1]
+        entry, negate = op_entry
+        return entry.bits ^ _MASK if negate else entry.bits
+
+    total_functions = 1 << (1 << _NUM_VARS)
+    for cost in range(1, _MAX_COST + 1):
+        discovered: List[_Entry] = []
+        # All cost splits (a ≤ b ≤ c) with a + b + c = cost − 1.
+        for cost_a in range(0, cost):
+            for cost_b in range(cost_a, cost):
+                cost_c = (cost - 1) - cost_a - cost_b
+                if cost_c < cost_b:
+                    continue
+                pool_a = by_cost.get(cost_a, [])
+                pool_b = by_cost.get(cost_b, [])
+                pool_c = by_cost.get(cost_c, [])
+                for op_a in pool_a:
+                    bits_a = operand_bits(op_a)
+                    for op_b in pool_b:
+                        bits_b = operand_bits(op_b)
+                        for op_c in pool_c:
+                            bits_c = operand_bits(op_c)
+                            bits = (
+                                (bits_a & bits_b)
+                                | (bits_a & bits_c)
+                                | (bits_b & bits_c)
+                            )
+                            if bits in trivial_bits or bits in known:
+                                continue
+                            recipe_nodes: List = []
+                            resolved = (
+                                _inline(op_a, recipe_nodes),
+                                _inline(op_b, recipe_nodes),
+                                _inline(op_c, recipe_nodes),
+                            )
+                            recipe_nodes.append(resolved)
+                            known[bits] = _Entry(
+                                bits, cost, tuple(recipe_nodes)
+                            )
+                            discovered.append(known[bits])
+        if discovered:
+            by_cost[cost] = []
+            for entry in discovered:
+                by_cost[cost].append((entry, False))
+                # The complement costs the same recipe (complemented
+                # root edge is free as an operand).
+                if (entry.bits ^ _MASK) not in known and (
+                    entry.bits ^ _MASK
+                ) not in trivial_bits:
+                    by_cost[cost].append((entry, True))
+        if len(known) + len(trivial_bits) >= total_functions:
+            break
+
+    for bits in range(_MASK + 1):
+        representative, _transform = npn_canonize(TruthTable(_NUM_VARS, bits))
+        if representative.bits in _RECIPE_CACHE:
+            continue
+        rep_bits = representative.bits
+        if rep_bits in trivial_bits:
+            _RECIPE_CACHE[rep_bits] = ((), False)
+        elif rep_bits in known:
+            _RECIPE_CACHE[rep_bits] = (known[rep_bits].recipe, False)
+        elif (rep_bits ^ _MASK) in known:
+            _RECIPE_CACHE[rep_bits] = (known[rep_bits ^ _MASK].recipe, True)
+        else:
+            raise RuntimeError(
+                f"BFS closure incomplete: 0x{rep_bits:02x} unsynthesized"
+            )
+    _CACHE_BUILT = True
+
+
+def exact_size(table: TruthTable) -> int:
+    """Minimum majority-node count (tree recipes) for ≤3 variables."""
+    recipe, _negate, _transform = _recipe_for(table)
+    return len(recipe)
+
+
+def _recipe_for(table: TruthTable):
+    if table.num_vars > _NUM_VARS:
+        raise ValueError("exact synthesis limited to 3 variables")
+    if table.num_vars < _NUM_VARS:
+        table = table.extend(_NUM_VARS)
+    _build_cache()
+    representative, transform = npn_canonize(table)
+    recipe, negate = _RECIPE_CACHE[representative.bits]
+    return recipe, negate, transform
+
+
+def synthesize_exact(
+    mig: Mig, table: TruthTable, leaves: Sequence[Signal]
+) -> Signal:
+    """Build a minimum-node MIG computing ``table`` over ``leaves``.
+
+    ``leaves[i]`` is the signal for table variable *i* (up to 3).
+    """
+    recipe, negate, transform = _recipe_for(table)
+    padded = list(leaves[:_NUM_VARS])
+    while len(padded) < _NUM_VARS:
+        padded.append(CONST0)
+    rep_leaves, output_negation = apply_npn_to_signals(transform, padded)
+
+    def operand_signal(op: Operand, built: List[Signal]) -> Signal:
+        tag = op[0]
+        if tag == "const":
+            return CONST1 if op[1] else CONST0
+        if tag == "leaf":
+            signal = rep_leaves[op[1]]
+            return signal_not(signal) if op[2] else signal
+        if tag == "node":
+            signal = built[op[1]]
+            return signal_not(signal) if op[2] else signal
+        raise RuntimeError(f"bad operand {op!r}")
+
+    if not recipe:
+        extended = (
+            table if table.num_vars == _NUM_VARS else table.extend(_NUM_VARS)
+        )
+        representative, _ = npn_canonize(extended)
+        root = _trivial_signal(representative.bits, rep_leaves)
+    else:
+        built: List[Signal] = []
+        for triple in recipe:
+            a, b, c = (operand_signal(op, built) for op in triple)
+            built.append(mig.make_maj(a, b, c))
+        root = built[-1]
+        if negate:
+            root = signal_not(root)
+    if output_negation:
+        root = signal_not(root)
+    return root
+
+
+def _trivial_signal(bits: int, rep_leaves: Sequence[Signal]) -> Signal:
+    if bits == 0:
+        return CONST0
+    if bits == _MASK:
+        return CONST1
+    for index in range(_NUM_VARS):
+        variable_bits = TruthTable.variable(_NUM_VARS, index).bits
+        if bits == variable_bits:
+            return rep_leaves[index]
+        if bits == variable_bits ^ _MASK:
+            return signal_not(rep_leaves[index])
+    raise RuntimeError(f"function 0x{bits:02x} is not trivial")

@@ -1,0 +1,73 @@
+"""MIG visualization export (Graphviz DOT).
+
+Renders the live part of an MIG in the paper's visual conventions:
+majority nodes as circles, complemented edges as dashed lines with a
+dot head (the "black dot" of paper Fig. 4), primary inputs as boxes at
+the bottom, outputs as inverted houses at the top, and nodes ranked by
+level so the cost-model structure (levels, complemented levels) is
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Mig, signal_is_complemented, signal_node
+from .views import node_levels
+
+
+def to_dot(mig: Mig, *, show_levels: bool = True) -> str:
+    """Render the MIG as Graphviz DOT source."""
+    levels = node_levels(mig)
+    lines: List[str] = [
+        f'digraph "{mig.name}" {{',
+        "  rankdir=BT;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for node, name in zip(mig.pis, mig.pi_names):
+        lines.append(
+            f'  n{node} [label="{name}", shape=box, style=filled, '
+            'fillcolor="#e8f0fe"];'
+        )
+    live = mig.reachable_nodes()
+    if any(
+        signal_node(s) == 0
+        for node in live
+        for s in mig.children(node)
+    ) or any(signal_node(po) == 0 for po in mig.pos):
+        lines.append('  n0 [label="0", shape=box, style=filled, fillcolor="#eeeeee"];')
+    for node in live:
+        lines.append(f'  n{node} [label="M", shape=circle];')
+        for child in mig.children(node):
+            style = (
+                ' [style=dashed, arrowhead="dot"]'
+                if signal_is_complemented(child)
+                else ""
+            )
+            lines.append(f"  n{signal_node(child)} -> n{node}{style};")
+    for index, (po, name) in enumerate(zip(mig.pos, mig.po_names)):
+        lines.append(
+            f'  po{index} [label="{name}", shape=invhouse, style=filled, '
+            'fillcolor="#e6f4ea"];'
+        )
+        style = (
+            ' [style=dashed, arrowhead="dot"]'
+            if signal_is_complemented(po)
+            else ""
+        )
+        lines.append(f"  n{signal_node(po)} -> po{index}{style};")
+    if show_levels:
+        by_level = {}
+        for node in live:
+            by_level.setdefault(levels[node], []).append(node)
+        for level, nodes in sorted(by_level.items()):
+            members = "; ".join(f"n{node}" for node in nodes)
+            lines.append(f"  {{ rank=same; {members}; }}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(mig: Mig, path: str, *, show_levels: bool = True) -> None:
+    """Write the DOT rendering to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(mig, show_levels=show_levels))

@@ -1,0 +1,621 @@
+"""Majority-Inverter Graph core data structure.
+
+An MIG [13] is a DAG whose internal nodes are three-input majority
+gates ``M(x, y, z) = xy + xz + yz`` and whose edges may carry a
+complement (inversion) attribute.  Constants and regular AND/OR gates
+are special cases (``AND(a, b) = M(a, b, 0)``, ``OR(a, b) = M(a, b, 1)``).
+
+Signals
+-------
+A *signal* is an integer ``(node_index << 1) | complement`` (the AIGER
+convention).  Signal 0 is constant false, signal 1 constant true.
+Negation is ``signal ^ 1``.
+
+Invariants maintained at all times:
+
+* node 0 is the constant-0 node; primary inputs have no children;
+* every gate node's child triple is sorted ascending (Ω.C is thus
+  implicit) and irredundant under the majority rule Ω.M (no two equal
+  or complementary children) — enforced by :meth:`Mig.make_maj` and by
+  :meth:`Mig.substitute`;
+* the structural-hash table maps each live sorted triple to exactly one
+  node (no duplicate gates among live nodes).
+
+Complement *placement* is deliberately **not** canonicalized: the
+optimization algorithms of the paper (Sec. III-C/D) explicitly move
+complements around with the Ω.I axiom, so the graph must faithfully
+keep them where the algorithms put them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..truth import TruthTable, table_mask
+
+Signal = int
+
+CONST0: Signal = 0
+CONST1: Signal = 1
+
+
+def make_signal(node: int, complement: bool = False) -> Signal:
+    """Build a signal from a node index and a complement flag."""
+    return (node << 1) | (1 if complement else 0)
+
+
+def signal_node(signal: Signal) -> int:
+    """Return the node index a signal points at."""
+    return signal >> 1
+
+
+def signal_is_complemented(signal: Signal) -> bool:
+    """Return True iff the signal carries the complement attribute."""
+    return bool(signal & 1)
+
+
+def signal_not(signal: Signal) -> Signal:
+    """Return the negation of a signal (toggle the complement bit)."""
+    return signal ^ 1
+
+
+class MigError(ValueError):
+    """Raised on invalid MIG operations."""
+
+
+def _reduce_majority(children: Tuple[Signal, Signal, Signal]) -> Optional[Signal]:
+    """Apply the majority axiom Ω.M to a *sorted* child triple.
+
+    Returns the reduced signal if the triple is degenerate, else None.
+    Sorting guarantees equal signals and complementary pairs (2k, 2k+1)
+    are adjacent, so only adjacent pairs need checking.
+    """
+    a, b, c = children
+    if a == b or b == c:
+        return b
+    if a ^ 1 == b:
+        return c
+    if b ^ 1 == c:
+        return a
+    return None
+
+
+class Mig:
+    """A mutable, structurally hashed Majority-Inverter Graph."""
+
+    def __init__(self, name: str = "mig") -> None:
+        self.name = name
+        # Node 0 is the constant-0 node.
+        self._children: List[Optional[Tuple[Signal, Signal, Signal]]] = [None]
+        self._is_pi: List[bool] = [False]
+        # fanout[n] maps parent node -> number of child slots referencing n.
+        self._fanout: List[Dict[int, int]] = [{}]
+        self._pis: List[int] = []
+        self._pi_names: List[str] = []
+        self._pos: List[Signal] = []
+        self._po_names: List[str] = []
+        self._strash: Dict[Tuple[Signal, Signal, Signal], int] = {}
+        self._generation = 0  # bumped on every structural change
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every structural mutation.
+
+        Views cache against this to know when to recompute.
+        """
+        return self._generation
+
+    @property
+    def num_nodes_allocated(self) -> int:
+        """Total node slots ever allocated (including dead nodes)."""
+        return len(self._children)
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def pis(self) -> List[int]:
+        """Primary-input node indices, in declaration order."""
+        return list(self._pis)
+
+    @property
+    def pos(self) -> List[Signal]:
+        """Primary-output signals, in declaration order."""
+        return list(self._pos)
+
+    @property
+    def pi_names(self) -> List[str]:
+        """Primary-input names."""
+        return list(self._pi_names)
+
+    @property
+    def po_names(self) -> List[str]:
+        """Primary-output names."""
+        return list(self._po_names)
+
+    def is_pi(self, node: int) -> bool:
+        """True iff ``node`` is a primary input."""
+        return self._is_pi[node]
+
+    def is_constant(self, node: int) -> bool:
+        """True iff ``node`` is the constant node."""
+        return node == 0
+
+    def is_gate(self, node: int) -> bool:
+        """True iff ``node`` is a majority gate."""
+        return self._children[node] is not None
+
+    def children(self, node: int) -> Tuple[Signal, Signal, Signal]:
+        """Return the (sorted) child signal triple of a gate node."""
+        triple = self._children[node]
+        if triple is None:
+            raise MigError(f"node {node} is not a gate")
+        return triple
+
+    def fanout_counts(self, node: int) -> Dict[int, int]:
+        """Return parent node → number of referencing child slots."""
+        return dict(self._fanout[node])
+
+    def fanout_size(self, node: int) -> int:
+        """Total gate references to ``node`` (PO references excluded)."""
+        return sum(self._fanout[node].values())
+
+    def po_refs(self, node: int) -> List[int]:
+        """Return PO indices whose signal points at ``node``."""
+        return [i for i, s in enumerate(self._pos) if signal_node(s) == node]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_pi(self, name: Optional[str] = None) -> Signal:
+        """Create a primary input; returns its (positive) signal."""
+        node = self._new_node(None, is_pi=True)
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"x{len(self._pis) - 1}")
+        return make_signal(node)
+
+    def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
+        """Register a primary output; returns the output index."""
+        self._check_signal(signal)
+        node = signal_node(signal)
+        self._pos.append(signal)
+        self._po_names.append(name if name is not None else f"f{len(self._pos) - 1}")
+        self._generation += 1
+        # No fanout bookkeeping for POs: they are queried via po_refs.
+        return len(self._pos) - 1
+
+    def set_po(self, index: int, signal: Signal) -> None:
+        """Redirect an existing primary output to a new signal."""
+        self._check_signal(signal)
+        self._pos[index] = signal
+        self._generation += 1
+
+    def make_maj(self, a: Signal, b: Signal, c: Signal) -> Signal:
+        """Return the signal of ``M(a, b, c)``, creating a node if needed.
+
+        Applies Ω.M reduction and structural hashing; Ω.C is implicit
+        in the sorted child order.
+        """
+        for signal in (a, b, c):
+            self._check_signal(signal)
+        children = tuple(sorted((a, b, c)))
+        reduced = _reduce_majority(children)  # type: ignore[arg-type]
+        if reduced is not None:
+            return reduced
+        existing = self._strash.get(children)  # type: ignore[arg-type]
+        if existing is not None:
+            return make_signal(existing)
+        node = self._new_node(children)  # type: ignore[arg-type]
+        return make_signal(node)
+
+    def make_and(self, a: Signal, b: Signal) -> Signal:
+        """``a AND b`` as ``M(a, b, 0)``."""
+        return self.make_maj(a, b, CONST0)
+
+    def make_or(self, a: Signal, b: Signal) -> Signal:
+        """``a OR b`` as ``M(a, b, 1)``."""
+        return self.make_maj(a, b, CONST1)
+
+    def make_xor(self, a: Signal, b: Signal) -> Signal:
+        """``a XOR b`` as ``AND(OR(a, b), NAND(a, b))`` (3 nodes)."""
+        return self.make_and(self.make_or(a, b), signal_not(self.make_and(a, b)))
+
+    def make_mux(self, sel: Signal, then: Signal, other: Signal) -> Signal:
+        """``sel ? then : other`` as ``OR(AND(sel, then), AND(!sel, other))``."""
+        return self.make_or(
+            self.make_and(sel, then), self.make_and(signal_not(sel), other)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def substitute(self, node: int, replacement: Signal) -> None:
+        """Replace every reference to ``node`` by ``replacement``.
+
+        ``replacement`` must be functionally equivalent to ``node`` for
+        the graph to stay correct; the caller is responsible for that
+        (all the axiom implementations in :mod:`repro.mig.rewrite`
+        guarantee it).  Structural hashing is repaired transitively:
+        parents whose rewritten triples collide with existing nodes are
+        merged, and parents that become degenerate under Ω.M are
+        reduced, cascading upward.
+        """
+        self._check_signal(replacement)
+        if signal_node(replacement) == node:
+            if replacement == make_signal(node):
+                return
+            raise MigError("cannot substitute a node by its own complement")
+        if self._in_cone(signal_node(replacement), node):
+            raise MigError(f"substitution of node {node} would create a cycle")
+        # Cascaded merges can replace a node that is itself the target
+        # of a pending (or already processed) redirection; the
+        # resolution map keeps every redirection pointing at the final
+        # live node (complements compose along the chain).
+        resolution: Dict[int, Signal] = {}
+
+        def resolve(signal: Signal) -> Signal:
+            complement = signal & 1
+            target = signal_node(signal)
+            while target in resolution:
+                step = resolution[target]
+                complement ^= step & 1
+                target = signal_node(step)
+            return (target << 1) | complement
+
+        worklist: List[Tuple[int, Signal]] = [(node, replacement)]
+        while worklist:
+            old, new = worklist.pop()
+            new = resolve(new)
+            if signal_node(new) == old:
+                continue  # chain already collapsed onto this node
+            resolution[old] = new
+            # Redirect primary outputs.
+            for i, po in enumerate(self._pos):
+                if signal_node(po) == old:
+                    self._pos[i] = new ^ (po & 1)
+            # Redirect parents (snapshot: _rebuild_parent mutates fanout).
+            for parent in list(self._fanout[old].keys()):
+                merged = self._rebuild_parent(parent, old, new)
+                if merged is not None:
+                    worklist.append(merged)
+        self._generation += 1
+
+    def _rebuild_parent(
+        self, parent: int, old: int, new: Signal
+    ) -> Optional[Tuple[int, Signal]]:
+        """Rewrite ``parent``'s children, replacing node ``old``.
+
+        Returns a follow-up (node, replacement) pair if the parent
+        itself reduced or merged into another node, else None.
+        """
+        triple = self._children[parent]
+        if triple is None:
+            return None
+        new_children = tuple(
+            sorted(
+                (new ^ (s & 1)) if signal_node(s) == old else s for s in triple
+            )
+        )
+        self._detach(parent)
+        reduced = _reduce_majority(new_children)  # type: ignore[arg-type]
+        if reduced is not None:
+            return (parent, reduced)
+        existing = self._strash.get(new_children)  # type: ignore[arg-type]
+        if existing is not None and existing != parent:
+            return (parent, make_signal(existing))
+        self._attach(parent, new_children)  # type: ignore[arg-type]
+        return None
+
+    def replace_node_children(
+        self, node: int, children: Tuple[Signal, Signal, Signal]
+    ) -> Optional[Signal]:
+        """Give ``node`` a new child triple (caller asserts equivalence).
+
+        Returns None on success; if the new triple reduces (Ω.M) or
+        collides with an existing node, the graph is left unchanged and
+        the signal the node *would* equal is returned so the caller can
+        decide to :meth:`substitute` instead.
+        """
+        for signal in children:
+            self._check_signal(signal)
+            if self._in_cone(signal_node(signal), node):
+                raise MigError("new children would create a cycle")
+        new_children = tuple(sorted(children))
+        reduced = _reduce_majority(new_children)  # type: ignore[arg-type]
+        if reduced is not None:
+            return reduced
+        existing = self._strash.get(new_children)  # type: ignore[arg-type]
+        if existing is not None and existing != node:
+            return make_signal(existing)
+        if existing == node:
+            return None
+        self._detach(node)
+        self._attach(node, new_children)  # type: ignore[arg-type]
+        self._generation += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def reachable_nodes(self) -> List[int]:
+        """Gate nodes reachable from the POs, in topological order."""
+        visited: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = []
+        for po in self._pos:
+            root = signal_node(po)
+            if root in visited or not self.is_gate(root):
+                continue
+            stack.append((root, 0))
+            while stack:
+                node, child_index = stack.pop()
+                if node in visited:
+                    continue
+                triple = self._children[node]
+                assert triple is not None
+                pushed = False
+                for i in range(child_index, 3):
+                    child = signal_node(triple[i])
+                    if child not in visited and self.is_gate(child):
+                        stack.append((node, i + 1))
+                        stack.append((child, 0))
+                        pushed = True
+                        break
+                if not pushed:
+                    visited.add(node)
+                    order.append(node)
+        return order
+
+    def num_gates(self) -> int:
+        """Number of live (PO-reachable) gate nodes — the MIG *size*."""
+        return len(self.reachable_nodes())
+
+    def cone_nodes(self, signal: Signal) -> List[int]:
+        """Gate nodes in the transitive fan-in cone of ``signal`` (topo order)."""
+        root = signal_node(signal)
+        if not self.is_gate(root):
+            return []
+        visited: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        while stack:
+            node, child_index = stack.pop()
+            if node in visited:
+                continue
+            triple = self._children[node]
+            assert triple is not None
+            pushed = False
+            for i in range(child_index, 3):
+                child = signal_node(triple[i])
+                if child not in visited and self.is_gate(child):
+                    stack.append((node, i + 1))
+                    stack.append((child, 0))
+                    pushed = True
+                    break
+            if not pushed:
+                visited.add(node)
+                order.append(node)
+        return order
+
+    def _in_cone(self, node: int, target: int) -> bool:
+        """True iff ``target`` is in the fan-in cone of ``node`` (or equal)."""
+        if node == target:
+            return True
+        if not self.is_gate(node):
+            return False
+        stack = [node]
+        seen = {node}
+        while stack:
+            current = stack.pop()
+            triple = self._children[current]
+            if triple is None:
+                continue
+            for s in triple:
+                child = signal_node(s)
+                if child == target:
+                    return True
+                if child not in seen and self.is_gate(child):
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate_words(
+        self, input_words: Sequence[int], mask: int
+    ) -> List[int]:
+        """Bit-parallel simulation over arbitrary-width words.
+
+        ``input_words[i]`` holds the test vectors of the *i*-th primary
+        input; bit *v* of every word is test vector *v*.  Returns one
+        word per primary output.
+        """
+        if len(input_words) != len(self._pis):
+            raise MigError(
+                f"expected {len(self._pis)} input words, got {len(input_words)}"
+            )
+        values: Dict[int, int] = {0: 0}
+        for node, word in zip(self._pis, input_words):
+            values[node] = word & mask
+
+        def signal_word(signal: Signal) -> int:
+            word = values[signal_node(signal)]
+            return word ^ mask if signal & 1 else word
+
+        for node in self.reachable_nodes():
+            a, b, c = (signal_word(s) for s in self.children(node))
+            values[node] = (a & b) | (a & c) | (b & c)
+        return [signal_word(po) for po in self._pos]
+
+    def truth_tables(self) -> List[TruthTable]:
+        """Exhaustive per-output truth tables (guarded to 20 inputs)."""
+        num_vars = len(self._pis)
+        if num_vars > 20:
+            raise MigError(f"refusing exhaustive simulation of {num_vars} inputs")
+        mask = table_mask(num_vars)
+        words = [
+            TruthTable.variable(num_vars, i).bits for i in range(num_vars)
+        ]
+        return [
+            TruthTable(num_vars, word)
+            for word in self.simulate_words(words, mask)
+        ]
+
+    # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Mig":
+        """Deep-copy the live part of the graph (dead nodes dropped)."""
+        copy = Mig(self.name)
+        mapping: Dict[int, Signal] = {0: CONST0}
+        for node, name in zip(self._pis, self._pi_names):
+            mapping[node] = copy.add_pi(name)
+        for node in self.reachable_nodes():
+            a, b, c = (
+                mapping[signal_node(s)] ^ (s & 1) for s in self.children(node)
+            )
+            mapping[node] = copy.make_maj(a, b, c)
+        for po, name in zip(self._pos, self._po_names):
+            driver = signal_node(po)
+            if driver not in mapping:
+                # PO on an unreachable-from-other-POs node: copy its cone.
+                for node in self.cone_nodes(po):
+                    if node in mapping:
+                        continue
+                    a, b, c = (
+                        mapping[signal_node(s)] ^ (s & 1)
+                        for s in self.children(node)
+                    )
+                    mapping[node] = copy.make_maj(a, b, c)
+            copy.add_po(mapping[driver] ^ (po & 1), name)
+        return copy
+
+    def sweep_dead(self) -> int:
+        """Detach all gate nodes unreachable from the POs.
+
+        Rewriting passes construct candidate structures speculatively;
+        rejected candidates stay allocated but dead.  Sweeping detaches
+        them (clearing their strash/fanout entries) so fanout-based
+        analyses (single-use checks, MFFC sizes) see only live logic.
+        Node ids remain stable; returns the number of nodes detached.
+        """
+        live = set(self.reachable_nodes())
+        detached = 0
+        for node in range(len(self._children)):
+            if self._children[node] is not None and node not in live:
+                self._detach(node)
+                detached += 1
+        if detached:
+            self._generation += 1
+        return detached
+
+    def copy_from(self, other: "Mig") -> None:
+        """Overwrite this graph with a deep copy of ``other``.
+
+        Used by the optimization drivers to roll back to the best
+        snapshot seen during iterative exploration.  PI/PO counts and
+        names must match (they always do for snapshots of the same
+        function).
+        """
+        if other.num_pis != self.num_pis or other.num_pos != self.num_pos:
+            raise MigError("copy_from requires matching interfaces")
+        source = other.clone()
+        self._children = source._children
+        self._is_pi = source._is_pi
+        self._fanout = source._fanout
+        self._pis = source._pis
+        self._pi_names = source._pi_names
+        self._pos = source._pos
+        self._po_names = source._po_names
+        self._strash = source._strash
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_signal(self, signal: Signal) -> None:
+        node = signal_node(signal)
+        if not 0 <= node < len(self._children):
+            raise MigError(f"signal {signal} references unknown node {node}")
+
+    def _new_node(
+        self,
+        children: Optional[Tuple[Signal, Signal, Signal]],
+        is_pi: bool = False,
+    ) -> int:
+        node = len(self._children)
+        self._children.append(None)
+        self._is_pi.append(is_pi)
+        self._fanout.append({})
+        if children is not None:
+            self._attach(node, children)
+        self._generation += 1
+        return node
+
+    def _attach(self, node: int, children: Tuple[Signal, Signal, Signal]) -> None:
+        """Install a sorted child triple and register fanout + strash."""
+        self._children[node] = children
+        self._strash[children] = node
+        for s in children:
+            child = signal_node(s)
+            self._fanout[child][node] = self._fanout[child].get(node, 0) + 1
+
+    def _detach(self, node: int) -> None:
+        """Remove a gate's children from fanout tables and the strash."""
+        triple = self._children[node]
+        if triple is None:
+            return
+        if self._strash.get(triple) == node:
+            del self._strash[triple]
+        for s in triple:
+            child = signal_node(s)
+            counts = self._fanout[child]
+            counts[node] -= 1
+            if counts[node] == 0:
+                del counts[node]
+        self._children[node] = None
+
+    def check_invariants(self) -> None:
+        """Assert the structural invariants (used by the test-suite)."""
+        for node, triple in enumerate(self._children):
+            if triple is None:
+                continue
+            if list(triple) != sorted(triple):
+                raise MigError(f"node {node} has unsorted children {triple}")
+            if _reduce_majority(triple) is not None:
+                raise MigError(f"node {node} is Ω.M-reducible: {triple}")
+            if self._strash.get(triple) != node:
+                # A dead duplicate is tolerated only if it is unreachable.
+                if node in self.reachable_nodes():
+                    raise MigError(f"live node {node} missing from strash")
+            for s in triple:
+                child = signal_node(s)
+                if child >= node and self.is_gate(child):
+                    # children always have smaller indices than parents
+                    # unless rewrites reused slots; just require acyclicity
+                    if self._in_cone(child, node):
+                        raise MigError(f"cycle through node {node}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Mig({self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"gates={self.num_gates()})"
+        )

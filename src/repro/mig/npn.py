@@ -1,0 +1,122 @@
+"""NPN canonization of small truth tables.
+
+Two functions are NPN-equivalent when one can be obtained from the
+other by Negating inputs, Permuting inputs, and/or Negating the output.
+Optimal structures only need to be computed per NPN class: the 256
+3-variable functions collapse to 14 classes, the 65 536 4-variable
+functions to 222.
+
+:func:`npn_canonize` returns the class representative together with the
+transform that maps the *original* function onto it, and
+:func:`apply_npn_to_signals` applies the inverse transform to leaf
+signals so a structure synthesized for the representative computes the
+original function.  Exhaustive over all ``2^n · n!`` transforms —
+intended for n ≤ 4 where that is 384 candidates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..truth import TruthTable
+
+
+@dataclass(frozen=True)
+class NpnTransform:
+    """``f(x) = output_negation ⊕ rep(±x_perm)``.
+
+    ``permutation[i]`` is the representative's variable fed by original
+    variable *i*; ``input_negations[i]`` tells whether original
+    variable *i* enters negated.
+    """
+
+    permutation: Tuple[int, ...]
+    input_negations: Tuple[bool, ...]
+    output_negation: bool
+
+
+def _transform_table(
+    table: TruthTable,
+    permutation: Sequence[int],
+    input_negations: Sequence[bool],
+    output_negation: bool,
+) -> TruthTable:
+    num_vars = table.num_vars
+    bits = 0
+    for assignment in range(table.num_entries):
+        # Build the original assignment that maps onto `assignment` in
+        # the transformed space: transformed var permutation[i] carries
+        # original var i (possibly negated).
+        original = 0
+        for i in range(num_vars):
+            value = (assignment >> permutation[i]) & 1
+            if input_negations[i]:
+                value ^= 1
+            original |= value << i
+        value = table.value_at(original)
+        if value != output_negation:
+            bits |= 1 << assignment
+    return TruthTable(num_vars, bits)
+
+
+def npn_canonize(table: TruthTable) -> Tuple[TruthTable, NpnTransform]:
+    """Return ``(representative, transform)``.
+
+    The representative is the numerically smallest transformed table;
+    ``transform`` recovers the original:
+    ``original(x0..xn) = transform.output_negation ⊕
+    representative(..x_{perm} possibly negated..)``.
+    """
+    num_vars = table.num_vars
+    if num_vars > 4:
+        raise ValueError("exhaustive NPN canonization limited to 4 variables")
+    best_table = None
+    best_transform = None
+    for permutation in itertools.permutations(range(num_vars)):
+        for negation_mask in range(1 << num_vars):
+            negations = tuple(
+                bool((negation_mask >> i) & 1) for i in range(num_vars)
+            )
+            for output_negation in (False, True):
+                candidate = _transform_table(
+                    table, permutation, negations, output_negation
+                )
+                if best_table is None or candidate.bits < best_table.bits:
+                    best_table = candidate
+                    best_transform = NpnTransform(
+                        tuple(permutation), negations, output_negation
+                    )
+    assert best_table is not None and best_transform is not None
+    return best_table, best_transform
+
+
+def apply_npn_to_signals(
+    transform: NpnTransform, leaves: Sequence[int]
+) -> Tuple[List[int], bool]:
+    """Leaf signals for the *representative* structure, plus whether
+    the structure's output must be complemented.
+
+    If ``root = build(representative, rep_leaves)`` then
+    ``root ^ output_negation`` computes the original function over the
+    original ``leaves``.
+    """
+    rep_leaves: List[int] = [0] * len(leaves)
+    for i, leaf in enumerate(leaves):
+        signal = leaf ^ (1 if transform.input_negations[i] else 0)
+        rep_leaves[transform.permutation[i]] = signal
+    return rep_leaves, transform.output_negation
+
+
+def npn_class_count(num_vars: int) -> int:
+    """Number of NPN classes over ``num_vars`` variables (exhaustive —
+    use for tests and table building, n ≤ 3 is instant, n = 4 takes a
+    few seconds)."""
+    seen: Dict[int, bool] = {}
+    from ..truth import table_mask
+
+    for bits in range(table_mask(num_vars) + 1):
+        representative, _ = npn_canonize(TruthTable(num_vars, bits))
+        seen[representative.bits] = True
+    return len(seen)

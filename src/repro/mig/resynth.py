@@ -1,0 +1,193 @@
+"""Decomposition-based resynthesis: truth table → MIG structure.
+
+Given a small function (≤ 6 variables) over leaf signals, build an MIG
+computing it, preferring structures the majority algebra expresses
+natively.  Decompositions are tried in order of strength:
+
+1. constants and (complemented) literals;
+2. top-level AND/OR with a literal: ``f = x·g`` / ``f = x + g``;
+3. XOR with a literal: ``f = x ⊕ g`` (three nodes);
+4. *majority decomposition*: ``f = M(±x, ±y, g)`` for some variable
+   pair — detected through the cofactor conditions
+   ``f_xy = 1``, ``f_x̄ȳ = 0``, ``f_xȳ = f_x̄y`` (then ``g = f_xȳ``),
+   and the complemented variants;
+5. Shannon expansion on the most binate variable (a MUX, three nodes),
+   with the XOR special case when the cofactors are complements.
+
+Functions whose support has at most three variables short-circuit to
+the *exact* synthesizer (:mod:`repro.mig.exact`), which guarantees the
+minimum node count for the residues every decomposition bottoms out in.
+Results are memoized per call, so shared sub-functions are built once.
+This is the candidate generator for cut rewriting
+(:mod:`repro.mig.rewriting`) and a usable general synthesizer in its
+own right (``mig_from_truth_tables`` uses plain Shannon; this one finds
+majority/XOR structure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..truth import TruthTable
+from .graph import CONST0, CONST1, Mig, Signal, signal_not
+
+
+def synthesize_table(
+    mig: Mig,
+    table: TruthTable,
+    leaves: Sequence[Signal],
+    memo: Optional[Dict[TruthTable, Signal]] = None,
+) -> Signal:
+    """Build ``table`` over the given leaf signals; returns the root.
+
+    ``leaves[i]`` is the signal standing for table variable *i*.
+    """
+    if len(leaves) != table.num_vars:
+        raise ValueError(
+            f"need {table.num_vars} leaf signals, got {len(leaves)}"
+        )
+    if memo is None:
+        memo = {}
+    return _synth(mig, table, list(leaves), memo)
+
+
+def _synth(
+    mig: Mig,
+    f: TruthTable,
+    leaves: List[Signal],
+    memo: Dict[TruthTable, Signal],
+) -> Signal:
+    cached = memo.get(f)
+    if cached is not None:
+        return cached
+    complement = memo.get(~f)
+    if complement is not None:
+        return signal_not(complement)
+
+    result = _synth_uncached(mig, f, leaves, memo)
+    memo[f] = result
+    return result
+
+
+def _synth_uncached(
+    mig: Mig,
+    f: TruthTable,
+    leaves: List[Signal],
+    memo: Dict[TruthTable, Signal],
+) -> Signal:
+    num_vars = f.num_vars
+    if f.bits == 0:
+        return CONST0
+    if (~f).bits == 0:
+        return CONST1
+    support = f.support()
+    if len(support) == 1:
+        index = support[0]
+        positive = TruthTable.variable(num_vars, index)
+        return leaves[index] if f == positive else signal_not(leaves[index])
+    if len(support) <= 3:
+        from .exact import synthesize_exact
+
+        projected = _project(f, support)
+        return synthesize_exact(
+            mig, projected, [leaves[index] for index in support]
+        )
+
+    # --- literal factor: f = x·g, f = x̄·g, f = x + g, f = x̄ + g ----
+    for index in support:
+        one = f.cofactor(index, True)
+        zero = f.cofactor(index, False)
+        x = leaves[index]
+        if zero.bits == 0:  # f = x · f|x=1
+            return mig.make_and(x, _synth(mig, one, leaves, memo))
+        if one.bits == 0:  # f = x̄ · f|x=0
+            return mig.make_and(signal_not(x), _synth(mig, zero, leaves, memo))
+        if (~one).bits == 0:  # f = x + f|x=0
+            return mig.make_or(x, _synth(mig, zero, leaves, memo))
+        if (~zero).bits == 0:  # f = x̄ + f|x=1
+            return mig.make_or(signal_not(x), _synth(mig, one, leaves, memo))
+
+    # --- XOR factor: f = x ⊕ g  iff  f|x=0 == ~f|x=1 ------------------
+    for index in support:
+        one = f.cofactor(index, True)
+        zero = f.cofactor(index, False)
+        if zero == ~one:
+            return mig.make_xor(
+                leaves[index], _synth(mig, zero, leaves, memo)
+            )
+
+    # --- majority decomposition: f = M(±x, ±y, g) ---------------------
+    best_maj: Optional[Tuple[Signal, Signal, TruthTable]] = None
+    for i in support:
+        for j in support:
+            if j <= i:
+                continue
+            f11 = f.cofactor(i, True).cofactor(j, True)
+            f00 = f.cofactor(i, False).cofactor(j, False)
+            f10 = f.cofactor(i, True).cofactor(j, False)
+            f01 = f.cofactor(i, False).cofactor(j, True)
+            if f10 != f01:
+                continue
+            xi, yj = leaves[i], leaves[j]
+            if (~f11).bits == 0 and f00.bits == 0:
+                best_maj = (xi, yj, f10)  # M(x, y, g)
+            elif f11.bits == 0 and (~f00).bits == 0:
+                best_maj = (signal_not(xi), signal_not(yj), f10)
+            if best_maj is not None:
+                x, y, residue = best_maj
+                return mig.make_maj(
+                    x, y, _synth(mig, residue, leaves, memo)
+                )
+    # Mixed-polarity majority: f = M(x, ȳ, g) iff f|x=1,y=0 = 1,
+    # f|x=0,y=1 = 0, and f|x=1,y=1 == f|x=0,y=0 (then g is that).
+    for i in support:
+        for j in support:
+            if j == i:
+                continue
+            f10 = f.cofactor(i, True).cofactor(j, False)
+            f01 = f.cofactor(i, False).cofactor(j, True)
+            f11 = f.cofactor(i, True).cofactor(j, True)
+            f00 = f.cofactor(i, False).cofactor(j, False)
+            if (~f10).bits == 0 and f01.bits == 0 and f11 == f00:
+                return mig.make_maj(
+                    leaves[i],
+                    signal_not(leaves[j]),
+                    _synth(mig, f11, leaves, memo),
+                )
+
+    # --- Shannon on the most binate variable --------------------------
+    index = _most_binate(f, support)
+    one = f.cofactor(index, True)
+    zero = f.cofactor(index, False)
+    x = leaves[index]
+    hi = _synth(mig, one, leaves, memo)
+    lo = _synth(mig, zero, leaves, memo)
+    return mig.make_mux(x, hi, lo)
+
+
+def _project(f: TruthTable, support: Sequence[int]) -> TruthTable:
+    """Re-express ``f`` over exactly its support variables (in order)."""
+    bits = 0
+    for assignment in range(1 << len(support)):
+        full = 0
+        for position, variable in enumerate(support):
+            if (assignment >> position) & 1:
+                full |= 1 << variable
+        # Variables outside the support are don't-cares; probe at 0.
+        if f.value_at(full):
+            bits |= 1 << assignment
+    return TruthTable(len(support), bits)
+
+
+def _most_binate(f: TruthTable, support: Sequence[int]) -> int:
+    """The variable whose cofactors are most balanced (smallest
+    |ones(f1) - ones(f0)|) — the classic Shannon pivot heuristic."""
+    best_index = support[0]
+    best_score: Optional[int] = None
+    for index in support:
+        ones = f.cofactor(index, True).count_ones()
+        zeros = f.cofactor(index, False).count_ones()
+        score = abs(ones - zeros)
+        if best_score is None or score < best_score:
+            best_index, best_score = index, score
+    return best_index

@@ -1,0 +1,5 @@
+"""Gate-level netlist IR and simulation."""
+
+from .netlist import Gate, GateType, Netlist, NetlistError, evaluate_gate_words
+
+__all__ = ["Gate", "GateType", "Netlist", "NetlistError", "evaluate_gate_words"]

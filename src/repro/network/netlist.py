@@ -1,0 +1,357 @@
+"""Gate-level netlist intermediate representation.
+
+The :class:`Netlist` is the neutral substrate between the benchmark
+file parsers (``repro.io``) and the three graph representations
+(``repro.mig``, ``repro.bdd``, ``repro.aig``).  It is a named DAG of
+primitive gates with n-ary AND/OR/XOR support (as produced by ISCAS89
+``.bench`` and BLIF files) plus the ternary MAJ and MUX primitives used
+by structural benchmark generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..truth import TruthTable, table_mask
+
+
+class GateType(enum.Enum):
+    """Primitive gate functions supported by the netlist IR."""
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MAJ = "maj"
+    MUX = "mux"  # operands (sel, a, b): sel ? a : b
+
+
+_FIXED_ARITY = {
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.MAJ: 3,
+    GateType.MUX: 3,
+}
+
+_MIN_VARIADIC_ARITY = 1  # .bench files occasionally use 1-input AND/OR
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlists."""
+
+
+class Gate:
+    """A single named gate: a function type applied to named operands."""
+
+    __slots__ = ("name", "gate_type", "operands")
+
+    def __init__(self, name: str, gate_type: GateType, operands: Tuple[str, ...]):
+        self.name = name
+        self.gate_type = gate_type
+        self.operands = operands
+
+    def __repr__(self) -> str:
+        args = ", ".join(self.operands)
+        return f"{self.name} = {self.gate_type.value}({args})"
+
+
+def evaluate_gate_words(gate_type: GateType, words: Sequence[int], mask: int) -> int:
+    """Evaluate one gate over bit-parallel words (bit *i* = vector *i*)."""
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    if gate_type is GateType.BUF:
+        return words[0]
+    if gate_type is GateType.NOT:
+        return words[0] ^ mask
+    if gate_type in (GateType.AND, GateType.NAND):
+        acc = mask
+        for word in words:
+            acc &= word
+        return acc if gate_type is GateType.AND else acc ^ mask
+    if gate_type in (GateType.OR, GateType.NOR):
+        acc = 0
+        for word in words:
+            acc |= word
+        return acc if gate_type is GateType.OR else acc ^ mask
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        acc = 0
+        for word in words:
+            acc ^= word
+        return acc if gate_type is GateType.XOR else acc ^ mask
+    if gate_type is GateType.MAJ:
+        a, b, c = words
+        return (a & b) | (a & c) | (b & c)
+    if gate_type is GateType.MUX:
+        sel, then, other = words
+        return (sel & then) | ((sel ^ mask) & other)
+    raise NetlistError(f"unknown gate type {gate_type}")
+
+
+class Netlist:
+    """A combinational gate-level network with named nets.
+
+    Nets are identified by strings.  Primary inputs are declared with
+    :meth:`add_input`; every other net is defined exactly once by
+    :meth:`add_gate`.  Primary outputs reference existing nets.
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net and return its name."""
+        if name in self._gates or name in self._inputs:
+            raise NetlistError(f"net {name!r} already defined")
+        self._inputs.append(name)
+        self._topo_cache = None
+        return name
+
+    def add_gate(
+        self, name: str, gate_type: GateType, operands: Sequence[str]
+    ) -> str:
+        """Define net ``name`` as ``gate_type`` over ``operands``."""
+        if name in self._gates or name in self._inputs:
+            raise NetlistError(f"net {name!r} already defined")
+        arity = _FIXED_ARITY.get(gate_type)
+        if arity is not None:
+            if len(operands) != arity:
+                raise NetlistError(
+                    f"{gate_type.value} takes {arity} operands, got {len(operands)}"
+                )
+        elif len(operands) < _MIN_VARIADIC_ARITY:
+            raise NetlistError(f"{gate_type.value} needs at least one operand")
+        self._gates[name] = Gate(name, gate_type, tuple(operands))
+        self._topo_cache = None
+        return name
+
+    def set_output(self, name: str) -> None:
+        """Mark an existing net as a primary output (duplicates allowed)."""
+        self._outputs.append(name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input names, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output names, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gate definitions (excludes primary inputs)."""
+        return len(self._gates)
+
+    def gate(self, name: str) -> Gate:
+        """Return the :class:`Gate` driving net ``name``."""
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError(f"no gate drives net {name!r}") from None
+
+    def has_net(self, name: str) -> bool:
+        """True iff ``name`` is a declared input or a defined gate."""
+        return name in self._inputs or name in self._gates
+
+    def gates(self) -> Iterable[Gate]:
+        """Iterate all gates in definition order."""
+        return self._gates.values()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on dangling nets, cycles, or
+        undriven outputs."""
+        for gate in self._gates.values():
+            for operand in gate.operands:
+                if not self.has_net(operand):
+                    raise NetlistError(
+                        f"gate {gate.name!r} references undefined net {operand!r}"
+                    )
+        for output in self._outputs:
+            if not self.has_net(output):
+                raise NetlistError(f"primary output {output!r} is undriven")
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[Gate]:
+        """Return gates sorted so operands precede users (raises on cycles)."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        order: List[Gate] = []
+        state: Dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
+        for input_name in self._inputs:
+            state[input_name] = 2
+        for root in self._gates:
+            if state.get(root, 0) == 2:
+                continue
+            stack = [(root, 0)]
+            while stack:
+                name, operand_index = stack.pop()
+                if state.get(name, 0) == 2:
+                    continue
+                gate = self._gates.get(name)
+                if gate is None:
+                    raise NetlistError(f"undefined net {name!r}")
+                if operand_index == 0:
+                    state[name] = 1
+                pushed = False
+                for i in range(operand_index, len(gate.operands)):
+                    operand = gate.operands[i]
+                    operand_state = state.get(operand, 0)
+                    if operand_state == 1:
+                        raise NetlistError(
+                            f"combinational cycle through net {operand!r}"
+                        )
+                    if operand_state == 0:
+                        stack.append((name, i + 1))
+                        stack.append((operand, 0))
+                        pushed = True
+                        break
+                if not pushed:
+                    state[name] = 2
+                    order.append(gate)
+        self._topo_cache = order
+        return order
+
+    def level_of(self) -> Dict[str, int]:
+        """Return the logic level (longest path from inputs) of every net."""
+        levels: Dict[str, int] = {name: 0 for name in self._inputs}
+        for gate in self.topological_order():
+            if gate.operands:
+                levels[gate.name] = 1 + max(levels[op] for op in gate.operands)
+            else:
+                levels[gate.name] = 0
+        return levels
+
+    def depth(self) -> int:
+        """Return the maximum output level."""
+        if not self._outputs:
+            return 0
+        levels = self.level_of()
+        return max(levels[name] for name in self._outputs)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate_words(
+        self, input_words: Mapping[str, int], mask: int
+    ) -> Dict[str, int]:
+        """Bit-parallel simulation: every net gets a word of vectors.
+
+        ``input_words`` maps each primary input to a word whose bit *i*
+        is that input's value in test vector *i*; ``mask`` has one bit
+        set per vector.  Returns output name → word.
+        """
+        values: Dict[str, int] = {}
+        for name in self._inputs:
+            try:
+                values[name] = input_words[name] & mask
+            except KeyError:
+                raise NetlistError(f"missing value for input {name!r}") from None
+        for gate in self.topological_order():
+            words = [values[op] for op in gate.operands]
+            values[gate.name] = evaluate_gate_words(gate.gate_type, words, mask)
+        return {name: values[name] for name in set(self._outputs)}
+
+    def simulate(self, assignment: Mapping[str, bool]) -> Dict[str, bool]:
+        """Single-vector convenience wrapper over :meth:`simulate_words`."""
+        words = {}
+        for name in self._inputs:
+            if name not in assignment:
+                raise NetlistError(f"missing value for input {name!r}")
+            words[name] = 1 if assignment[name] else 0
+        result = self.simulate_words(words, 1)
+        return {name: bool(word) for name, word in result.items()}
+
+    def truth_tables(self) -> List[TruthTable]:
+        """Exhaustive output truth tables (inputs in declaration order).
+
+        Exponential in input count; guarded to 20 inputs.
+        """
+        num_vars = len(self._inputs)
+        if num_vars > 20:
+            raise NetlistError(
+                f"refusing exhaustive simulation of {num_vars} inputs"
+            )
+        mask = table_mask(num_vars)
+        input_words = {
+            name: TruthTable.variable(num_vars, i).bits
+            for i, name in enumerate(self._inputs)
+        }
+        out_words = self.simulate_words(input_words, mask)
+        return [TruthTable(num_vars, out_words[name]) for name in self._outputs]
+
+    def extract_output_cone(self, output_index: int, name: str = "") -> "Netlist":
+        """A new netlist containing only the logic feeding one output.
+
+        Primary inputs are preserved in declaration order, including
+        inputs the cone does not reference (the interface stays that of
+        the original circuit, as benchmark suites expect).
+        """
+        target = self._outputs[output_index]
+        cone = Netlist(name or f"{self.name}_o{output_index}")
+        for input_name in self._inputs:
+            cone.add_input(input_name)
+        needed: List[str] = []
+        stack = [target]
+        seen = set(self._inputs)
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            needed.append(net)
+            stack.extend(self.gate(net).operands)
+        for gate in self.topological_order():
+            if gate.name in needed:
+                cone.add_gate(gate.name, gate.gate_type, gate.operands)
+        cone.set_output(target)
+        cone.validate()
+        return cone
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Return a summary dict (inputs/outputs/gates/depth)."""
+        return {
+            "inputs": len(self._inputs),
+            "outputs": len(self._outputs),
+            "gates": len(self._gates),
+            "depth": self.depth(),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Netlist({self.name!r}, inputs={s['inputs']}, "
+            f"outputs={s['outputs']}, gates={s['gates']})"
+        )

@@ -1,0 +1,61 @@
+"""RRAM in-memory computing substrate: device model, micro-op ISA,
+array executor, majority gadgets, MIG compiler, and verification."""
+
+from .device import RramDevice, next_state
+from .isa import (
+    Imp,
+    IntrinsicMaj,
+    LoadInput,
+    MicroOp,
+    Program,
+    Step,
+    WriteCopy,
+    WriteLiteral,
+)
+from .array import ExecutionError, RramArray, run_program
+from .gadgets import (
+    IMP_GADGET_DEVICES,
+    IMP_GADGET_STEPS,
+    MAJ_GADGET_DEVICES,
+    MAJ_GADGET_STEPS,
+    standalone_majority_program,
+)
+from .compiler import CompilationError, CompilationReport, compile_mig
+from .plim import PlimReport, compile_plim
+from .energy import EnergyReport, measure_energy
+from .verify import (
+    verification_vectors,
+    verify_compiled,
+    verify_compiled_or_raise,
+)
+
+__all__ = [
+    "RramDevice",
+    "next_state",
+    "Imp",
+    "IntrinsicMaj",
+    "LoadInput",
+    "MicroOp",
+    "Program",
+    "Step",
+    "WriteCopy",
+    "WriteLiteral",
+    "ExecutionError",
+    "RramArray",
+    "run_program",
+    "IMP_GADGET_DEVICES",
+    "IMP_GADGET_STEPS",
+    "MAJ_GADGET_DEVICES",
+    "MAJ_GADGET_STEPS",
+    "standalone_majority_program",
+    "CompilationError",
+    "CompilationReport",
+    "compile_mig",
+    "PlimReport",
+    "compile_plim",
+    "EnergyReport",
+    "measure_energy",
+    "verification_vectors",
+    "verify_compiled",
+    "verify_compiled_or_raise",
+]

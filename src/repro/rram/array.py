@@ -1,0 +1,107 @@
+"""RRAM array executor.
+
+Executes compiled :class:`~repro.rram.isa.Program` objects on a vector
+of behavioural :class:`~repro.rram.device.RramDevice` models, enforcing
+the simultaneity semantics of a step (all sensing happens before any
+switching) and the write-once-per-step discipline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .device import RramDevice
+from .isa import (
+    Imp,
+    IntrinsicMaj,
+    LoadInput,
+    MicroOp,
+    Program,
+    Step,
+    WriteCopy,
+    WriteLiteral,
+)
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program violates array semantics at run time."""
+
+
+class RramArray:
+    """A bank of RRAM devices executing micro-programs step by step."""
+
+    def __init__(self, num_devices: int) -> None:
+        self.devices: List[RramDevice] = [
+            RramDevice() for _ in range(num_devices)
+        ]
+        self.steps_executed = 0
+
+    def state(self, index: int) -> bool:
+        """Sense one device."""
+        return self.devices[index].state
+
+    def states(self) -> List[bool]:
+        """Sense the whole array."""
+        return [device.state for device in self.devices]
+
+    def execute_step(self, step: Step, inputs: Sequence[bool] = ()) -> None:
+        """Execute one simultaneous voltage-application cycle.
+
+        ``inputs`` binds any :class:`LoadInput` ops in the step.
+        """
+        written = step.written_devices()
+        if len(written) != len(set(written)):
+            raise ExecutionError("a device is written twice within one step")
+        # All reads observe the pre-step state.
+        snapshot = [device.state for device in self.devices]
+        for op in step.ops:
+            self._apply(op, snapshot, inputs)
+        self.steps_executed += 1
+
+    def _apply(
+        self, op: MicroOp, snapshot: Sequence[bool], inputs: Sequence[bool]
+    ) -> None:
+        if isinstance(op, WriteLiteral):
+            self.devices[op.dst].write(op.value)
+        elif isinstance(op, LoadInput):
+            try:
+                value = inputs[op.pi_index]
+            except IndexError:
+                raise ExecutionError(
+                    f"program loads input {op.pi_index} but only "
+                    f"{len(inputs)} were provided"
+                ) from None
+            self.devices[op.dst].write(bool(value))
+        elif isinstance(op, WriteCopy):
+            value = snapshot[op.src]
+            self.devices[op.dst].write((not value) if op.negate else value)
+        elif isinstance(op, Imp):
+            # IMP drives dst to 1 when src reads 0 and holds it
+            # otherwise — the VSET/VCOND interaction of Fig. 1:
+            # q' = !p + q.
+            if not snapshot[op.src]:
+                self.devices[op.dst].set()
+            else:
+                self.devices[op.dst].apply(False, False)  # VCOND hold
+        elif isinstance(op, IntrinsicMaj):
+            self.devices[op.dst].apply(snapshot[op.p], snapshot[op.q])
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise ExecutionError(f"unknown micro-op {op!r}")
+
+
+def run_program(program: Program, input_values: Sequence[bool]) -> List[bool]:
+    """Execute a program for one input assignment; returns PO values."""
+    if len(input_values) != program.num_inputs:
+        raise ExecutionError(
+            f"program expects {program.num_inputs} inputs, "
+            f"got {len(input_values)}"
+        )
+    program.validate()
+    array = RramArray(program.num_devices)
+    inputs = [bool(v) for v in input_values]
+    for step in program.steps:
+        array.execute_step(step, inputs)
+    return [
+        array.state(program.output_devices[po_index])
+        for po_index in sorted(program.output_devices)
+    ]

@@ -1,0 +1,311 @@
+"""MIG → RRAM micro-program compiler (paper Sec. III-B).
+
+Implements the paper's level-by-level design methodology:
+
+* the graph is evaluated one MIG level at a time, inputs first;
+* every gate of a level occupies its own gadget block (6 devices for
+  the IMP realization, 4 for MAJ) and all gadgets of a level execute
+  their homologous micro-steps simultaneously, so a level costs
+  ``K_S`` steps (10 / 3) regardless of its width;
+* a level whose gates have complemented ingoing edges spends **one**
+  extra step executing all the required NOT operations in parallel
+  (each into its own pre-cleared device) — the ``+L`` term of Table I;
+* complemented primary outputs are inverted in one final extra step
+  (the "virtual level" of the cost-model convention in DESIGN.md §5);
+* devices are recycled through a free list as soon as the values they
+  hold are dead, reproducing the paper's RRAM-reuse scheme.
+
+The emitted step count is exactly the analytic ``S = K_S·D + L`` of
+Table I.  The emitted *device* count is reported separately from the
+analytic ``R = max(K_R·N_i + C_i)``: the analytic formula charges only
+the widest level, whereas a real schedule must additionally keep
+inter-level values and primary inputs alive — a deliberate idealization
+of the paper that EXPERIMENTS.md quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..mig import Mig, Realization, level_stats, rram_costs, signal_is_complemented, signal_node
+from ..mig.views import RramCosts
+from .gadgets import (
+    IMP_GADGET_DEVICES,
+    IMP_RESULT_SLOT,
+    MAJ_GADGET_DEVICES,
+    MAJ_RESULT_SLOT,
+    SLOT_A,
+    SLOT_B,
+    SLOT_C,
+    SLOT_X,
+    SLOT_Y,
+    SLOT_Z,
+    imp_gadget_compute_ops,
+    maj_gadget_compute_ops,
+)
+from .isa import Imp, LoadInput, MicroOp, Program, Step, WriteCopy, WriteLiteral
+
+
+class CompilationError(RuntimeError):
+    """Raised when an MIG cannot be scheduled onto the array."""
+
+
+@dataclass
+class CompilationReport:
+    """A compiled program together with analytic and measured costs."""
+
+    program: Program
+    analytic: RramCosts
+    measured_steps: int
+    measured_devices: int
+
+    @property
+    def steps_match_model(self) -> bool:
+        """True iff the emitted step count equals Table I's ``S``.
+
+        Degenerate gate-free circuits (outputs wired to inputs or
+        constants) still need one data-loading step, which the model's
+        ``S = K_S·D + L`` cannot account for at ``D = 0``.
+        """
+        expected = self.analytic.steps
+        if self.analytic.depth == 0 and self.program.steps:
+            expected += 1
+        return self.measured_steps == expected
+
+
+class _Allocator:
+    """Free-list device allocator with a high-water mark."""
+
+    def __init__(self) -> None:
+        self._free: List[int] = []
+        self._next = 0
+
+    def allocate(self) -> int:
+        if self._free:
+            return self._free.pop()
+        index = self._next
+        self._next += 1
+        return index
+
+    def release(self, index: int) -> None:
+        self._free.append(index)
+
+    @property
+    def high_water(self) -> int:
+        return self._next
+
+
+def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
+    """Compile an MIG into an executable RRAM micro-program."""
+    stats = level_stats(mig)
+    levels = stats.node_levels
+    depth = stats.depth
+    order = mig.reachable_nodes()
+
+    by_level: Dict[int, List[int]] = {}
+    for node in order:
+        by_level.setdefault(levels[node], []).append(node)
+
+    # Lifetime analysis: the highest level at which each value is read.
+    last_use: Dict[int, int] = {}
+    for node in order:
+        for child in mig.children(node):
+            child_node = signal_node(child)
+            if child_node == 0:
+                continue
+            last_use[child_node] = max(
+                last_use.get(child_node, 0), levels[node]
+            )
+    po_driver_levels: Dict[int, int] = {}
+    for po in mig.pos:
+        driver = signal_node(po)
+        if driver != 0:
+            last_use[driver] = depth + 1  # keep until the end
+            po_driver_levels[driver] = depth + 1
+
+    is_imp = realization is Realization.IMP
+    gadget_devices = IMP_GADGET_DEVICES if is_imp else MAJ_GADGET_DEVICES
+    result_slot = IMP_RESULT_SLOT if is_imp else MAJ_RESULT_SLOT
+    compute_ops = imp_gadget_compute_ops if is_imp else maj_gadget_compute_ops
+
+    allocator = _Allocator()
+    steps: List[Step] = []
+    registers: Dict[int, int] = {}  # live value node -> device
+
+    # Primary-input registers live for the whole program: any level may
+    # read a PI (directly or through a complemented edge).
+    pi_indices: Dict[int, int] = {node: i for i, node in enumerate(mig.pis)}
+    used_pis = [
+        node for node in mig.pis if node in last_use or node in po_driver_levels
+    ]
+    initial_load_ops: List[MicroOp] = []
+    for node in used_pis:
+        device = allocator.allocate()
+        registers[node] = device
+        initial_load_ops.append(LoadInput(device, pi_indices[node]))
+
+    # Constant registers only if some PO reads the constant node.
+    const_zero_device: Optional[int] = None
+    const_one_device: Optional[int] = None
+    for po in mig.pos:
+        if signal_node(po) != 0:
+            continue
+        if signal_is_complemented(po) and const_one_device is None:
+            const_one_device = allocator.allocate()
+            initial_load_ops.append(WriteLiteral(const_one_device, True))
+        elif not signal_is_complemented(po) and const_zero_device is None:
+            const_zero_device = allocator.allocate()
+            initial_load_ops.append(WriteLiteral(const_zero_device, False))
+
+    # Devices for complemented POs, cleared up front, written at the end.
+    po_invert_devices: Dict[int, int] = {}
+    for po_index, po in enumerate(mig.pos):
+        if signal_is_complemented(po) and signal_node(po) != 0:
+            device = allocator.allocate()
+            po_invert_devices[po_index] = device
+            initial_load_ops.append(WriteLiteral(device, False))
+
+    def source_register(child: int) -> int:
+        try:
+            return registers[child]
+        except KeyError:
+            raise CompilationError(
+                f"value of node {child} needed but not live"
+            ) from None
+
+    for level in range(1, depth + 1):
+        gates = by_level.get(level, [])
+        if not gates:
+            continue
+        load_ops: List[MicroOp] = []
+        invert_ops: List[MicroOp] = []
+        blocks: Dict[int, Dict[int, int]] = {}
+        for gate in gates:
+            slots = [allocator.allocate() for _ in range(gadget_devices)]
+            # Gadget slots need not be contiguous; compute ops are
+            # written against local roles, so keep a role → device map.
+            base_map = {offset: device for offset, device in enumerate(slots)}
+            children = mig.children(gate)
+            for slot_role, child in zip((SLOT_X, SLOT_Y, SLOT_Z), children):
+                device = base_map[slot_role]
+                child_node = signal_node(child)
+                complemented = signal_is_complemented(child)
+                if child_node == 0:
+                    load_ops.append(WriteLiteral(device, complemented))
+                elif complemented:
+                    # Pre-clear; the invert step IMPs the source in.
+                    load_ops.append(WriteLiteral(device, False))
+                    invert_ops.append(Imp(source_register(child_node), device))
+                elif mig.is_pi(child_node):
+                    load_ops.append(LoadInput(device, pi_indices[child_node]))
+                else:
+                    load_ops.append(
+                        WriteCopy(device, source_register(child_node))
+                    )
+            working_slots = (
+                (SLOT_A, SLOT_B, SLOT_C) if is_imp else (SLOT_A,)
+            )
+            for slot_role in working_slots:
+                load_ops.append(WriteLiteral(base_map[slot_role], False))
+            blocks[gate] = base_map
+
+        steps.append(Step(ops=load_ops, label=f"L{level}-load"))
+        if invert_ops:
+            steps.append(Step(ops=invert_ops, label=f"L{level}-invert"))
+
+        # Merge homologous gadget steps across all gates of the level.
+        num_compute_steps = (10 if is_imp else 3) - 1
+        merged: List[List[MicroOp]] = [[] for _ in range(num_compute_steps)]
+        for gate in gates:
+            base_map = blocks[gate]
+            groups = compute_ops(0)
+            for step_index, group in enumerate(groups):
+                for op in group:
+                    merged[step_index].append(_remap_op(op, base_map))
+        for step_index, ops in enumerate(merged):
+            steps.append(
+                Step(ops=ops, label=f"L{level}-compute-{step_index + 2}")
+            )
+
+        # Release: everything in each gadget except the result device,
+        # then any value whose last consumer was this level.
+        for gate in gates:
+            base_map = blocks[gate]
+            for slot_role, device in base_map.items():
+                if slot_role == result_slot:
+                    registers[gate] = device
+                else:
+                    allocator.release(device)
+        for value_node in list(registers):
+            if value_node == 0 or mig.is_pi(value_node):
+                continue
+            if last_use.get(value_node, 0) <= level and value_node not in po_driver_levels:
+                allocator.release(registers.pop(value_node))
+
+    # Final inversion step for complemented POs (the virtual level).
+    if po_invert_devices:
+        final_ops: List[MicroOp] = []
+        for po_index, device in po_invert_devices.items():
+            driver = signal_node(mig.pos[po_index])
+            final_ops.append(Imp(source_register(driver), device))
+        steps.append(Step(ops=final_ops, label="po-invert"))
+
+    output_devices: Dict[int, int] = {}
+    for po_index, po in enumerate(mig.pos):
+        if po_index in po_invert_devices:
+            output_devices[po_index] = po_invert_devices[po_index]
+            continue
+        driver = signal_node(po)
+        if driver == 0:
+            device = (
+                const_one_device
+                if signal_is_complemented(po)
+                else const_zero_device
+            )
+            assert device is not None
+            output_devices[po_index] = device
+        else:
+            output_devices[po_index] = source_register(driver)
+
+    # The paper folds data loading into the first level's load step
+    # (its step "01"); merging keeps the measured step count equal to
+    # the Table I model.
+    if initial_load_ops:
+        if steps and steps[0].label.endswith("-load"):
+            steps[0] = Step(
+                ops=initial_load_ops + steps[0].ops, label=steps[0].label
+            )
+        else:
+            steps.insert(0, Step(ops=initial_load_ops, label="load-inputs"))
+
+    program = Program(
+        name=mig.name,
+        realization=realization.value,
+        num_devices=allocator.high_water,
+        steps=steps,
+        num_inputs=mig.num_pis,
+        output_devices=output_devices,
+    )
+    program.validate()
+    return CompilationReport(
+        program=program,
+        analytic=rram_costs(mig, realization),
+        measured_steps=program.num_steps,
+        measured_devices=program.num_devices,
+    )
+
+
+def _remap_op(op: MicroOp, base_map: Dict[int, int]) -> MicroOp:
+    """Rewrite a gadget-local op onto the gate's actual devices."""
+    from .isa import IntrinsicMaj  # local import to avoid cycle noise
+
+    if isinstance(op, WriteLiteral):
+        return WriteLiteral(base_map[op.dst], op.value)
+    if isinstance(op, Imp):
+        return Imp(base_map[op.src], base_map[op.dst])
+    if isinstance(op, WriteCopy):
+        return WriteCopy(base_map[op.dst], base_map[op.src], op.negate)
+    if isinstance(op, IntrinsicMaj):
+        return IntrinsicMaj(base_map[op.dst], base_map[op.p], base_map[op.q])
+    raise CompilationError(f"cannot remap op {op!r}")

@@ -1,0 +1,60 @@
+"""Behavioural model of a single bipolar resistive switch (RRAM).
+
+The device is a two-terminal element whose internal resistance encodes
+one bit: logic 0 = high resistance (HRS), logic 1 = low resistance
+(LRS).  Paper Fig. 2 gives the switching behaviour as a function of the
+logic levels applied to the top (``P``) and bottom (``Q``) electrodes:
+
+===========  ===========  ==========================
+``P``        ``Q``        next state ``R'``
+===========  ===========  ==========================
+1 (VSET)     0            1   (set)
+0 (VCLEAR)   1            0   (reset)
+P == Q       (VCOND)      R   (hold)
+===========  ===========  ==========================
+
+which is exactly the *intrinsic majority* ``R' = M(P, !Q, R)`` — the
+observation the paper's MAJ realization exploits.
+"""
+
+from __future__ import annotations
+
+
+def next_state(p: bool, q: bool, r: bool) -> bool:
+    """The intrinsic majority switching rule ``R' = M(P, !Q, R)``."""
+    not_q = not q
+    return (p and not_q) or (p and r) or (not_q and r)
+
+
+class RramDevice:
+    """One resistive switch with an event-counted state."""
+
+    __slots__ = ("state", "writes")
+
+    def __init__(self, state: bool = False) -> None:
+        self.state = bool(state)
+        self.writes = 0
+
+    def apply(self, p: bool, q: bool) -> bool:
+        """Apply electrode levels for one step; returns the new state."""
+        self.state = next_state(p, q, self.state)
+        self.writes += 1
+        return self.state
+
+    def set(self) -> None:
+        """VSET pulse: unconditionally switch to logic 1."""
+        self.apply(True, False)
+
+    def clear(self) -> None:
+        """VCLEAR pulse: unconditionally switch to logic 0 (FALSE op)."""
+        self.apply(False, True)
+
+    def write(self, value: bool) -> None:
+        """Unconditional write via a set or clear pulse."""
+        if value:
+            self.set()
+        else:
+            self.clear()
+
+    def __repr__(self) -> str:
+        return f"RramDevice(state={int(self.state)}, writes={self.writes})"

@@ -1,0 +1,152 @@
+"""RRAM majority-gate gadgets (paper Sec. III-A).
+
+Two realizations of the majority gate ``M(x, y, z)``:
+
+* **IMP-based** (Fig. 3): six devices ``X Y Z A B C``, ten steps.  The
+  step sequence below is the paper's (Sec. III-A1) with the
+  intermediate values re-derived explicitly; the result lands in ``A``:
+
+  ====  =====================  ==========================
+  step  operation              state after
+  ====  =====================  ==========================
+  1     load                   X=x Y=y Z=z A=B=C=0
+  2     A <- X IMP A           A = !x
+  3     B <- Y IMP B           B = !y
+  4     Y <- A IMP Y           Y = x + y
+  5     B <- X IMP B           B = !x + !y = !(xy)
+  6     C <- Y IMP C           C = !(x + y)
+  7     C <- Z IMP C           C = !z + !x!y = !(xz + yz)
+  8     A <- FALSE             A = 0
+  9     A <- B IMP A           A = xy
+  10    A <- C IMP A           A = xy + xz + yz  = M(x,y,z)
+  ====  =====================  ==========================
+
+  (The gadget destroys ``Y``; the compiler therefore always gives each
+  gadget its own copies of the operands, made during the load step.)
+
+* **MAJ-based** (Sec. III-A2): four devices ``X Y Z A``, three steps,
+  exploiting the intrinsic majority ``R' = M(P, !Q, R)``:
+
+  ====  ==============================  =====================
+  step  operation                       state after
+  ====  ==============================  =====================
+  1     load                            X=x Y=y Z=z A=0
+  2     A <- !Y (conditional write)     A = !y
+  3     Z <- IntrinsicMaj(P=X, Q=A)     Z = M(x, !!y, z) = M(x,y,z)
+  ====  ==============================  =====================
+
+  The result lands in ``Z``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .isa import (
+    Imp,
+    IntrinsicMaj,
+    LoadInput,
+    MicroOp,
+    Program,
+    Step,
+    WriteCopy,
+    WriteLiteral,
+)
+
+IMP_GADGET_DEVICES = 6
+IMP_GADGET_STEPS = 10
+MAJ_GADGET_DEVICES = 4
+MAJ_GADGET_STEPS = 3
+
+# Slot roles within a gadget's device block.
+SLOT_X, SLOT_Y, SLOT_Z, SLOT_A, SLOT_B, SLOT_C = range(6)
+
+# Which slot holds the majority result when the gadget finishes.
+IMP_RESULT_SLOT = SLOT_A
+MAJ_RESULT_SLOT = SLOT_Z
+
+
+def imp_gadget_compute_ops(base: int) -> List[List[MicroOp]]:
+    """Post-load compute micro-ops of one IMP gadget (steps 2–10).
+
+    ``base`` is the index of the gadget's first device; slots are
+    ``base+SLOT_X .. base+SLOT_C``.  Returns nine single-op groups; the
+    compiler merges group *k* of every gadget in a level into one
+    array-wide step.
+    """
+    x, y, z = base + SLOT_X, base + SLOT_Y, base + SLOT_Z
+    a, b, c = base + SLOT_A, base + SLOT_B, base + SLOT_C
+    return [
+        [Imp(x, a)],  # step 2:  A = !x
+        [Imp(y, b)],  # step 3:  B = !y
+        [Imp(a, y)],  # step 4:  Y = x + y
+        [Imp(x, b)],  # step 5:  B = !(xy)
+        [Imp(y, c)],  # step 6:  C = !(x + y)
+        [Imp(z, c)],  # step 7:  C = !(xz + yz)
+        [WriteLiteral(a, False)],  # step 8: A = 0
+        [Imp(b, a)],  # step 9:  A = xy
+        [Imp(c, a)],  # step 10: A = M(x, y, z)
+    ]
+
+
+def maj_gadget_compute_ops(base: int) -> List[List[MicroOp]]:
+    """Post-load compute micro-ops of one MAJ gadget (steps 2–3)."""
+    x, y, z, a = base + SLOT_X, base + SLOT_Y, base + SLOT_Z, base + SLOT_A
+    return [
+        [WriteCopy(a, y, negate=True)],  # step 2: A = !y
+        [IntrinsicMaj(z, p=x, q=a)],  # step 3: Z = M(x, y, z)
+    ]
+
+
+def standalone_majority_program(realization: str) -> Program:
+    """A self-contained 3-input majority program for one gadget.
+
+    Used by the test-suite to replay the paper's gadget step tables
+    verbatim (all eight input combinations must produce ``M(x,y,z)``).
+    """
+    if realization == "imp":
+        num_devices = IMP_GADGET_DEVICES
+        load = Step(
+            ops=[
+                LoadInput(SLOT_X, 0),
+                LoadInput(SLOT_Y, 1),
+                LoadInput(SLOT_Z, 2),
+                WriteLiteral(SLOT_A, False),
+                WriteLiteral(SLOT_B, False),
+                WriteLiteral(SLOT_C, False),
+            ],
+            label="load",
+        )
+        compute = [
+            Step(ops=g, label=f"imp-step-{i + 2}")
+            for i, g in enumerate(imp_gadget_compute_ops(0))
+        ]
+        result_slot = IMP_RESULT_SLOT
+    elif realization == "maj":
+        num_devices = MAJ_GADGET_DEVICES
+        load = Step(
+            ops=[
+                LoadInput(SLOT_X, 0),
+                LoadInput(SLOT_Y, 1),
+                LoadInput(SLOT_Z, 2),
+                WriteLiteral(SLOT_A, False),
+            ],
+            label="load",
+        )
+        compute = [
+            Step(ops=g, label=f"maj-step-{i + 2}")
+            for i, g in enumerate(maj_gadget_compute_ops(0))
+        ]
+        result_slot = MAJ_RESULT_SLOT
+    else:
+        raise ValueError(f"unknown realization {realization!r}")
+    program = Program(
+        name=f"majority-{realization}",
+        realization=realization,
+        num_devices=num_devices,
+        steps=[load] + compute,
+        num_inputs=3,
+        output_devices={0: result_slot},
+    )
+    program.validate()
+    return program

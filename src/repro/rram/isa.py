@@ -1,0 +1,152 @@
+"""Micro-operation ISA for the RRAM array.
+
+A compiled program is a list of :class:`Step` objects; each step is a
+set of micro-operations executed *simultaneously* (one voltage-
+application cycle across the array).  The paper's step counts refer to
+exactly these steps.
+
+Reads are non-destructive (sensing); all reads within a step observe
+the pre-step state, and no device may be written twice in one step —
+both rules are enforced by the executor.
+
+Operations
+----------
+``WriteLiteral``
+    Unconditional set/clear pulse — data loading and the FALSE op.
+``WriteCopy``
+    Conditional write: sense a source device and drive the destination
+    to (optionally the negation of) that value.  This is the
+    VSET/VCOND conditioning described for step 2 of the paper's
+    MAJ-based gadget, also used to move level results into the next
+    level's gate inputs.
+``Imp``
+    Material implication (Fig. 1): ``dst <- !src + dst``.
+``IntrinsicMaj``
+    One conditional pulse exploiting the device's built-in majority
+    (Fig. 2): ``dst <- M(val(p), !val(q), dst)``.
+``LoadInput``
+    Data-loading write of a primary input, bound at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+
+@dataclass(frozen=True)
+class WriteLiteral:
+    """Unconditionally write ``value`` into device ``dst``."""
+
+    dst: int
+    value: bool
+
+
+@dataclass(frozen=True)
+class LoadInput:
+    """Unconditionally write primary input ``pi_index`` into ``dst``.
+
+    The value is bound by the executor when the program is run with a
+    concrete input assignment; in hardware this is the external write
+    of the data-loading step.
+    """
+
+    dst: int
+    pi_index: int
+
+
+@dataclass(frozen=True)
+class WriteCopy:
+    """Sense ``src`` and drive ``dst`` to its (possibly negated) value."""
+
+    dst: int
+    src: int
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class Imp:
+    """Material implication: ``dst <- !val(src) + val(dst)``."""
+
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class IntrinsicMaj:
+    """Built-in majority pulse: ``dst <- M(val(p), !val(q), val(dst))``.
+
+    With ``q`` holding ``!y`` this computes ``M(val(p), y, dst)`` — the
+    paper's 3-step MAJ gadget uses exactly this.
+    """
+
+    dst: int
+    p: int
+    q: int
+
+
+MicroOp = Union[WriteLiteral, LoadInput, WriteCopy, Imp, IntrinsicMaj]
+
+
+@dataclass
+class Step:
+    """One simultaneous voltage-application cycle."""
+
+    ops: List[MicroOp] = field(default_factory=list)
+    label: str = ""
+
+    def written_devices(self) -> List[int]:
+        """Destination device of every op (each must be unique)."""
+        return [op.dst for op in self.ops]
+
+    def read_devices(self) -> List[int]:
+        """Devices sensed by this step."""
+        reads: List[int] = []
+        for op in self.ops:
+            if isinstance(op, WriteCopy):
+                reads.append(op.src)
+            elif isinstance(op, Imp):
+                reads.append(op.src)
+            elif isinstance(op, IntrinsicMaj):
+                reads.extend((op.p, op.q))
+        return reads
+
+
+@dataclass
+class Program:
+    """A compiled RRAM micro-program.
+
+    ``num_inputs`` is the arity the executor binds ``LoadInput`` ops
+    against; ``output_devices`` maps primary-output index → the device
+    holding the result after the last step.
+    """
+
+    name: str
+    realization: str
+    num_devices: int
+    steps: List[Step] = field(default_factory=list)
+    num_inputs: int = 0
+    output_devices: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_steps(self) -> int:
+        """The program's step count — the paper's ``S`` as *measured*."""
+        return len(self.steps)
+
+    def validate(self) -> None:
+        """Check per-step write-once discipline and device ranges."""
+        for index, step in enumerate(self.steps):
+            written = step.written_devices()
+            if len(written) != len(set(written)):
+                raise ValueError(f"step {index} writes a device twice")
+            for device in written + step.read_devices():
+                if not 0 <= device < self.num_devices:
+                    raise ValueError(
+                        f"step {index} references device {device} "
+                        f"outside 0..{self.num_devices - 1}"
+                    )
+            for op in step.ops:
+                if isinstance(op, LoadInput) and not 0 <= op.pi_index < self.num_inputs:
+                    raise ValueError(
+                        f"step {index} loads unknown input {op.pi_index}"
+                    )

@@ -1,0 +1,218 @@
+"""PLiM-style backend: fully serialized RM3 instruction streams.
+
+The paper's reference [15] (Gaillardon et al., "The Programmable
+Logic-in-Memory computer", DATE 2016) executes logic-in-memory as a
+*sequential* program of single ``RM3`` instructions,
+
+    ``Z <- M(X, !Y, Z)``,
+
+one per cycle, where ``X``/``Y`` are sensed operands or constants and
+``Z`` is a destination device — exactly our
+:class:`~repro.rram.isa.IntrinsicMaj` micro-op.  This module compiles
+an MIG into such a stream.  It is the natural serial counterpart of the
+paper's level-parallel MAJ realization: PLiM instruction counts scale
+with *node count*, the level-parallel schedule with *depth* — the
+contrast quantified in ``benchmarks/bench_plim.py``.
+
+Instruction selection per gate ``M(a, b, c)``:
+
+* one child is preloaded into the destination (2 instructions —
+  clear/set, then an RM3 copy; a complemented preload is free by
+  preloading 1 and copying through the ``Y`` operand);
+* one remaining complemented child rides the ``Y`` slot for free;
+* a second complemented child costs an explicit inversion
+  (2 instructions into a scratch device);
+* the final RM3 computes the majority in place (1 instruction).
+
+Total: 3–5 instructions per gate, plus one data-load cycle per input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..mig import Mig, signal_is_complemented, signal_node
+from .isa import IntrinsicMaj, LoadInput, MicroOp, Program, Step, WriteLiteral
+
+
+@dataclass
+class PlimReport:
+    """A compiled PLiM stream with its headline metric."""
+
+    program: Program
+    instructions: int  # = program.num_steps (one instruction per cycle)
+    gates: int
+
+
+class _Allocator:
+    def __init__(self) -> None:
+        self._free: List[int] = []
+        self._next = 0
+
+    def allocate(self) -> int:
+        if self._free:
+            return self._free.pop()
+        index = self._next
+        self._next += 1
+        return index
+
+    def release(self, index: int) -> None:
+        self._free.append(index)
+
+    @property
+    def high_water(self) -> int:
+        return self._next
+
+
+def compile_plim(mig: Mig, *, name: Optional[str] = None) -> PlimReport:
+    """Compile an MIG into a serial RM3 instruction stream."""
+    order = mig.reachable_nodes()
+    position = {node: i for i, node in enumerate(order)}
+    last_use: Dict[int, int] = {}
+    for node in order:
+        for child in mig.children(node):
+            child_node = signal_node(child)
+            if child_node != 0:
+                last_use[child_node] = position[node]
+    for po in mig.pos:
+        driver = signal_node(po)
+        if driver != 0:
+            last_use[driver] = len(order)
+
+    allocator = _Allocator()
+    steps: List[Step] = []
+
+    def emit(op: MicroOp, label: str) -> None:
+        steps.append(Step([op], label))
+
+    registers: Dict[int, int] = {}
+    pi_index = {node: i for i, node in enumerate(mig.pis)}
+    const_false = allocator.allocate()
+    const_true = allocator.allocate()
+    emit(WriteLiteral(const_false, False), "plim-const0")
+    emit(WriteLiteral(const_true, True), "plim-const1")
+    for node in mig.pis:
+        device = allocator.allocate()
+        registers[node] = device
+        emit(LoadInput(device, pi_index[node]), "plim-load")
+
+    def value_device(signal_node_id: int) -> int:
+        if signal_node_id == 0:
+            return const_false
+        return registers[signal_node_id]
+
+    def materialize_complement(source: int, label: str) -> int:
+        """2 instructions: scratch <- 0; scratch <- M(1, !src, 0) = !src."""
+        scratch = allocator.allocate()
+        emit(WriteLiteral(scratch, False), f"{label}-clr")
+        emit(IntrinsicMaj(scratch, p=const_true, q=source), f"{label}-inv")
+        return scratch
+
+    for node in order:
+        children = list(mig.children(node))
+        # Choose the preload child: prefer a constant (free literal
+        # preload), else any child — complemented preloads are also
+        # cheap, so just take the last slot.
+        children.sort(
+            key=lambda s: 0 if signal_node(s) == 0 else 1
+        )
+        preload, op_a, op_b = children[0], children[1], children[2]
+
+        dest = allocator.allocate()
+        preload_node = signal_node(preload)
+        preload_comp = signal_is_complemented(preload)
+        if preload_node == 0:
+            emit(WriteLiteral(dest, preload_comp), f"plim-n{node}-pre")
+        elif not preload_comp:
+            # dest <- 0; dest <- M(src, !0, 0) = src.
+            emit(WriteLiteral(dest, False), f"plim-n{node}-clr")
+            emit(
+                IntrinsicMaj(dest, p=value_device(preload_node), q=const_false),
+                f"plim-n{node}-copy",
+            )
+        else:
+            # dest <- 1; dest <- M(0, !src, 1) = !src.
+            emit(WriteLiteral(dest, True), f"plim-n{node}-set")
+            emit(
+                IntrinsicMaj(dest, p=const_false, q=value_device(preload_node)),
+                f"plim-n{node}-ncopy",
+            )
+
+        # One complemented operand can ride the Y slot for free; put a
+        # complemented one in Y if available.
+        if signal_is_complemented(op_a) and not signal_is_complemented(op_b):
+            op_a, op_b = op_b, op_a
+        # Now: op_a -> X slot (needs plain), op_b -> Y slot (needs its
+        # complement available as a plain device value... the RM3
+        # negates Y itself, so Y wants the *plain* value of a
+        # complemented operand and an *inverted* copy of a plain one).
+        scratches: List[int] = []
+
+        def x_operand(signal: int) -> int:
+            node_id = signal_node(signal)
+            if node_id == 0:
+                return const_true if signal & 1 else const_false
+            if not signal_is_complemented(signal):
+                return value_device(node_id)
+            scratch = materialize_complement(
+                value_device(node_id), f"plim-n{node}-x"
+            )
+            scratches.append(scratch)
+            return scratch
+
+        def y_operand(signal: int) -> int:
+            node_id = signal_node(signal)
+            if node_id == 0:
+                # Y is negated by the instruction: to contribute the
+                # constant v, the device must hold !v.
+                return const_false if signal & 1 else const_true
+            if signal_is_complemented(signal):
+                return value_device(node_id)  # !value via the Y slot
+            scratch = materialize_complement(
+                value_device(node_id), f"plim-n{node}-y"
+            )
+            scratches.append(scratch)
+            return scratch
+
+        x_device = x_operand(op_a)
+        y_device = y_operand(op_b)
+        emit(IntrinsicMaj(dest, p=x_device, q=y_device), f"plim-n{node}-rm3")
+        for scratch in scratches:
+            allocator.release(scratch)
+        registers[node] = dest
+
+        index = position[node]
+        for value in [v for v in list(registers) if not mig.is_pi(v)]:
+            if value != node and last_use.get(value, -1) <= index:
+                allocator.release(registers.pop(value))
+
+    output_devices: Dict[int, int] = {}
+    for po_position, po in enumerate(mig.pos):
+        driver = signal_node(po)
+        if driver == 0:
+            output_devices[po_position] = (
+                const_true if po & 1 else const_false
+            )
+        elif signal_is_complemented(po):
+            device = materialize_complement(
+                value_device(driver), f"plim-po{po_position}"
+            )
+            output_devices[po_position] = device
+        else:
+            output_devices[po_position] = value_device(driver)
+
+    program = Program(
+        name=name or f"{mig.name}-plim",
+        realization="plim-rm3",
+        num_devices=allocator.high_water,
+        steps=steps,
+        num_inputs=mig.num_pis,
+        output_devices=output_devices,
+    )
+    program.validate()
+    return PlimReport(
+        program=program,
+        instructions=program.num_steps,
+        gates=len(order),
+    )

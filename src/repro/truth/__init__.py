@@ -1,0 +1,45 @@
+"""Truth-table substrate: reference Boolean semantics for the library."""
+
+from .truth_table import (
+    TruthTable,
+    all_tables,
+    if_then_else,
+    table_mask,
+    ternary_majority,
+    variable_pattern,
+)
+from .functions import (
+    adder_function,
+    clip_style_function,
+    comparator_function,
+    con1_style_function,
+    count_ones_function,
+    majority_function,
+    multiplexer_function,
+    nine_sym_function,
+    parity_function,
+    squarer_function,
+    sym10_function,
+    symmetric_band_function,
+)
+
+__all__ = [
+    "TruthTable",
+    "all_tables",
+    "if_then_else",
+    "table_mask",
+    "ternary_majority",
+    "variable_pattern",
+    "adder_function",
+    "clip_style_function",
+    "comparator_function",
+    "con1_style_function",
+    "count_ones_function",
+    "majority_function",
+    "multiplexer_function",
+    "nine_sym_function",
+    "parity_function",
+    "squarer_function",
+    "sym10_function",
+    "symmetric_band_function",
+]

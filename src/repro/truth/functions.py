@@ -1,0 +1,203 @@
+"""Reference generators for well-known benchmark functions.
+
+Each generator returns a list of :class:`~repro.truth.TruthTable`
+objects, one per primary output, all over the same variable count.
+These are the *exact* mathematical definitions used for the benchmark
+circuits that have a public specification (see DESIGN.md §3); the
+benchmark suite builds structural netlists separately and checks them
+against these tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .truth_table import TruthTable
+
+
+def parity_function(num_vars: int) -> List[TruthTable]:
+    """Odd-parity (XOR) of all inputs — the LGsynth91 ``parity`` family."""
+    table = TruthTable.constant(num_vars, False)
+    for i in range(num_vars):
+        table = table ^ TruthTable.variable(num_vars, i)
+    return [table]
+
+
+def count_ones_function(num_vars: int, num_outputs: int) -> List[TruthTable]:
+    """Binary count of ones — the ``rd53``/``rd73``/``rd84`` family.
+
+    Output *j* is bit *j* of the population count of the inputs.
+    ``rd53`` is ``count_ones_function(5, 3)``, ``rd73`` is ``(7, 3)``
+    and ``rd84`` is ``(8, 4)``.
+    """
+    outputs = []
+    for bit in range(num_outputs):
+        outputs.append(
+            TruthTable.from_function(
+                num_vars,
+                lambda inputs, b=bit: bool((sum(inputs) >> b) & 1),
+            )
+        )
+    return outputs
+
+
+def symmetric_band_function(
+    num_vars: int, low: int, high: int
+) -> List[TruthTable]:
+    """Totally symmetric function: 1 iff ``low <= popcount <= high``.
+
+    ``9sym`` is the classic instance ``symmetric_band_function(9, 3, 6)``;
+    ``sym10`` is ``symmetric_band_function(10, 3, 6)``.
+    """
+    if not 0 <= low <= high <= num_vars:
+        raise ValueError(f"invalid band [{low}, {high}] for {num_vars} vars")
+    return [
+        TruthTable.from_function(
+            num_vars, lambda inputs: low <= sum(inputs) <= high
+        )
+    ]
+
+
+def nine_sym_function() -> List[TruthTable]:
+    """The MCNC ``9sym`` benchmark: 1 iff 3..6 of the 9 inputs are 1."""
+    return symmetric_band_function(9, 3, 6)
+
+
+def sym10_function() -> List[TruthTable]:
+    """The ``sym10`` benchmark: 1 iff 3..6 of the 10 inputs are 1."""
+    return symmetric_band_function(10, 3, 6)
+
+
+def multiplexer_function(select_bits: int) -> List[TruthTable]:
+    """``2**k``-to-1 multiplexer — ``cm150a`` is ``select_bits = 4``.
+
+    Variable layout: data inputs ``d0 .. d(2**k - 1)`` first, then the
+    ``k`` select inputs; ``21 = 16 + 4 + 1`` pins for cm150a counts the
+    single output in the netlist view, not here.
+    """
+    data = 1 << select_bits
+    num_vars = data + select_bits
+
+    def mux(inputs: Sequence[bool]) -> bool:
+        index = 0
+        for i in range(select_bits):
+            if inputs[data + i]:
+                index |= 1 << i
+        return inputs[index]
+
+    return [TruthTable.from_function(num_vars, mux)]
+
+
+def majority_function(num_vars: int) -> List[TruthTable]:
+    """N-input majority (1 iff more than half the inputs are 1)."""
+    if num_vars % 2 == 0:
+        raise ValueError("majority is defined for an odd number of inputs")
+    threshold = num_vars // 2 + 1
+    return [
+        TruthTable.from_function(num_vars, lambda inputs: sum(inputs) >= threshold)
+    ]
+
+
+def adder_function(width: int) -> List[TruthTable]:
+    """Ripple-carry adder: ``a + b + cin`` over ``2*width + 1`` inputs.
+
+    Variable layout: ``a0..a(w-1)``, ``b0..b(w-1)``, ``cin``.
+    Outputs: ``sum0..sum(w-1)``, ``cout``.
+    """
+    num_vars = 2 * width + 1
+
+    def bit_of_sum(inputs: Sequence[bool], bit: int) -> bool:
+        a = sum(1 << i for i in range(width) if inputs[i])
+        b = sum(1 << i for i in range(width) if inputs[width + i])
+        total = a + b + (1 if inputs[2 * width] else 0)
+        return bool((total >> bit) & 1)
+
+    return [
+        TruthTable.from_function(num_vars, lambda inp, b=bit: bit_of_sum(inp, b))
+        for bit in range(width + 1)
+    ]
+
+
+def comparator_function(width: int) -> List[TruthTable]:
+    """Unsigned comparator: outputs (a < b, a == b) over ``2*width`` inputs."""
+    num_vars = 2 * width
+
+    def values(inputs: Sequence[bool]):
+        a = sum(1 << i for i in range(width) if inputs[i])
+        b = sum(1 << i for i in range(width) if inputs[width + i])
+        return a, b
+
+    less = TruthTable.from_function(
+        num_vars, lambda inp: values(inp)[0] < values(inp)[1]
+    )
+    equal = TruthTable.from_function(
+        num_vars, lambda inp: values(inp)[0] == values(inp)[1]
+    )
+    return [less, equal]
+
+
+def con1_style_function() -> List[TruthTable]:
+    """A 7-input, 2-output control function standing in for MCNC ``con1``.
+
+    The original espresso PLA is not redistributable; this is a compact
+    two-output sum-of-products control function with the same interface
+    (7 inputs, 2 outputs) and comparable literal counts, documented as a
+    substitution in DESIGN.md §3.
+    """
+    num_vars = 7
+
+    def out0(inp: Sequence[bool]) -> bool:
+        x = inp
+        return (
+            (x[0] and x[2] and not x[4])
+            or (x[1] and x[3] and x[5])
+            or (not x[0] and x[6])
+        )
+
+    def out1(inp: Sequence[bool]) -> bool:
+        x = inp
+        return (
+            (x[4] and x[5])
+            or (x[0] and not x[1] and x[6])
+            or (x[2] and not x[3] and not x[6])
+        )
+
+    return [
+        TruthTable.from_function(num_vars, out0),
+        TruthTable.from_function(num_vars, out1),
+    ]
+
+
+def squarer_function(width: int) -> List[TruthTable]:
+    """Squarer ``x -> x*x`` (the ``5xp1``-class arithmetic flavour)."""
+    num_vars = width
+    out_bits = 2 * width
+
+    def bit(inputs: Sequence[bool], b: int) -> bool:
+        x = sum(1 << i for i in range(width) if inputs[i])
+        return bool(((x * x) >> b) & 1)
+
+    return [
+        TruthTable.from_function(num_vars, lambda inp, b=b: bit(inp, b))
+        for b in range(out_bits)
+    ]
+
+
+def clip_style_function() -> List[TruthTable]:
+    """Saturating 9-in/5-out arithmetic stand-in for MCNC ``clip``.
+
+    Treats the inputs as a signed 9-bit value and clips it into 5 bits.
+    """
+    num_vars = 9
+
+    def bit(inputs: Sequence[bool], b: int) -> bool:
+        raw = sum(1 << i for i in range(num_vars) if inputs[i])
+        if raw >= 1 << (num_vars - 1):
+            raw -= 1 << num_vars
+        clipped = max(-16, min(15, raw)) & 0x1F
+        return bool((clipped >> b) & 1)
+
+    return [
+        TruthTable.from_function(num_vars, lambda inp, b=b: bit(inp, b))
+        for b in range(5)
+    ]

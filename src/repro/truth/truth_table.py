@@ -1,0 +1,293 @@
+"""Bit-parallel truth tables.
+
+A :class:`TruthTable` stores the complete function table of a Boolean
+function over ``num_vars`` variables as a single arbitrary-precision
+integer: bit ``i`` of :attr:`TruthTable.bits` is the function value for
+the input assignment whose binary encoding is ``i`` (variable 0 is the
+least-significant bit of the assignment index).
+
+This representation makes Boolean operations single integer operations,
+which keeps exhaustive equivalence checking of graphs with up to ~16
+inputs cheap.  It is the reference semantics for every other
+representation in this library (netlists, MIGs, BDDs, AIGs and compiled
+RRAM micro-programs are all checked against it in the test-suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+def table_mask(num_vars: int) -> int:
+    """Return the all-ones mask of a ``num_vars``-variable truth table."""
+    if num_vars < 0:
+        raise ValueError(f"num_vars must be non-negative, got {num_vars}")
+    return (1 << (1 << num_vars)) - 1
+
+
+def variable_pattern(num_vars: int, index: int) -> int:
+    """Return the bit pattern of projection variable ``index``.
+
+    The pattern of variable *k* in an *n*-variable table is the classic
+    alternating block pattern: blocks of ``2**k`` zeros followed by
+    ``2**k`` ones, repeated.
+    """
+    if not 0 <= index < num_vars:
+        raise ValueError(f"variable index {index} out of range for {num_vars} vars")
+    block = 1 << index
+    period = block << 1
+    # One period is `block` zeros then `block` ones (ones in the high half).
+    chunk = ((1 << block) - 1) << block
+    pattern = 0
+    for offset in range(0, 1 << num_vars, period):
+        pattern |= chunk << offset
+    return pattern
+
+
+class TruthTable:
+    """An immutable complete truth table over a fixed number of variables.
+
+    Instances behave like Boolean values under the operators ``&``,
+    ``|``, ``^`` and ``~`` and compare equal iff they have the same
+    variable count and the same function.
+    """
+
+    __slots__ = ("_num_vars", "_bits")
+
+    def __init__(self, num_vars: int, bits: int = 0) -> None:
+        if num_vars < 0:
+            raise ValueError(f"num_vars must be non-negative, got {num_vars}")
+        if bits < 0:
+            raise ValueError("bits must be a non-negative integer")
+        mask = table_mask(num_vars)
+        if bits > mask:
+            raise ValueError(
+                f"bits 0x{bits:x} does not fit a {num_vars}-variable table"
+            )
+        self._num_vars = num_vars
+        self._bits = bits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, num_vars: int, value: bool) -> "TruthTable":
+        """Return the constant-``value`` function over ``num_vars`` vars."""
+        return cls(num_vars, table_mask(num_vars) if value else 0)
+
+    @classmethod
+    def variable(cls, num_vars: int, index: int) -> "TruthTable":
+        """Return the projection function of variable ``index``."""
+        return cls(num_vars, variable_pattern(num_vars, index))
+
+    @classmethod
+    def from_function(
+        cls, num_vars: int, func: Callable[[Sequence[bool]], bool]
+    ) -> "TruthTable":
+        """Build a table by evaluating ``func`` on every assignment.
+
+        ``func`` receives a tuple of ``num_vars`` bools (index 0 first).
+        Exponential in ``num_vars``; intended for reference definitions.
+        """
+        bits = 0
+        for assignment in range(1 << num_vars):
+            inputs = tuple(bool((assignment >> i) & 1) for i in range(num_vars))
+            if func(inputs):
+                bits |= 1 << assignment
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_binary_string(cls, pattern: str) -> "TruthTable":
+        """Parse a binary string, most-significant assignment first.
+
+        ``TruthTable.from_binary_string("1000")`` is the 2-input AND:
+        character 0 is the value at assignment ``2**n - 1``.
+        """
+        length = len(pattern)
+        if length == 0 or length & (length - 1):
+            raise ValueError(f"pattern length {length} is not a power of two")
+        num_vars = length.bit_length() - 1
+        bits = 0
+        for offset, char in enumerate(reversed(pattern)):
+            if char == "1":
+                bits |= 1 << offset
+            elif char != "0":
+                raise ValueError(f"invalid character {char!r} in binary pattern")
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_hex_string(cls, num_vars: int, pattern: str) -> "TruthTable":
+        """Parse the conventional hex spelling (e.g. ``"e8"`` = MAJ3)."""
+        bits = int(pattern, 16)
+        return cls(num_vars, bits)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables this table is defined over."""
+        return self._num_vars
+
+    @property
+    def bits(self) -> int:
+        """The raw function table as an integer (bit i = value at i)."""
+        return self._bits
+
+    @property
+    def num_entries(self) -> int:
+        """Number of rows in the table (``2**num_vars``)."""
+        return 1 << self._num_vars
+
+    def value_at(self, assignment: int) -> bool:
+        """Return the function value for an assignment index."""
+        if not 0 <= assignment < self.num_entries:
+            raise IndexError(f"assignment {assignment} out of range")
+        return bool((self._bits >> assignment) & 1)
+
+    def evaluate(self, inputs: Sequence[bool]) -> bool:
+        """Return the function value for a tuple of input bits."""
+        if len(inputs) != self._num_vars:
+            raise ValueError(
+                f"expected {self._num_vars} inputs, got {len(inputs)}"
+            )
+        assignment = 0
+        for i, bit in enumerate(inputs):
+            if bit:
+                assignment |= 1 << i
+        return self.value_at(assignment)
+
+    def count_ones(self) -> int:
+        """Return the number of minterms (ON-set size)."""
+        return bin(self._bits).count("1")
+
+    def is_constant(self) -> bool:
+        """True iff the function is constant 0 or constant 1."""
+        return self._bits == 0 or self._bits == table_mask(self._num_vars)
+
+    def depends_on(self, index: int) -> bool:
+        """True iff the function actually depends on variable ``index``."""
+        return self.cofactor(index, False) != self.cofactor(index, True)
+
+    def support(self) -> tuple:
+        """Return the tuple of variable indices the function depends on."""
+        return tuple(i for i in range(self._num_vars) if self.depends_on(i))
+
+    # ------------------------------------------------------------------
+    # Boolean operators
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "TruthTable") -> None:
+        if not isinstance(other, TruthTable):
+            raise TypeError(f"expected TruthTable, got {type(other).__name__}")
+        if other._num_vars != self._num_vars:
+            raise ValueError(
+                f"variable count mismatch: {self._num_vars} vs {other._num_vars}"
+            )
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compatible(other)
+        return TruthTable(self._num_vars, self._bits & other._bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compatible(other)
+        return TruthTable(self._num_vars, self._bits | other._bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compatible(other)
+        return TruthTable(self._num_vars, self._bits ^ other._bits)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(
+            self._num_vars, self._bits ^ table_mask(self._num_vars)
+        )
+
+    def implies(self, other: "TruthTable") -> "TruthTable":
+        """Material implication ``(~self) | other`` — the IMP primitive."""
+        self._check_compatible(other)
+        return (~self) | other
+
+    # ------------------------------------------------------------------
+    # Derived operations
+    # ------------------------------------------------------------------
+
+    def cofactor(self, index: int, value: bool) -> "TruthTable":
+        """Shannon cofactor with variable ``index`` fixed to ``value``.
+
+        The result is still expressed over all ``num_vars`` variables
+        (the fixed variable becomes a don't-care), which keeps cofactors
+        composable with the other operators.
+        """
+        var = variable_pattern(self._num_vars, index)
+        block = 1 << index
+        if value:
+            kept = self._bits & var
+            spread = kept | (kept >> block)
+        else:
+            kept = self._bits & ~var & table_mask(self._num_vars)
+            spread = kept | (kept << block)
+        return TruthTable(self._num_vars, spread & table_mask(self._num_vars))
+
+    def extend(self, num_vars: int) -> "TruthTable":
+        """Re-express the table over a larger variable set.
+
+        New variables are don't-cares appended above the existing ones.
+        """
+        if num_vars < self._num_vars:
+            raise ValueError("cannot extend to fewer variables")
+        bits = self._bits
+        width = 1 << self._num_vars
+        for _ in range(num_vars - self._num_vars):
+            bits |= bits << width
+            width <<= 1
+        return TruthTable(num_vars, bits)
+
+    def assignments_where(self, value: bool) -> Iterator[int]:
+        """Yield assignment indices where the function equals ``value``."""
+        bits = self._bits if value else self._bits ^ table_mask(self._num_vars)
+        for assignment in range(self.num_entries):
+            if (bits >> assignment) & 1:
+                yield assignment
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self._num_vars == other._num_vars and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._num_vars, self._bits))
+
+    def __repr__(self) -> str:
+        digits = max(1, (1 << self._num_vars) // 4)
+        return f"TruthTable({self._num_vars}, 0x{self._bits:0{digits}x})"
+
+    def to_binary_string(self) -> str:
+        """Render as a binary string, most-significant assignment first."""
+        return format(self._bits, f"0{1 << self._num_vars}b")
+
+    def to_hex_string(self) -> str:
+        """Render as the conventional hex spelling."""
+        digits = max(1, (1 << self._num_vars) // 4)
+        return format(self._bits, f"0{digits}x")
+
+
+def ternary_majority(a: TruthTable, b: TruthTable, c: TruthTable) -> TruthTable:
+    """Return ``M(a, b, c) = ab + ac + bc`` — the MIG primitive."""
+    return (a & b) | (a & c) | (b & c)
+
+
+def if_then_else(sel: TruthTable, then: TruthTable, other: TruthTable) -> TruthTable:
+    """Return ``sel ? then : other`` — the BDD primitive."""
+    return (sel & then) | (~sel & other)
+
+
+def all_tables(num_vars: int) -> Iterable[TruthTable]:
+    """Yield every ``num_vars``-variable truth table (use for tiny n)."""
+    for bits in range(1 << (1 << num_vars)):
+        yield TruthTable(num_vars, bits)

@@ -1,0 +1,24 @@
+"""Two-level (sum-of-products) minimization: cube algebra and an
+espresso-style EXPAND/IRREDUNDANT/REDUCE minimizer."""
+
+from . import cubes
+from .espresso import (
+    cubes_to_table,
+    expand,
+    irredundant,
+    minimize_cubes,
+    minimize_table,
+    reduce_cover,
+)
+from .pla_bridge import minimize_pla
+
+__all__ = [
+    "cubes",
+    "cubes_to_table",
+    "expand",
+    "irredundant",
+    "minimize_cubes",
+    "minimize_table",
+    "reduce_cover",
+    "minimize_pla",
+]

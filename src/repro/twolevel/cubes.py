@@ -1,0 +1,240 @@
+"""Cube algebra for two-level minimization.
+
+Espresso's positional-cube notation: each variable occupies two bits in
+an integer —
+
+* ``01`` — positive literal (variable must be 1),
+* ``10`` — negative literal (variable must be 0),
+* ``11`` — don't care (variable free),
+* ``00`` — empty (the cube is contradictory).
+
+The full-don't-care cube is the universe; cube intersection is bitwise
+AND; containment is bitwise implication.  All operations here are pure
+functions over ``(cube, num_vars)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+POS = 0b01
+NEG = 0b10
+DC = 0b11
+
+
+def universe(num_vars: int) -> int:
+    """The all-don't-care cube."""
+    return (1 << (2 * num_vars)) - 1
+
+
+def field(cube: int, var: int) -> int:
+    """The two-bit field of ``var``."""
+    return (cube >> (2 * var)) & 0b11
+
+
+def set_field(cube: int, var: int, value: int) -> int:
+    """Replace the two-bit field of ``var``."""
+    return (cube & ~(0b11 << (2 * var))) | (value << (2 * var))
+
+
+def from_string(text: str) -> Tuple[int, int]:
+    """Parse a ``01-`` cube string (variable 0 first); returns
+    ``(cube, num_vars)``."""
+    cube = 0
+    for var, char in enumerate(text):
+        if char == "1":
+            value = POS
+        elif char == "0":
+            value = NEG
+        elif char == "-":
+            value = DC
+        else:
+            raise ValueError(f"invalid cube character {char!r}")
+        cube |= value << (2 * var)
+    return cube, len(text)
+
+
+def to_string(cube: int, num_vars: int) -> str:
+    """Render in ``01-`` notation (variable 0 first)."""
+    chars = []
+    for var in range(num_vars):
+        value = field(cube, var)
+        chars.append({POS: "1", NEG: "0", DC: "-", 0: "?"}[value])
+    return "".join(chars)
+
+
+def is_valid(cube: int, num_vars: int) -> bool:
+    """True iff no variable field is empty."""
+    for var in range(num_vars):
+        if field(cube, var) == 0:
+            return False
+    return True
+
+
+def intersect(a: int, b: int, num_vars: int) -> Optional[int]:
+    """Cube intersection, or None when the cubes are disjoint."""
+    c = a & b
+    return c if is_valid(c, num_vars) else None
+
+
+def contains(outer: int, inner: int) -> bool:
+    """True iff ``outer`` ⊇ ``inner`` (every minterm of inner in outer)."""
+    return (outer | inner) == outer
+
+
+def literal_count(cube: int, num_vars: int) -> int:
+    """Number of bound (non-don't-care) variables."""
+    return sum(1 for var in range(num_vars) if field(cube, var) != DC)
+
+
+def cofactor_cube(cube: int, var: int, value: bool, num_vars: int) -> Optional[int]:
+    """Shannon cofactor of a cube w.r.t. one literal.
+
+    Returns the cube with ``var`` freed, or None when the cube does not
+    intersect the chosen half-space.
+    """
+    f = field(cube, var)
+    needed = POS if value else NEG
+    if not (f & needed):
+        return None
+    return set_field(cube, var, DC)
+
+
+def cofactor_cover(
+    cubes: Sequence[int], var: int, value: bool, num_vars: int
+) -> List[int]:
+    """Cofactor of a cover (Shannon, cube by cube)."""
+    result = []
+    for cube in cubes:
+        cofactored = cofactor_cube(cube, var, value, num_vars)
+        if cofactored is not None:
+            result.append(cofactored)
+    return result
+
+
+def cube_minterm_count(cube: int, num_vars: int) -> int:
+    """Number of minterms the cube covers."""
+    return 1 << (num_vars - literal_count(cube, num_vars))
+
+
+def supercube(cubes: Sequence[int]) -> int:
+    """Smallest cube containing all given cubes (bitwise OR)."""
+    result = 0
+    for cube in cubes:
+        result |= cube
+    return result
+
+
+def binate_variable(cubes: Sequence[int], num_vars: int) -> Optional[int]:
+    """The most binate variable (appears in both polarities, most
+    often), or None when the cover is unate."""
+    best_var = None
+    best_score = -1
+    for var in range(num_vars):
+        pos = neg = 0
+        for cube in cubes:
+            f = field(cube, var)
+            if f == POS:
+                pos += 1
+            elif f == NEG:
+                neg += 1
+        if pos and neg and pos + neg > best_score:
+            best_var, best_score = var, pos + neg
+    return best_var
+
+
+def tautology(cubes: Sequence[int], num_vars: int) -> bool:
+    """Unate-recursive tautology check: does the cover equal 1?"""
+    full = universe(num_vars)
+    if any(cube == full for cube in cubes):
+        return True
+    if not cubes:
+        return False
+    var = binate_variable(cubes, num_vars)
+    if var is None:
+        # Unate-cover theorem: a unate cover is a tautology iff it
+        # contains the universal cube — already checked above.
+        return False
+    return tautology(
+        cofactor_cover(cubes, var, True, num_vars), num_vars
+    ) and tautology(cofactor_cover(cubes, var, False, num_vars), num_vars)
+
+
+def _column_unate_polarity(
+    cubes: Sequence[int], var: int, num_vars: int
+) -> Optional[int]:
+    polarity = None
+    for cube in cubes:
+        f = field(cube, var)
+        if f == DC:
+            continue
+        if polarity is None:
+            polarity = f
+        elif polarity != f:
+            return None
+    return polarity
+
+
+def complement(cubes: Sequence[int], num_vars: int) -> List[int]:
+    """Complement of a cover, as a cover (recursive Shannon)."""
+    full = universe(num_vars)
+    if not cubes:
+        return [full]
+    if any(cube == full for cube in cubes):
+        return []
+    # Split on the most tested variable (binate preferred).
+    var = binate_variable(cubes, num_vars)
+    if var is None:
+        var = _most_tested_variable(cubes, num_vars)
+    pos = complement(cofactor_cover(cubes, var, True, num_vars), num_vars)
+    neg = complement(cofactor_cover(cubes, var, False, num_vars), num_vars)
+    result = []
+    for cube in pos:
+        result.append(set_field(cube, var, POS))
+    for cube in neg:
+        result.append(set_field(cube, var, NEG))
+    return _single_cube_containment(result, num_vars)
+
+
+def _most_tested_variable(cubes: Sequence[int], num_vars: int) -> int:
+    best_var, best_count = 0, -1
+    for var in range(num_vars):
+        count = sum(1 for cube in cubes if field(cube, var) != DC)
+        if count > best_count:
+            best_var, best_count = var, count
+    return best_var
+
+
+def _single_cube_containment(cubes: Sequence[int], num_vars: int) -> List[int]:
+    """Drop cubes contained in another single cube."""
+    ordered = sorted(set(cubes), key=lambda c: -bin(c).count("1"))
+    kept: List[int] = []
+    for cube in ordered:
+        if not any(contains(other, cube) for other in kept):
+            kept.append(cube)
+    return kept
+
+
+def covers_cube(cubes: Sequence[int], target: int, num_vars: int) -> bool:
+    """True iff the cover contains every minterm of ``target``.
+
+    Classic reduction: F ⊇ c iff the cofactor of F w.r.t. c is a
+    tautology.
+    """
+    cofactored = []
+    for cube in cubes:
+        piece = cube
+        ok = True
+        for var in range(num_vars):
+            f = field(target, var)
+            if f == DC:
+                continue
+            value = f == POS
+            piece2 = cofactor_cube(piece, var, value, num_vars)
+            if piece2 is None:
+                ok = False
+                break
+            piece = piece2
+        if ok:
+            cofactored.append(piece)
+    return tautology(cofactored, num_vars)

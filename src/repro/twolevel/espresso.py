@@ -1,0 +1,189 @@
+"""Espresso-style heuristic two-level minimization.
+
+The classic EXPAND → IRREDUNDANT → REDUCE loop over the cube algebra of
+:mod:`repro.twolevel.cubes`:
+
+* **EXPAND** raises each cube's literals to make it prime — a literal
+  can be dropped whenever the grown cube still avoids the OFF-set;
+* **IRREDUNDANT** removes cubes covered by the rest of the cover
+  (tested with the unate-recursive cofactor-tautology check);
+* **REDUCE** shrinks each cube to the supercube of the minterms only it
+  covers, creating room for the next EXPAND to grow in a different
+  direction.
+
+Iterated until the cover stops improving (cube count, then literal
+count).  The result is a prime and irredundant cover — not guaranteed
+minimum (that is espresso-exact territory) but close in practice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..truth import TruthTable
+from . import cubes as C
+
+
+def expand(
+    cover: List[int], off_set: Sequence[int], num_vars: int
+) -> List[int]:
+    """Make every cube prime against the OFF-set; drop covered cubes."""
+    expanded: List[int] = []
+    for cube in sorted(cover, key=lambda c: -C.literal_count(c, num_vars)):
+        grown = cube
+        for var in range(num_vars):
+            if C.field(grown, var) == C.DC:
+                continue
+            candidate = C.set_field(grown, var, C.DC)
+            if not any(
+                C.intersect(candidate, off, num_vars) is not None
+                for off in off_set
+            ):
+                grown = candidate
+        if not any(C.contains(other, grown) for other in expanded):
+            expanded = [
+                other for other in expanded if not C.contains(grown, other)
+            ]
+            expanded.append(grown)
+    return expanded
+
+
+def irredundant(cover: List[int], num_vars: int) -> List[int]:
+    """Drop cubes covered by the remainder of the cover."""
+    kept = list(cover)
+    # Try to remove small cubes first: large cubes are likelier to be
+    # essential primes.
+    for cube in sorted(cover, key=lambda c: -C.literal_count(c, num_vars)):
+        if cube not in kept:
+            continue
+        others = [other for other in kept if other != cube]
+        if others and C.covers_cube(others, cube, num_vars):
+            kept = others
+    return kept
+
+
+def reduce_cover(
+    cover: List[int], num_vars: int, *, sharp_limit: int = 128
+) -> List[int]:
+    """Shrink each cube to the supercube of its uniquely-covered part.
+
+    Uses the sharp operation ``cube # (cover − cube)``; cubes whose
+    sharp expansion exceeds ``sharp_limit`` pieces are left unreduced
+    (the next EXPAND is then a no-op for them — sound, just weaker).
+    """
+    reduced: List[int] = []
+    for index, cube in enumerate(cover):
+        others = reduced + cover[index + 1 :]
+        unique = _sharp_cover(cube, others, num_vars, sharp_limit)
+        if unique is None:
+            reduced.append(cube)
+        elif not unique:
+            # Fully covered by the others; drop (irredundant would too).
+            continue
+        else:
+            shrunk = C.supercube(unique) & cube
+            reduced.append(shrunk if C.is_valid(shrunk, num_vars) else cube)
+    return reduced
+
+
+def _sharp_cover(
+    cube: int, others: Sequence[int], num_vars: int, limit: int
+) -> Optional[List[int]]:
+    """``cube # others`` as a cube list, or None past ``limit``."""
+    pieces = [cube]
+    for other in others:
+        next_pieces: List[int] = []
+        for piece in pieces:
+            if C.intersect(piece, other, num_vars) is None:
+                next_pieces.append(piece)
+                continue
+            # piece # other: split off one literal of `other` at a time.
+            remainder = piece
+            for var in range(num_vars):
+                other_field = C.field(other, var)
+                if other_field == C.DC:
+                    continue
+                piece_field = C.field(remainder, var)
+                opposite = piece_field & ~other_field & 0b11
+                if opposite:
+                    next_pieces.append(
+                        C.set_field(remainder, var, opposite)
+                    )
+                    remainder = C.set_field(remainder, var, other_field & piece_field)
+            if len(next_pieces) > limit:
+                return None
+        pieces = next_pieces
+        if len(pieces) > limit:
+            return None
+    return pieces
+
+
+def _cover_cost(cover: Sequence[int], num_vars: int) -> Tuple[int, int]:
+    return (
+        len(cover),
+        sum(C.literal_count(cube, num_vars) for cube in cover),
+    )
+
+
+def minimize_cubes(
+    on_set: Sequence[int],
+    num_vars: int,
+    *,
+    off_set: Optional[Sequence[int]] = None,
+    max_iterations: int = 8,
+) -> List[int]:
+    """Espresso loop over an ON-set cover (OFF-set computed if absent)."""
+    cover = C._single_cube_containment(list(on_set), num_vars)
+    if not cover:
+        return []
+    if off_set is None:
+        off_set = C.complement(cover, num_vars)
+    best = list(cover)
+    best_cost = _cover_cost(best, num_vars)
+    for _ in range(max_iterations):
+        cover = expand(cover, off_set, num_vars)
+        cover = irredundant(cover, num_vars)
+        cost = _cover_cost(cover, num_vars)
+        if cost < best_cost:
+            best, best_cost = list(cover), cost
+        else:
+            break
+        cover = reduce_cover(cover, num_vars)
+    return best
+
+
+def minimize_table(table: TruthTable) -> List[int]:
+    """Minimize a complete truth table into a prime irredundant cover."""
+    num_vars = table.num_vars
+    on_set = []
+    off_set = []
+    for assignment in range(table.num_entries):
+        cube = 0
+        for var in range(num_vars):
+            value = C.POS if (assignment >> var) & 1 else C.NEG
+            cube |= value << (2 * var)
+        if table.value_at(assignment):
+            on_set.append(cube)
+        else:
+            off_set.append(cube)
+    return minimize_cubes(on_set, num_vars, off_set=off_set)
+
+
+def cubes_to_table(cover: Sequence[int], num_vars: int) -> TruthTable:
+    """Evaluate a cover into a complete truth table (small n)."""
+    bits = 0
+    for assignment in range(1 << num_vars):
+        for cube in cover:
+            match = True
+            for var in range(num_vars):
+                f = C.field(cube, var)
+                if f == C.DC:
+                    continue
+                bit = (assignment >> var) & 1
+                if (f == C.POS) != bool(bit):
+                    match = False
+                    break
+            if match:
+                bits |= 1 << assignment
+                break
+    return TruthTable(num_vars, bits)

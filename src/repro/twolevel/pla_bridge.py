@@ -1,0 +1,50 @@
+"""PLA-level interface to the two-level minimizer.
+
+Minimizes each output of a :class:`~repro.io.PlaCover` independently
+(shared-product extraction is a multi-output espresso feature this
+reproduction does not need) and reassembles a PLA cover.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..io.pla import PlaCover
+from . import cubes as C
+from .espresso import minimize_cubes
+
+
+def _row_to_cube(row: str) -> int:
+    cube, _num_vars = C.from_string(row)
+    return cube
+
+
+def minimize_pla(cover: PlaCover) -> PlaCover:
+    """Return a per-output minimized copy of a PLA cover."""
+    num_vars = cover.num_inputs
+    minimized = PlaCover(
+        cover.num_inputs,
+        cover.num_outputs,
+        list(cover.input_labels),
+        list(cover.output_labels),
+        f"{cover.name}_min",
+    )
+    per_output: List[List[int]] = []
+    for out_index in range(cover.num_outputs):
+        on_set = [
+            _row_to_cube(input_part)
+            for input_part, output_part in cover.cubes
+            if output_part[out_index] in ("1", "4")
+        ]
+        per_output.append(minimize_cubes(on_set, num_vars))
+
+    # Merge identical input cubes across outputs back into shared rows.
+    merged = {}
+    for out_index, cube_list in enumerate(per_output):
+        for cube in cube_list:
+            key = C.to_string(cube, num_vars)
+            tags = merged.setdefault(key, ["0"] * cover.num_outputs)
+            tags[out_index] = "1"
+    for input_part, tags in merged.items():
+        minimized.add_cube(input_part, "".join(tags))
+    return minimized

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mig import Mig
+from repro.network import GateType, Netlist
+from repro.truth import TruthTable
+
+
+@pytest.fixture
+def maj3_mig() -> Mig:
+    """A single majority gate M(a, b, c)."""
+    mig = Mig("maj3")
+    a, b, c = mig.add_pi("a"), mig.add_pi("b"), mig.add_pi("c")
+    mig.add_po(mig.make_maj(a, b, c), "f")
+    return mig
+
+
+@pytest.fixture
+def full_adder_netlist() -> Netlist:
+    """1-bit full adder: (a, b, cin) -> (sum, cout)."""
+    netlist = Netlist("fa")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    cin = netlist.add_input("cin")
+    netlist.add_gate("axb", GateType.XOR, [a, b])
+    netlist.add_gate("sum", GateType.XOR, ["axb", cin])
+    netlist.add_gate("cout", GateType.MAJ, [a, b, cin])
+    netlist.set_output("sum")
+    netlist.set_output("cout")
+    return netlist
+
+
+def reference_full_adder_tables():
+    """Reference truth tables of the full adder (sum, cout)."""
+    s = TruthTable.from_function(3, lambda i: (i[0] + i[1] + i[2]) % 2 == 1)
+    c = TruthTable.from_function(3, lambda i: (i[0] + i[1] + i[2]) >= 2)
+    return [s, c]

@@ -1,0 +1,222 @@
+"""Tests for the AIG package and the AIG-based RRAM baseline."""
+
+import pytest
+
+from repro.aig import (
+    CONST0,
+    CONST1,
+    Aig,
+    aig_from_netlist,
+    aig_rram_costs,
+    compile_aig,
+    signal_not,
+)
+from repro.network import GateType, Netlist
+from repro.rram import run_program
+from repro.truth import TruthTable
+
+from conftest import reference_full_adder_tables
+
+
+class TestGraph:
+    def test_constant_folding(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.make_and(a, CONST0) == CONST0
+        assert aig.make_and(a, CONST1) == a
+        assert aig.make_and(a, a) == a
+        assert aig.make_and(a, signal_not(a)) == CONST0
+
+    def test_strashing(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        assert aig.make_and(a, b) == aig.make_and(b, a)
+        assert aig.num_ands() == 0  # not reachable: no POs yet
+
+    def test_num_ands_counts_live_only(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        dead = aig.make_and(a, b)
+        live = aig.make_and(b, c)
+        aig.add_po(live)
+        assert aig.num_ands() == 1
+
+    def test_or_xor_mux_maj_semantics(self):
+        aig = Aig()
+        a, b, c = (aig.add_pi() for _ in range(3))
+        aig.add_po(aig.make_or(a, b))
+        aig.add_po(aig.make_xor(a, b))
+        aig.add_po(aig.make_mux(a, b, c))
+        aig.add_po(aig.make_maj(a, b, c))
+        t_or, t_xor, t_mux, t_maj = aig.truth_tables()
+        va, vb, vc = (TruthTable.variable(3, i) for i in range(3))
+        assert t_or == (va | vb)
+        assert t_xor == (va ^ vb)
+        assert t_mux == (va & vb) | (~va & vc)
+        assert t_maj == (va & vb) | (va & vc) | (vb & vc)
+
+    def test_depth(self):
+        aig = Aig()
+        a, b, c, d = (aig.add_pi() for _ in range(4))
+        chain = aig.make_and(aig.make_and(aig.make_and(a, b), c), d)
+        aig.add_po(chain)
+        assert aig.depth() == 3
+
+    def test_complemented_edge_count(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.make_or(a, b))  # !(!a . !b): two complemented ins
+        assert aig.complemented_edge_count() == 2
+
+    def test_bad_signal_rejected(self):
+        aig = Aig()
+        a = aig.add_pi()
+        with pytest.raises(ValueError):
+            aig.make_and(a, 999)
+
+    def test_repr(self):
+        assert "pis=0" in repr(Aig())
+
+
+class TestFromNetlist:
+    def test_full_adder(self, full_adder_netlist):
+        aig = aig_from_netlist(full_adder_netlist)
+        assert aig.truth_tables() == reference_full_adder_tables()
+
+    def test_nary_and_constants(self):
+        n = Netlist()
+        for name in "abcd":
+            n.add_input(name)
+        n.add_gate("wide", GateType.NOR, ["a", "b", "c", "d"])
+        n.add_gate("k1", GateType.CONST1, [])
+        n.add_gate("mix", GateType.XNOR, ["wide", "k1"])
+        n.set_output("mix")
+        aig = aig_from_netlist(n)
+        assert aig.truth_tables() == n.truth_tables()
+
+
+class TestSynthesis:
+    def test_costs_match_compiled_steps(self, full_adder_netlist):
+        aig = aig_from_netlist(full_adder_netlist)
+        costs = aig_rram_costs(aig)
+        program = compile_aig(aig)
+        assert program.num_steps == costs.steps
+        assert costs.nodes == aig.num_ands()
+
+    def test_program_computes_netlist(self, full_adder_netlist):
+        aig = aig_from_netlist(full_adder_netlist)
+        program = compile_aig(aig)
+        tables = reference_full_adder_tables()
+        for assignment in range(8):
+            vec = [bool((assignment >> i) & 1) for i in range(3)]
+            assert run_program(program, vec) == [
+                t.value_at(assignment) for t in tables
+            ]
+
+    def test_steps_grow_with_nodes(self):
+        """[12]'s sequential schedule: steps are node-count bound."""
+        small = Aig()
+        a, b = small.add_pi(), small.add_pi()
+        small.add_po(small.make_and(a, b))
+        big = Aig()
+        pis = [big.add_pi() for _ in range(6)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = big.make_xor(acc, p)
+        big.add_po(acc)
+        assert aig_rram_costs(big).steps > 3 * aig_rram_costs(small).steps
+
+    def test_complemented_edges_cost_extra(self):
+        plain = Aig()
+        a, b = plain.add_pi(), plain.add_pi()
+        plain.add_po(plain.make_and(a, b))
+        inverted = Aig()
+        a, b = inverted.add_pi(), inverted.add_pi()
+        inverted.add_po(inverted.make_and(signal_not(a), signal_not(b)))
+        assert aig_rram_costs(inverted).steps > aig_rram_costs(plain).steps
+
+    def test_constant_and_passthrough_pos(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.make_and(a, b))
+        aig.add_po(CONST1)
+        aig.add_po(CONST0)
+        aig.add_po(a)
+        program = compile_aig(aig)
+        assert run_program(program, [True, False]) == [False, True, False, True]
+
+    def test_complemented_po(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(signal_not(aig.make_and(a, b)))
+        program = compile_aig(aig)
+        for assignment in range(4):
+            vec = [bool((assignment >> i) & 1) for i in range(2)]
+            assert run_program(program, vec) == [not (vec[0] and vec[1])]
+
+    def test_device_reuse(self):
+        aig = Aig()
+        pis = [aig.add_pi() for _ in range(8)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = aig.make_xor(acc, p)
+        aig.add_po(acc)
+        program = compile_aig(aig)
+        # Without reuse: inputs + 2 const + 2 scratch + 2 per node.
+        assert program.num_devices < 8 + 4 + 2 * aig.num_ands()
+
+
+class TestBalance:
+    def test_balances_chain(self):
+        from repro.aig import balance
+
+        aig = Aig("chain")
+        pis = [aig.add_pi() for _ in range(8)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = aig.make_and(acc, p)
+        aig.add_po(acc)
+        assert aig.depth() == 7
+        balanced = balance(aig)
+        assert balanced.depth() == 3
+        assert balanced.truth_tables() == aig.truth_tables()
+
+    def test_balance_preserves_function(self, full_adder_netlist):
+        from repro.aig import balance
+
+        aig = aig_from_netlist(full_adder_netlist)
+        balanced = balance(aig)
+        assert balanced.truth_tables() == aig.truth_tables()
+        assert balanced.depth() <= aig.depth()
+
+    def test_balance_random(self):
+        import random as random_module
+        from repro.aig import balance
+
+        rng = random_module.Random(3)
+        for seed in range(8):
+            aig = Aig(f"r{seed}")
+            signals = [aig.add_pi() for _ in range(5)] + [0, 1]
+            for _ in range(14):
+                a = signals[rng.randrange(len(signals))]
+                b = signals[rng.randrange(len(signals))]
+                if rng.random() < 0.4:
+                    a = signal_not(a)
+                if rng.random() < 0.4:
+                    b = signal_not(b)
+                signals.append(aig.make_and(a, b))
+            aig.add_po(signals[-1])
+            aig.add_po(signal_not(signals[-2]))
+            balanced = balance(aig)
+            assert balanced.truth_tables() == aig.truth_tables()
+            assert balanced.depth() <= aig.depth()
+
+    def test_balance_passthrough_pos(self):
+        from repro.aig import balance, CONST1
+
+        aig = Aig()
+        a = aig.add_pi()
+        aig.add_po(a)
+        aig.add_po(CONST1)
+        balanced = balance(aig)
+        assert balanced.truth_tables() == aig.truth_tables()

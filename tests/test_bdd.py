@@ -1,0 +1,165 @@
+"""Tests for the ROBDD package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, Bdd, BddOverflowError
+from repro.truth import TruthTable, table_mask
+
+
+def bdd_to_table(manager: Bdd, root: int) -> TruthTable:
+    bits = 0
+    for assignment in range(1 << manager.num_vars):
+        vec = [bool((assignment >> i) & 1) for i in range(manager.num_vars)]
+        if manager.evaluate(root, vec):
+            bits |= 1 << assignment
+    return TruthTable(manager.num_vars, bits)
+
+
+class TestBasics:
+    def test_terminals(self):
+        manager = Bdd(2)
+        assert manager.is_terminal(FALSE)
+        assert manager.is_terminal(TRUE)
+        assert manager.evaluate(TRUE, [False, False])
+        assert not manager.evaluate(FALSE, [True, True])
+
+    def test_var(self):
+        manager = Bdd(3)
+        x1 = manager.var(1)
+        assert manager.evaluate(x1, [False, True, False])
+        assert not manager.evaluate(x1, [True, False, True])
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            Bdd(2).var(2)
+
+    def test_mk_reduction(self):
+        manager = Bdd(2)
+        x = manager.var(0)
+        assert manager.mk(1, x, x) == x  # lo == hi collapses
+
+    def test_mk_hash_consing(self):
+        manager = Bdd(2)
+        a = manager.mk(0, FALSE, TRUE)
+        b = manager.mk(0, FALSE, TRUE)
+        assert a == b
+
+    def test_node_limit(self):
+        manager = Bdd(8, node_limit=4)
+        with pytest.raises(BddOverflowError):
+            acc = TRUE
+            for i in range(8):
+                acc = manager.apply_and(acc, manager.var(i))
+
+
+class TestOperators:
+    def test_and_or_not_xor(self):
+        manager = Bdd(2)
+        a, b = manager.var(0), manager.var(1)
+        va, vb = TruthTable.variable(2, 0), TruthTable.variable(2, 1)
+        assert bdd_to_table(manager, manager.apply_and(a, b)) == (va & vb)
+        assert bdd_to_table(manager, manager.apply_or(a, b)) == (va | vb)
+        assert bdd_to_table(manager, manager.apply_xor(a, b)) == (va ^ vb)
+        assert bdd_to_table(manager, manager.apply_not(a)) == ~va
+
+    def test_maj(self):
+        manager = Bdd(3)
+        f = manager.apply_maj(manager.var(0), manager.var(1), manager.var(2))
+        expected = TruthTable.from_function(3, lambda i: sum(i) >= 2)
+        assert bdd_to_table(manager, f) == expected
+
+    def test_ite(self):
+        manager = Bdd(3)
+        f = manager.ite(manager.var(0), manager.var(1), manager.var(2))
+        expected = TruthTable.from_function(3, lambda i: i[1] if i[0] else i[2])
+        assert bdd_to_table(manager, f) == expected
+
+    def test_ite_terminal_shortcuts(self):
+        manager = Bdd(2)
+        a = manager.var(0)
+        assert manager.ite(TRUE, a, FALSE) == a
+        assert manager.ite(FALSE, a, TRUE) == TRUE
+        assert manager.ite(a, TRUE, FALSE) == a
+        assert manager.ite(a, a, a) == a
+
+
+class TestCanonicity:
+    @given(st.integers(0, table_mask(4)))
+    @settings(max_examples=50, deadline=None)
+    def test_same_function_same_node(self, bits):
+        """Canonicity: building a function minterm-by-minterm and via
+        its complement's complement must give the identical node."""
+        table = TruthTable(4, bits)
+        manager = Bdd(4)
+
+        def build(t: TruthTable) -> int:
+            acc = FALSE
+            for assignment in t.assignments_where(True):
+                cube = TRUE
+                for i in range(4):
+                    var = manager.var(i)
+                    lit = var if (assignment >> i) & 1 else manager.apply_not(var)
+                    cube = manager.apply_and(cube, lit)
+                acc = manager.apply_or(acc, cube)
+            return acc
+
+        direct = build(table)
+        complemented = manager.apply_not(build(~table))
+        assert direct == complemented
+        assert bdd_to_table(manager, direct) == table
+
+    def test_xor_bdd_size_linear(self):
+        manager = Bdd(8)
+        acc = FALSE
+        for i in range(8):
+            acc = manager.apply_xor(acc, manager.var(i))
+        # Canonical parity BDD: 2 nodes per level except the first.
+        assert manager.count_nodes([acc]) == 2 * 8 - 1
+
+
+class TestQueries:
+    def test_count_nodes_shared(self):
+        manager = Bdd(3)
+        a, b, c = (manager.var(i) for i in range(3))
+        f = manager.apply_and(b, c)
+        g = manager.apply_and(a, f)  # g tests a first, then falls into f
+        assert manager.count_nodes([f, g]) == manager.count_nodes([g])
+        assert manager.count_nodes([f, f]) == manager.count_nodes([f])
+
+    def test_nodes_per_level(self):
+        manager = Bdd(3)
+        acc = FALSE
+        for i in range(3):
+            acc = manager.apply_xor(acc, manager.var(i))
+        histogram = manager.nodes_per_level([acc])
+        assert histogram == [1, 2, 2]
+
+    def test_satisfy_count(self):
+        manager = Bdd(4)
+        a, b = manager.var(0), manager.var(1)
+        f = manager.apply_and(a, b)
+        assert manager.satisfy_count(f) == 4  # 2 free variables
+        assert manager.satisfy_count(TRUE) == 16
+        assert manager.satisfy_count(FALSE) == 0
+
+    @given(st.integers(0, table_mask(4)))
+    @settings(max_examples=30, deadline=None)
+    def test_satisfy_count_matches_table(self, bits):
+        table = TruthTable(4, bits)
+        manager = Bdd(4)
+        acc = FALSE
+        for assignment in table.assignments_where(True):
+            cube = TRUE
+            for i in range(4):
+                var = manager.var(i)
+                lit = var if (assignment >> i) & 1 else manager.apply_not(var)
+                cube = manager.apply_and(cube, lit)
+            acc = manager.apply_or(acc, cube)
+        assert manager.satisfy_count(acc) == table.count_ones()
+
+    def test_support(self):
+        manager = Bdd(4)
+        f = manager.apply_and(manager.var(0), manager.var(3))
+        assert manager.support(f) == (0, 3)

@@ -1,0 +1,140 @@
+"""Tests for netlist→BDD building and the BDD-based RRAM baseline."""
+
+import pytest
+
+from repro.bdd import (
+    BddOverflowError,
+    bdd_rram_costs,
+    build_bdd_from_netlist,
+    build_best_order,
+    compile_bdd,
+    dfs_variable_order,
+)
+from repro.network import GateType, Netlist
+from repro.rram import run_program
+from repro.truth import parity_function
+
+from conftest import reference_full_adder_tables
+
+
+class TestBuild:
+    def test_full_adder(self, full_adder_netlist):
+        manager, roots = build_bdd_from_netlist(full_adder_netlist)
+        tables = reference_full_adder_tables()
+        order = dfs_variable_order(full_adder_netlist)
+        input_pos = {name: i for i, name in enumerate(full_adder_netlist.inputs)}
+        for assignment in range(8):
+            bits = [bool((assignment >> i) & 1) for i in range(3)]
+            vec = [bits[input_pos[name]] for name in order]
+            assert manager.evaluate(roots[0], vec) == tables[0].value_at(assignment)
+            assert manager.evaluate(roots[1], vec) == tables[1].value_at(assignment)
+
+    def test_every_gate_type_lowers(self):
+        n = Netlist("all")
+        for name in "abc":
+            n.add_input(name)
+        n.add_gate("g0", GateType.AND, ["a", "b", "c"])
+        n.add_gate("g1", GateType.NAND, ["a", "b"])
+        n.add_gate("g2", GateType.OR, ["a", "b"])
+        n.add_gate("g3", GateType.NOR, ["a", "b"])
+        n.add_gate("g4", GateType.XOR, ["a", "b", "c"])
+        n.add_gate("g5", GateType.XNOR, ["a", "b"])
+        n.add_gate("g6", GateType.NOT, ["a"])
+        n.add_gate("g7", GateType.BUF, ["a"])
+        n.add_gate("g8", GateType.MAJ, ["a", "b", "c"])
+        n.add_gate("g9", GateType.MUX, ["a", "b", "c"])
+        n.add_gate("g10", GateType.CONST0, [])
+        n.add_gate("g11", GateType.CONST1, [])
+        for gate in list(n.gates()):
+            n.set_output(gate.name)
+        manager, roots = build_bdd_from_netlist(n, variable_order=n.inputs)
+        tables = n.truth_tables()
+        for root, table in zip(roots, tables):
+            for assignment in range(8):
+                vec = [bool((assignment >> i) & 1) for i in range(3)]
+                assert manager.evaluate(root, vec) == table.value_at(assignment)
+
+    def test_order_must_be_permutation(self, full_adder_netlist):
+        with pytest.raises(ValueError):
+            build_bdd_from_netlist(full_adder_netlist, ["a", "b"])
+
+    def test_dfs_order_covers_all_inputs(self, full_adder_netlist):
+        order = dfs_variable_order(full_adder_netlist)
+        assert sorted(order) == sorted(full_adder_netlist.inputs)
+
+    def test_best_order_picks_minimum(self):
+        # A mux chain is order-sensitive; best-of-N must not be worse
+        # than the plain DFS order.
+        n = Netlist("muxes")
+        for i in range(4):
+            n.add_input(f"d{i}")
+        for i in range(2):
+            n.add_input(f"s{i}")
+        n.add_gate("m0", GateType.MUX, ["s0", "d1", "d0"])
+        n.add_gate("m1", GateType.MUX, ["s0", "d3", "d2"])
+        n.add_gate("out", GateType.MUX, ["s1", "m1", "m0"])
+        n.set_output("out")
+        manager, roots, order = build_best_order(n, candidates=4)
+        base_manager, base_roots = build_bdd_from_netlist(n)
+        assert manager.count_nodes(roots) <= base_manager.count_nodes(base_roots)
+
+    def test_best_order_overflow_propagates(self, full_adder_netlist):
+        with pytest.raises(BddOverflowError):
+            build_best_order(full_adder_netlist, node_limit=1)
+
+
+class TestSynthesis:
+    def test_costs_match_compiled_steps(self, full_adder_netlist):
+        manager, roots = build_bdd_from_netlist(full_adder_netlist)
+        costs = bdd_rram_costs(manager, roots)
+        program = compile_bdd(manager, roots)
+        assert program.num_steps == costs.steps
+        assert costs.nodes == manager.count_nodes(roots)
+
+    def test_program_computes_netlist(self, full_adder_netlist):
+        manager, roots = build_bdd_from_netlist(full_adder_netlist)
+        order = dfs_variable_order(full_adder_netlist)
+        inv = {name: i for i, name in enumerate(full_adder_netlist.inputs)}
+        program = compile_bdd(manager, roots, [inv[n] for n in order])
+        tables = reference_full_adder_tables()
+        for assignment in range(8):
+            vec = [bool((assignment >> i) & 1) for i in range(3)]
+            assert run_program(program, vec) == [
+                t.value_at(assignment) for t in tables
+            ]
+
+    def test_port_limit_increases_steps(self):
+        # Parity over 8 vars has 2 nodes/level: port limit 1 must
+        # serialize and cost more steps than the default.
+        from repro.mig import mig_from_truth_tables, mig_to_netlist
+
+        netlist = mig_to_netlist(mig_from_truth_tables(parity_function(8)))
+        manager, roots = build_bdd_from_netlist(netlist)
+        wide = bdd_rram_costs(manager, roots, port_limit=16)
+        narrow = bdd_rram_costs(manager, roots, port_limit=1)
+        assert narrow.steps > wide.steps
+        program = compile_bdd(manager, roots, port_limit=1)
+        assert program.num_steps == narrow.steps
+
+    def test_constant_root(self):
+        from repro.bdd import FALSE, TRUE, Bdd
+
+        manager = Bdd(2)
+        program = compile_bdd(manager, [TRUE, FALSE])
+        assert run_program(program, [False, False]) == [True, False]
+
+    def test_steps_scale_with_nodes_not_depth(self):
+        """The paper's core observation: BDD steps track node count."""
+        from repro.mig import mig_from_truth_tables, mig_to_netlist
+        from repro.truth import count_ones_function
+
+        small = mig_to_netlist(mig_from_truth_tables(parity_function(6)))
+        large = mig_to_netlist(
+            mig_from_truth_tables(count_ones_function(8, 4))
+        )
+        m1, r1 = build_bdd_from_netlist(small)
+        m2, r2 = build_bdd_from_netlist(large)
+        c1 = bdd_rram_costs(m1, r1)
+        c2 = bdd_rram_costs(m2, r2)
+        assert c2.nodes > c1.nodes
+        assert c2.steps > c1.steps

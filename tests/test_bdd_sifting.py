@@ -1,0 +1,129 @@
+"""Tests for dynamic variable reordering (sifting)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, Bdd, build_bdd_from_netlist
+from repro.bdd.sifting import _LevelTable, sift_bdd
+from repro.truth import TruthTable, table_mask
+
+
+def build_from_table(table: TruthTable):
+    """Minterm-canonical build (terrible order-independence baseline)."""
+    manager = Bdd(table.num_vars)
+    acc = FALSE
+    for assignment in table.assignments_where(True):
+        cube = TRUE
+        for i in range(table.num_vars):
+            var = manager.var(i)
+            lit = var if (assignment >> i) & 1 else manager.apply_not(var)
+            cube = manager.apply_and(cube, lit)
+        acc = manager.apply_or(acc, cube)
+    return manager, acc
+
+
+def assert_same_function(
+    original: Bdd, root, sifted: Bdd, sifted_root, variable_at
+):
+    num_vars = original.num_vars
+    for assignment in range(1 << num_vars):
+        vec = [bool((assignment >> i) & 1) for i in range(num_vars)]
+        permuted = [vec[variable_at[p]] for p in range(num_vars)]
+        assert original.evaluate(root, vec) == sifted.evaluate(
+            sifted_root, permuted
+        ), assignment
+
+
+class TestSwapPrimitive:
+    @given(st.integers(0, table_mask(4)), st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_single_swap_preserves_function(self, bits, position):
+        table = TruthTable(4, bits)
+        manager, root = build_from_table(table)
+        level_table = _LevelTable(manager, [root])
+        level_table.swap(position)
+        sifted, roots, variable_at = level_table.export()
+        assert_same_function(manager, root, sifted, roots[0], variable_at)
+
+    @given(st.integers(0, table_mask(4)), st.lists(st.integers(0, 2), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_swap_sequences_preserve_function(self, bits, positions):
+        table = TruthTable(4, bits)
+        manager, root = build_from_table(table)
+        level_table = _LevelTable(manager, [root])
+        for position in positions:
+            level_table.swap(position)
+        sifted, roots, variable_at = level_table.export()
+        assert_same_function(manager, root, sifted, roots[0], variable_at)
+
+    def test_swap_is_involution_on_size(self):
+        table = TruthTable.from_function(
+            4, lambda i: (i[0] and i[2]) or (i[1] and i[3])
+        )
+        manager, root = build_from_table(table)
+        level_table = _LevelTable(manager, [root])
+        size0 = level_table.size()
+        level_table.swap(1)
+        level_table.swap(1)
+        assert level_table.size() == size0
+        assert level_table.variable_at == [0, 1, 2, 3]
+
+
+class TestSifting:
+    def test_interleaved_and_chain(self):
+        """The classic order-sensitive function:
+        x0·x2 + x1·x3 (+ more pairs) — the interleaved order is
+        exponentially worse than the paired order."""
+        num_pairs = 3
+        num_vars = 2 * num_pairs
+        manager = Bdd(num_vars)
+        acc = FALSE
+        # Bad order: pair (i, i + num_pairs).
+        for i in range(num_pairs):
+            acc = manager.apply_or(
+                acc,
+                manager.apply_and(
+                    manager.var(i), manager.var(i + num_pairs)
+                ),
+            )
+        bad_size = manager.count_nodes([acc])
+        sifted, roots, variable_at = sift_bdd(manager, [acc])
+        good_size = sifted.count_nodes(roots)
+        assert good_size < bad_size
+        assert good_size <= 2 * num_vars + 2  # paired order is linear
+        assert_same_function(manager, acc, sifted, roots[0], variable_at)
+
+    def test_multi_output(self, full_adder_netlist):
+        manager, roots = build_bdd_from_netlist(full_adder_netlist)
+        sifted, new_roots, variable_at = sift_bdd(manager, roots)
+        assert sifted.count_nodes(new_roots) <= manager.count_nodes(roots)
+        for root, new_root in zip(roots, new_roots):
+            assert_same_function(manager, root, sifted, new_root, variable_at)
+
+    @given(st.integers(0, table_mask(5)))
+    @settings(max_examples=25, deadline=None)
+    def test_sifting_random_functions(self, bits):
+        table = TruthTable(5, bits)
+        manager, root = build_from_table(table)
+        before = manager.count_nodes([root])
+        sifted, roots, variable_at = sift_bdd(manager, [root])
+        assert sifted.count_nodes(roots) <= before
+        assert_same_function(manager, root, sifted, roots[0], variable_at)
+
+    def test_constant_roots(self):
+        manager = Bdd(3)
+        sifted, roots, variable_at = sift_bdd(manager, [TRUE, FALSE])
+        assert roots == [TRUE, FALSE]
+        assert sorted(variable_at) == [0, 1, 2]
+
+    def test_multiple_rounds(self):
+        table = TruthTable.from_function(
+            6,
+            lambda i: (i[0] and i[3]) or (i[1] and i[4]) or (i[2] and i[5]),
+        )
+        manager, root = build_from_table(table)
+        sifted, roots, variable_at = sift_bdd(manager, [root], rounds=3)
+        assert_same_function(manager, root, sifted, roots[0], variable_at)

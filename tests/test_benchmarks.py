@@ -1,0 +1,256 @@
+"""Tests for the benchmark suite: builders, generator, suite, paperdata."""
+
+import pytest
+
+from repro.benchmarks import (
+    ALL_BENCHMARKS,
+    LARGE_BENCHMARKS,
+    SMALL_BENCHMARKS,
+    SyntheticSpec,
+    benchmark,
+    builders,
+    large_names,
+    load_mig,
+    load_netlist,
+    paperdata,
+    small_names,
+    synthesize,
+)
+from repro.truth import (
+    con1_style_function,
+    count_ones_function,
+    multiplexer_function,
+    parity_function,
+    symmetric_band_function,
+)
+
+
+class TestBuilders:
+    def test_parity_netlist(self):
+        assert builders.parity_netlist(6).truth_tables() == parity_function(6)
+
+    def test_count_ones_netlist(self):
+        got = builders.count_ones_netlist(7, 3).truth_tables()
+        assert got == count_ones_function(7, 3)
+
+    def test_symmetric_band_netlist(self):
+        got = builders.symmetric_band_netlist(8, 2, 5).truth_tables()
+        assert got == symmetric_band_function(8, 2, 5)
+
+    def test_mux_netlist(self):
+        got = builders.mux_netlist(3).truth_tables()
+        assert got == multiplexer_function(3)
+
+    def test_mux_with_enable(self):
+        n = builders.mux_netlist(2, with_enable=True)
+        assert len(n.inputs) == 7
+        (table,) = n.truth_tables()
+        # enable low forces 0.
+        for assignment in range(1 << 7):
+            if not (assignment >> 6) & 1:
+                assert not table.value_at(assignment)
+
+    def test_adder_netlist(self):
+        from repro.truth import adder_function
+
+        assert builders.adder_netlist(3).truth_tables() == adder_function(3)
+
+    def test_con1_netlist(self):
+        assert builders.con1_style_netlist().truth_tables() == con1_style_function()
+
+    def test_squarer_plus(self):
+        n = builders.squarer_plus_netlist()
+        tables = n.truth_tables()
+        for x in range(32):
+            for y in range(4):
+                assignment = x | (y << 5)
+                value = sum(
+                    1 << b for b in range(10) if tables[b].value_at(assignment)
+                )
+                assert value == x * x + y
+
+    def test_alu_add_op(self):
+        n = builders.alu_netlist()
+        # op=0 (add), en=1, inv=0: f = a + b + cin (mod 16), cout.
+        tables = n.truth_tables()
+        for a in (0, 3, 9, 15):
+            for b in (0, 5, 15):
+                for cin in (0, 1):
+                    assignment = a | (b << 4) | (cin << 11) | (1 << 12)
+                    total = a + b + cin
+                    f = sum(
+                        1 << i for i in range(4)
+                        if tables[i].value_at(assignment)
+                    )
+                    cout = tables[4].value_at(assignment)
+                    assert f == total & 0xF
+                    assert cout == (total > 15)
+
+    def test_alu_logic_ops(self):
+        n = builders.alu_netlist()
+        tables = n.truth_tables()
+        a, b = 0b1100, 0b1010
+        for op, expected in ((2, a & b), (3, a | b), (4, a ^ b)):
+            assignment = a | (b << 4) | (op << 8) | (1 << 12)
+            f = sum(
+                1 << i for i in range(4) if tables[i].value_at(assignment)
+            )
+            assert f == expected, op
+
+    def test_t481_style(self):
+        n = builders.t481_style_netlist()
+        (table,) = n.truth_tables()
+        for assignment in (0, 0xFFFF, 0x1234, 0xBEEF):
+            groups = []
+            for g in range(4):
+                a, b, c, d = (
+                    bool((assignment >> (4 * g + k)) & 1) for k in range(4)
+                )
+                groups.append((a and b) or (c != d))
+            assert table.value_at(assignment) == (sum(groups) % 2 == 1)
+
+    def test_count_compare(self):
+        n = builders.count_compare_netlist(8, 4)
+        (table,) = n.truth_tables()
+        for assignment in range(256):
+            left = bin(assignment & 0xF).count("1")
+            right = bin(assignment >> 4).count("1")
+            assert table.value_at(assignment) == (left > right)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = SyntheticSpec("g", 12, 4, 100, seed=42)
+        a, b = spec.build(), spec.build()
+        assert a.truth_tables() == b.truth_tables()
+        assert [g.name for g in a.gates()] == [g.name for g in b.gates()]
+
+    def test_seed_changes_circuit(self):
+        a = SyntheticSpec("g", 12, 4, 100, seed=1).build()
+        b = SyntheticSpec("g", 12, 4, 100, seed=2).build()
+        assert a.truth_tables() != b.truth_tables()
+
+    def test_interface(self):
+        n = SyntheticSpec("g", 17, 6, 150, seed=9).build()
+        assert len(n.inputs) == 17
+        assert len(n.outputs) == 6
+
+    def test_every_input_consumed(self):
+        n = SyntheticSpec("g", 15, 5, 120, seed=3).build()
+        used = set()
+        for gate in n.gates():
+            used.update(gate.operands)
+        assert set(n.inputs) <= used
+
+    def test_mostly_live(self):
+        from repro.mig import mig_from_netlist
+
+        spec = SyntheticSpec("g", 20, 10, 400, seed=5)
+        n = spec.build()
+        mig = mig_from_netlist(n)
+        # Live MIG size must track the requested gate count (XOR/MUX
+        # lowering adds nodes; dead logic would shrink it drastically).
+        assert mig.num_gates() > spec.num_gates * 0.6
+
+    def test_depth_near_target(self):
+        n = SyntheticSpec("g", 20, 10, 300, seed=7, target_depth=10).build()
+        assert 10 <= n.depth() <= 30
+
+    def test_few_outputs_funnel(self):
+        n = SyntheticSpec("g", 30, 1, 250, seed=11).build()
+        assert len(n.outputs) == 1
+        from repro.mig import mig_from_netlist
+
+        assert mig_from_netlist(n).num_gates() > 100
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            synthesize(SyntheticSpec("g", 1, 1, 10, seed=0))
+        with pytest.raises(ValueError):
+            synthesize(SyntheticSpec("g", 4, 0, 10, seed=0))
+
+
+class TestSuite:
+    def test_counts(self):
+        assert len(LARGE_BENCHMARKS) == 25
+        assert len(SMALL_BENCHMARKS) == 25
+        assert len(ALL_BENCHMARKS) == 50
+
+    def test_table_order(self):
+        assert large_names()[0] == "5xp1"
+        assert large_names()[-1] == "x4"
+        assert small_names()[0] == "9sym_d"
+        assert small_names()[-1] == "xor5_d"
+
+    @pytest.mark.parametrize("name", sorted(ALL_BENCHMARKS))
+    def test_loads_with_declared_interface(self, name):
+        spec = benchmark(name)
+        netlist = load_netlist(name)
+        assert len(netlist.inputs) == spec.num_inputs
+        assert len(netlist.outputs) == spec.num_outputs
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            benchmark("nonesuch")
+
+    def test_load_mig_is_fresh(self):
+        a = load_mig("xor5_d")
+        b = load_mig("xor5_d")
+        assert a is not b
+
+    def test_exact_benchmarks_match_reference(self):
+        assert load_netlist("parity").truth_tables() == parity_function(16)
+        assert (
+            load_netlist("9sym_d").truth_tables()
+            == symmetric_band_function(9, 3, 6)
+        )
+        assert load_netlist("xor5_d").truth_tables() == parity_function(5)
+
+    def test_rd_single_outputs(self):
+        full = count_ones_function(5, 3)
+        for bit, name in enumerate(["rd53f1", "rd53f2", "rd53f3"]):
+            assert load_netlist(name).truth_tables() == [full[bit]]
+
+    def test_paper_inputs_match_specs(self):
+        for name, inputs in paperdata.TABLE2_INPUTS.items():
+            assert benchmark(name).num_inputs == inputs, name
+
+
+class TestPaperData:
+    def test_table2_totals_consistent(self):
+        for config in paperdata.TABLE2_CONFIGS:
+            r_total = sum(
+                row[config][0] for row in paperdata.TABLE2.values()
+            )
+            s_total = sum(
+                row[config][1] for row in paperdata.TABLE2.values()
+            )
+            expected_r, expected_s = paperdata.TABLE2_TOTALS[config]
+            assert r_total == expected_r, config
+            assert s_total == expected_s, config
+
+    def test_table3_bdd_totals_consistent(self):
+        r_total = sum(v[0] for v in paperdata.TABLE3_BDD.values())
+        s_total = sum(v[1] for v in paperdata.TABLE3_BDD.values())
+        assert (r_total, s_total) == paperdata.TABLE3_BDD_TOTALS
+
+    def test_table3_aig_totals_consistent(self):
+        s_total = sum(v[0] for v in paperdata.TABLE3_AIG.values())
+        imp_r = sum(v[1][0] for v in paperdata.TABLE3_AIG.values())
+        imp_s = sum(v[1][1] for v in paperdata.TABLE3_AIG.values())
+        maj_r = sum(v[2][0] for v in paperdata.TABLE3_AIG.values())
+        maj_s = sum(v[2][1] for v in paperdata.TABLE3_AIG.values())
+        exp_s, exp_imp, exp_maj = paperdata.TABLE3_AIG_TOTALS
+        assert s_total == exp_s
+        assert (imp_r, imp_s) == exp_imp
+        assert (maj_r, maj_s) == exp_maj
+
+    def test_table3_rows_mirror_table2(self):
+        # Table III's MIG columns are Table II's multi-objective runs.
+        for name, pair in paperdata.TABLE3_BDD.items():
+            assert name in paperdata.TABLE2
+
+    def test_headline_percentages_recoverable(self):
+        totals = paperdata.TABLE2_TOTALS
+        measured = 1 - totals["rram_imp"][1] / totals["area_imp"][1]
+        assert abs(measured - paperdata.PAPER_CLAIMS["rram_imp_steps_vs_area"]) < 0.01

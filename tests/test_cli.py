@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth", "xor5_d"])
+        assert args.algorithm == "rram"
+        assert args.realization == "maj"
+        assert args.effort == 40
+
+    def test_table3_requires_baseline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3"])
+
+
+class TestCommands:
+    def test_bench_list(self, capsys):
+        assert main(["bench-list"]) == 0
+        out = capsys.readouterr().out
+        assert "parity" in out
+        assert "xor5_d" in out
+
+    def test_synth_benchmark(self, capsys):
+        code = main([
+            "synth", "xor5_d", "--algorithm", "steps",
+            "--effort", "6", "--verify", "--compile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equivalence  : PASS" in out
+        assert "execution    : PASS" in out
+
+    def test_synth_none_algorithm(self, capsys):
+        assert main(["synth", "rd53f1", "--algorithm", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "initial" in out
+
+    def test_synth_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.bench"
+        path.write_text(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n"
+        )
+        code = main(["synth", str(path), "--effort", "4", "--verify"])
+        assert code == 0
+
+    def test_synth_pla_file(self, tmp_path):
+        path = tmp_path / "tiny.pla"
+        path.write_text(".i 2\n.o 1\n11 1\n.e\n")
+        assert main(["synth", str(path), "--effort", "4"]) == 0
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "does-not-exist"])
+
+    def test_table2_subset(self, capsys):
+        code = main(["table2", "x2", "--effort", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "x2" in out
+        assert "SUM" in out
+
+    def test_table3_aig_subset(self, capsys):
+        code = main([
+            "table3", "--baseline", "aig", "xor5_d", "--effort", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AIG" in out
+
+    def test_table3_bdd_subset(self, capsys):
+        code = main([
+            "table3", "--baseline", "bdd", "x2", "--effort", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BDD" in out
+
+
+    def test_synth_plim_backend(self, capsys):
+        code = main([
+            "synth", "rd53f1", "--algorithm", "steps", "--effort", "6",
+            "--compile", "--backend", "plim", "--verify",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RM3" in out
+        assert "execution    : PASS" in out
+
+    def test_synth_pla_minimize(self, tmp_path, capsys):
+        path = tmp_path / "redundant.pla"
+        path.write_text(
+            ".i 3\n.o 1\n000 1\n001 1\n010 1\n011 1\n111 1\n.e\n"
+        )
+        assert main([
+            "synth", str(path), "--minimize", "--effort", "4", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "equivalence  : PASS" in out
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        bench = tmp_path / "fa.bench"
+        bench.write_text(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = XOR(a, b)\n"
+        )
+        target = tmp_path / "fa.v"
+        assert main(["convert", str(bench), str(target)]) == 0
+        assert target.read_text().startswith("module")
+        back = tmp_path / "fa2.blif"
+        assert main(["convert", str(target), str(back)]) == 0
+        from repro.io import read_bench, read_blif
+
+        assert (
+            read_blif(str(back)).truth_tables()
+            == read_bench(str(bench)).truth_tables()
+        )
+
+    def test_convert_benchmark_to_pla(self, tmp_path):
+        target = tmp_path / "xor5.pla"
+        assert main(["convert", "xor5_d", str(target)]) == 0
+        from repro.io import pla_truth_tables, read_pla
+        from repro.truth import parity_function
+
+        assert pla_truth_tables(read_pla(str(target))) == parity_function(5)
+
+    def test_report_subset(self, tmp_path, monkeypatch, capsys):
+        # Restrict to a tiny subset by monkeypatching the name lists.
+        import repro.flows.experiments as experiments
+
+        monkeypatch.setattr(experiments, "large_names", lambda: ["x2"])
+        monkeypatch.setattr(experiments, "small_names", lambda: ["xor5_d"])
+        code = main([
+            "report", "--output", str(tmp_path / "out"), "--effort", "4",
+        ])
+        assert code == 0
+        assert (tmp_path / "out" / "table2_full.txt").exists()
+        assert (tmp_path / "out" / "table3_full.txt").exists()
+        assert "SUM" in (tmp_path / "out" / "table2_full.txt").read_text()

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    if path.name == "reproduce_table2.py":
+        args = [sys.executable, str(path), "x2", "parity"]
+    else:
+        args = [sys.executable, str(path)]
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()

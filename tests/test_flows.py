@@ -1,0 +1,128 @@
+"""Tests for the experiment flows and table rendering."""
+
+import pytest
+
+from repro.benchmarks import paperdata
+from repro.flows import (
+    TABLE2_CONFIGS,
+    largest_function_ratio,
+    render_summary,
+    render_table2,
+    render_table3,
+    run_table2,
+    run_table3_aig,
+    run_table3_bdd,
+    summarize_table2,
+)
+
+SUBSET = ["x2", "parity"]
+SMALL_SUBSET = ["xor5_d", "rd53f1"]
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(SUBSET, effort=6, verify=True)
+
+
+@pytest.fixture(scope="module")
+def table3_bdd_result():
+    return run_table3_bdd(SUBSET, effort=6, verify=True)
+
+
+@pytest.fixture(scope="module")
+def table3_aig_result():
+    return run_table3_aig(SMALL_SUBSET, effort=6, verify=True)
+
+
+class TestTable2:
+    def test_all_configs_present(self, table2_result):
+        for name in SUBSET:
+            assert set(table2_result.rows[name]) == set(TABLE2_CONFIGS)
+
+    def test_verified(self, table2_result):
+        for row in table2_result.rows.values():
+            for cell in row.values():
+                assert cell.verified is True
+
+    def test_maj_cheaper_than_imp(self, table2_result):
+        for row in table2_result.rows.values():
+            assert row["rram_maj"].steps < row["rram_imp"].steps
+            assert row["step_maj"].steps < row["step_imp"].steps
+
+    def test_step_opt_best_steps(self, table2_result):
+        for row in table2_result.rows.values():
+            assert row["step_maj"].steps <= row["area_imp"].steps
+            assert row["step_imp"].steps <= row["area_imp"].steps
+
+    def test_totals(self, table2_result):
+        totals = table2_result.totals()
+        for config in TABLE2_CONFIGS:
+            assert totals[config][0] == sum(
+                table2_result.rows[n][config].rrams for n in SUBSET
+            )
+
+    def test_summary_statistics(self, table2_result):
+        stats = summarize_table2(table2_result)
+        d = stats.as_dict()
+        assert set(d) == {
+            "rram_imp_steps_vs_area",
+            "rram_imp_steps_vs_depth",
+            "rram_maj_rrams_vs_step",
+            "rram_maj_steps_penalty_vs_step",
+        }
+        # Multi-objective can never be worse than area opt in steps on
+        # these benchmarks (both were run to convergence).
+        assert d["rram_imp_steps_vs_area"] >= 0
+
+    def test_render_contains_rows_and_paper(self, table2_result):
+        text = render_table2(table2_result)
+        for name in SUBSET:
+            assert name in text
+        assert "(paper)" in text
+        assert "SUM" in text
+
+    def test_render_without_paper(self, table2_result):
+        text = render_table2(table2_result, with_paper=False)
+        assert "(paper)" not in text
+
+
+class TestTable3:
+    def test_bdd_rows(self, table3_bdd_result):
+        for name in SUBSET:
+            row = table3_bdd_result.rows[name]
+            assert row.baseline_steps > 0
+            assert row.mig_maj[1] < row.mig_imp[1]
+
+    def test_bdd_ratios(self, table3_bdd_result):
+        maj_ratio, imp_ratio = table3_bdd_result.step_ratios()
+        assert maj_ratio > imp_ratio > 0
+
+    def test_aig_rows(self, table3_aig_result):
+        for name in SMALL_SUBSET:
+            row = table3_aig_result.rows[name]
+            assert row.baseline_steps > 0
+
+    def test_aig_render(self, table3_aig_result):
+        text = render_table3(table3_aig_result)
+        assert "AIG [12]" in text
+        assert "step ratios" in text
+
+    def test_bdd_render(self, table3_bdd_result):
+        text = render_table3(table3_bdd_result)
+        assert "BDD [11]" in text
+        assert "(paper)" in text
+
+    def test_largest_function_ratio_helper(self, table3_bdd_result):
+        # Works on whatever subset was run.
+        ratio = largest_function_ratio(table3_bdd_result, names=SUBSET)
+        assert ratio == pytest.approx(
+            sum(table3_bdd_result.rows[n].baseline_steps for n in SUBSET)
+            / sum(table3_bdd_result.rows[n].mig_maj[1] for n in SUBSET)
+        )
+
+
+class TestRenderSummary:
+    def test_summary_render(self, table2_result):
+        text = render_summary(summarize_table2(table2_result))
+        assert "paper" in text
+        assert "%" in text

@@ -1,0 +1,36 @@
+"""Tests for the optional sifting hook in the BDD baseline flow."""
+
+from repro.bdd import FALSE, Bdd, build_bdd_from_netlist
+from repro.benchmarks import load_netlist
+from repro.flows import run_table3_bdd
+from repro.flows.experiments_sift import maybe_sift
+
+
+def test_maybe_sift_respects_size_limit():
+    netlist = load_netlist("x2")
+    manager, roots = build_bdd_from_netlist(netlist)
+    same_manager, same_roots = maybe_sift(manager, roots, size_limit=1)
+    assert same_manager is manager
+    assert same_roots == list(roots)
+
+
+def test_maybe_sift_never_worse():
+    netlist = load_netlist("x2")
+    manager, roots = build_bdd_from_netlist(netlist)
+    before = manager.count_nodes(roots)
+    new_manager, new_roots = maybe_sift(manager, roots, size_limit=10_000)
+    assert new_manager.count_nodes(new_roots) <= before
+
+
+def test_maybe_sift_constant_roots():
+    manager = Bdd(3)
+    new_manager, new_roots = maybe_sift(manager, [FALSE], size_limit=100)
+    assert new_roots == [FALSE]
+
+
+def test_table3_bdd_with_sifting():
+    plain = run_table3_bdd(["x2"], effort=4, verify=False, sift=False)
+    sifted = run_table3_bdd(["x2"], effort=4, verify=False, sift=True)
+    assert (
+        sifted.rows["x2"].baseline_steps <= plain.rows["x2"].baseline_steps
+    )

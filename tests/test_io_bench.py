@@ -1,0 +1,112 @@
+"""Tests for the ISCAS89 ``.bench`` reader/writer."""
+
+import pytest
+
+from repro.io import BenchFormatError, parse_bench, write_bench
+from repro.network import GateType
+
+SIMPLE = """
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = NAND(a, b)
+"""
+
+
+def test_parse_simple():
+    n = parse_bench(SIMPLE)
+    assert n.inputs == ["a", "b"]
+    assert n.outputs == ["f"]
+    assert n.gate("f").gate_type is GateType.NAND
+
+
+def test_parse_all_gate_keywords():
+    text = "\n".join(
+        ["INPUT(a)", "INPUT(b)", "INPUT(c)", "OUTPUT(z)"]
+        + [
+            "g1 = AND(a, b)",
+            "g2 = OR(a, b)",
+            "g3 = NOR(a, b)",
+            "g4 = XOR(a, b)",
+            "g5 = XNOR(a, b)",
+            "g6 = NOT(a)",
+            "g7 = BUFF(b)",
+            "g8 = MAJ(a, b, c)",
+            "g9 = MUX(a, b, c)",
+            "z = AND(g1, g2, g3, g4, g5, g6, g7, g8, g9)",
+        ]
+    )
+    n = parse_bench(text)
+    assert n.num_gates == 10
+
+
+def test_case_insensitive_keywords():
+    n = parse_bench("input(a)\noutput(f)\nf = not(a)")
+    assert n.inputs == ["a"]
+    assert n.gate("f").gate_type is GateType.NOT
+
+
+def test_dff_combinational_profile():
+    text = """
+INPUT(x)
+OUTPUT(q)
+q = DFF(nq)
+nq = NOT(q)
+"""
+    n = parse_bench(text)
+    # q becomes a pseudo-input; nq a pseudo-output.
+    assert "q" in n.inputs
+    assert "nq" in n.outputs
+    n.validate()
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(BenchFormatError):
+        parse_bench("INPUT(a)\nf = FROB(a)\nOUTPUT(f)")
+
+
+def test_unparsable_line_rejected():
+    with pytest.raises(BenchFormatError):
+        parse_bench("INPUT(a)\nthis is not bench\n")
+
+
+def test_dff_arity_checked():
+    with pytest.raises(BenchFormatError):
+        parse_bench("INPUT(a)\nq = DFF(a, a)")
+
+
+def test_undefined_operand_rejected():
+    with pytest.raises(BenchFormatError):
+        parse_bench("INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)")
+
+
+def test_roundtrip(full_adder_netlist):
+    text = write_bench(full_adder_netlist)
+    parsed = parse_bench(text)
+    assert parsed.truth_tables() == full_adder_netlist.truth_tables()
+
+
+def test_roundtrip_preserves_interface(full_adder_netlist):
+    parsed = parse_bench(write_bench(full_adder_netlist))
+    assert parsed.inputs == full_adder_netlist.inputs
+    assert parsed.outputs == full_adder_netlist.outputs
+
+
+def test_write_rejects_constants():
+    from repro.network import Netlist
+
+    n = Netlist()
+    n.add_gate("k", GateType.CONST0, [])
+    n.set_output("k")
+    with pytest.raises(BenchFormatError):
+        write_bench(n)
+
+
+def test_file_roundtrip(tmp_path, full_adder_netlist):
+    from repro.io import read_bench, save_bench
+
+    path = tmp_path / "fa.bench"
+    save_bench(full_adder_netlist, str(path))
+    loaded = read_bench(str(path))
+    assert loaded.truth_tables() == full_adder_netlist.truth_tables()

@@ -1,0 +1,177 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.io import BlifFormatError, parse_blif, write_blif
+from repro.truth import TruthTable
+
+AND_OR = """
+.model demo
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+"""
+
+
+def test_parse_and_or():
+    n = parse_blif(AND_OR)
+    assert n.name == "demo"
+    (table,) = n.truth_tables()
+    expected = TruthTable.from_function(3, lambda i: (i[0] and i[1]) or i[2])
+    assert table == expected
+
+
+def test_offset_cover():
+    text = """
+.model off
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+"""
+    (table,) = parse_blif(text).truth_tables()
+    assert table == ~TruthTable.from_function(2, lambda i: i[0] and i[1])
+
+
+def test_constant_covers():
+    text = """
+.model k
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+    one, zero = parse_blif(text).truth_tables()
+    assert one == TruthTable.constant(1, True)
+    assert zero == TruthTable.constant(1, False)
+
+
+def test_dont_care_cube():
+    text = """
+.model dc
+.inputs a b c
+.outputs f
+.names a b c f
+1-0 1
+-11 1
+.end
+"""
+    (table,) = parse_blif(text).truth_tables()
+    expected = TruthTable.from_function(
+        3, lambda i: (i[0] and not i[2]) or (i[1] and i[2])
+    )
+    assert table == expected
+
+
+def test_continuation_lines():
+    text = ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+    n = parse_blif(text)
+    assert n.inputs == ["a", "b"]
+
+
+def test_latch_combinational_profile():
+    text = """
+.model seq
+.inputs x
+.outputs y
+.latch ns state 0
+.names x state ns
+11 1
+.names state y
+1 1
+.end
+"""
+    n = parse_blif(text)
+    assert "state" in n.inputs
+    assert "ns" in n.outputs
+    n.validate()
+
+
+def test_single_literal_buffer():
+    text = ".model b\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n"
+    (table,) = parse_blif(text).truth_tables()
+    assert table == TruthTable.variable(1, 0)
+
+
+def test_inverter_cover():
+    text = ".model i\n.inputs a\n.outputs f\n.names a f\n0 1\n.end\n"
+    (table,) = parse_blif(text).truth_tables()
+    assert table == ~TruthTable.variable(1, 0)
+
+
+def test_mixed_polarity_cover_rejected():
+    text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n"
+    with pytest.raises(BlifFormatError):
+        parse_blif(text)
+
+
+def test_bad_cube_width_rejected():
+    text = ".model w\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n"
+    with pytest.raises(BlifFormatError):
+        parse_blif(text)
+
+
+def test_row_outside_names_rejected():
+    with pytest.raises(BlifFormatError):
+        parse_blif(".model x\n.inputs a\n.outputs f\n11 1\n.end\n")
+
+
+def test_tautology_cube():
+    text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n-- 1\n.end\n"
+    (table,) = parse_blif(text).truth_tables()
+    assert table == TruthTable.constant(2, True)
+
+
+def test_unknown_directives_ignored():
+    text = (
+        ".model u\n.inputs a\n.outputs f\n.default_input_arrival 0 0\n"
+        ".names a f\n1 1\n.end\n"
+    )
+    parse_blif(text).validate()
+
+
+def test_write_roundtrip(full_adder_netlist):
+    text = write_blif(full_adder_netlist)
+    parsed = parse_blif(text)
+    assert parsed.truth_tables() == full_adder_netlist.truth_tables()
+
+
+def test_write_roundtrip_all_gate_types():
+    from repro.network import GateType, Netlist
+
+    n = Netlist("all")
+    for name in "abc":
+        n.add_input(name)
+    n.add_gate("g_and", GateType.AND, ["a", "b"])
+    n.add_gate("g_nand", GateType.NAND, ["a", "b"])
+    n.add_gate("g_or", GateType.OR, ["a", "b", "c"])
+    n.add_gate("g_nor", GateType.NOR, ["a", "b"])
+    n.add_gate("g_xor", GateType.XOR, ["a", "b", "c"])
+    n.add_gate("g_xnor", GateType.XNOR, ["a", "b"])
+    n.add_gate("g_not", GateType.NOT, ["a"])
+    n.add_gate("g_buf", GateType.BUF, ["b"])
+    n.add_gate("g_maj", GateType.MAJ, ["a", "b", "c"])
+    n.add_gate("g_mux", GateType.MUX, ["a", "b", "c"])
+    n.add_gate("g_c0", GateType.CONST0, [])
+    n.add_gate("g_c1", GateType.CONST1, [])
+    for gate in list(n.gates()):
+        n.set_output(gate.name)
+    parsed = parse_blif(write_blif(n))
+    assert parsed.truth_tables() == n.truth_tables()
+
+
+def test_file_roundtrip(tmp_path, full_adder_netlist):
+    from repro.io import read_blif, save_blif
+
+    path = tmp_path / "fa.blif"
+    save_blif(full_adder_netlist, str(path))
+    loaded = read_blif(str(path))
+    assert loaded.truth_tables() == full_adder_netlist.truth_tables()

@@ -1,0 +1,180 @@
+"""Tests for the espresso PLA reader/writer."""
+
+import pytest
+
+from repro.io import (
+    PlaFormatError,
+    parse_pla,
+    pla_to_netlist,
+    pla_truth_tables,
+    tables_to_pla,
+    write_pla,
+)
+from repro.truth import TruthTable
+
+SAMPLE = """
+# two-output sample
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 01
+1-1 11
+.e
+"""
+
+
+def test_parse_header():
+    cover = parse_pla(SAMPLE)
+    assert cover.num_inputs == 3
+    assert cover.num_outputs == 2
+    assert cover.input_labels == ["a", "b", "c"]
+    assert cover.output_labels == ["f", "g"]
+    assert len(cover.cubes) == 3
+
+
+def test_semantics():
+    f, g = pla_truth_tables(parse_pla(SAMPLE))
+    expected_f = TruthTable.from_function(
+        3, lambda i: (i[0] and i[1]) or (i[0] and i[2])
+    )
+    expected_g = TruthTable.from_function(3, lambda i: i[2])
+    assert f == expected_f
+    assert g == expected_g
+
+
+def test_default_labels():
+    cover = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+    assert cover.input_labels == ["x0", "x1"]
+    assert cover.output_labels == ["f0"]
+
+
+def test_cube_without_space():
+    cover = parse_pla(".i 2\n.o 1\n111\n.e\n")
+    assert cover.cubes == [("11", "1")]
+
+
+def test_bad_cube_width():
+    with pytest.raises(PlaFormatError):
+        parse_pla(".i 2\n.o 1\n111 1\n.e\n")
+
+
+def test_bad_cube_char():
+    with pytest.raises(PlaFormatError):
+        parse_pla(".i 2\n.o 1\n1z 1\n.e\n")
+
+
+def test_missing_header():
+    with pytest.raises(PlaFormatError):
+        parse_pla("11 1\n.e\n")
+
+
+def test_netlist_constant_outputs():
+    cover = parse_pla(".i 2\n.o 2\n-- 10\n.e\n")
+    one, zero = pla_truth_tables(cover)
+    assert one == TruthTable.constant(2, True)
+    assert zero == TruthTable.constant(2, False)
+
+
+def test_netlist_single_literal_products():
+    cover = parse_pla(".i 2\n.o 1\n1- 1\n-0 1\n.e\n")
+    (table,) = pla_truth_tables(cover)
+    assert table == TruthTable.from_function(2, lambda i: i[0] or not i[1])
+
+
+def test_write_roundtrip():
+    cover = parse_pla(SAMPLE)
+    text = write_pla(cover)
+    reparsed = parse_pla(text)
+    assert pla_truth_tables(reparsed) == pla_truth_tables(cover)
+
+
+def test_tables_to_pla_roundtrip():
+    maj = TruthTable.from_function(3, lambda i: sum(i) >= 2)
+    parity = TruthTable.from_function(3, lambda i: sum(i) % 2 == 1)
+    cover = tables_to_pla([maj, parity], name="pair")
+    assert pla_truth_tables(cover) == [maj, parity]
+
+
+def test_tables_to_pla_rejects_mixed_arity():
+    with pytest.raises(PlaFormatError):
+        tables_to_pla([TruthTable.constant(2, True), TruthTable.constant(3, True)])
+
+
+def test_tables_to_pla_rejects_empty():
+    with pytest.raises(PlaFormatError):
+        tables_to_pla([])
+
+
+def test_file_roundtrip(tmp_path):
+    from repro.io import read_pla, save_pla
+
+    cover = parse_pla(SAMPLE, name="sample")
+    path = tmp_path / "sample.pla"
+    save_pla(cover, str(path))
+    loaded = read_pla(str(path))
+    assert pla_truth_tables(loaded) == pla_truth_tables(cover)
+
+
+def test_netlist_interface():
+    netlist = pla_to_netlist(parse_pla(SAMPLE))
+    assert netlist.inputs == ["a", "b", "c"]
+    assert netlist.outputs == ["f", "g"]
+
+
+class TestVerilogWriter:
+    def test_verilog_structure(self, full_adder_netlist):
+        from repro.io import write_verilog
+
+        text = write_verilog(full_adder_netlist)
+        assert text.startswith("module fa (")
+        assert "input a;" in text
+        assert "output sum;" in text
+        assert "xor(axb, a, b);" in text
+        assert "(a & b) | (a & cin) | (b & cin)" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_verilog_all_gate_types(self):
+        from repro.io import write_verilog
+        from repro.network import GateType, Netlist
+
+        n = Netlist("all")
+        for name in "abc":
+            n.add_input(name)
+        n.add_gate("g_mux", GateType.MUX, ["a", "b", "c"])
+        n.add_gate("g_c0", GateType.CONST0, [])
+        n.add_gate("g_c1", GateType.CONST1, [])
+        n.add_gate("g_buf", GateType.BUF, ["a"])
+        for gate in list(n.gates()):
+            n.set_output(gate.name)
+        text = write_verilog(n)
+        assert "a ? b : c" in text
+        assert "1'b0" in text and "1'b1" in text
+
+    def test_verilog_duplicate_outputs(self, full_adder_netlist):
+        from repro.io import write_verilog
+
+        full_adder_netlist.set_output("sum")
+        text = write_verilog(full_adder_netlist)
+        assert "sum_dup1" in text
+        assert "assign sum_dup1 = sum;" in text
+
+    def test_verilog_escaped_identifiers(self):
+        from repro.io import write_verilog
+        from repro.network import GateType, Netlist
+
+        n = Netlist("esc")
+        n.add_input("a[0]")
+        n.add_gate("out.q", GateType.NOT, ["a[0]"])
+        n.set_output("out.q")
+        text = write_verilog(n)
+        assert "\\a[0] " in text
+
+    def test_save_verilog(self, tmp_path, full_adder_netlist):
+        from repro.io import save_verilog
+
+        path = tmp_path / "fa.v"
+        save_verilog(full_adder_netlist, str(path))
+        assert path.read_text().startswith("module")

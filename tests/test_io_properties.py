@@ -1,0 +1,139 @@
+"""Property-based round-trip tests for the benchmark file formats.
+
+Random netlists are rendered to each format, re-parsed, and checked for
+exact functional equivalence — the formats must be lossless carriers.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import parse_bench, parse_blif, write_bench, write_blif
+from repro.network import GateType, Netlist
+
+_GATES = [
+    (GateType.AND, 2),
+    (GateType.NAND, 2),
+    (GateType.OR, 3),
+    (GateType.NOR, 2),
+    (GateType.XOR, 2),
+    (GateType.XNOR, 2),
+    (GateType.NOT, 1),
+    (GateType.BUF, 1),
+    (GateType.MAJ, 3),
+    (GateType.MUX, 3),
+]
+
+
+def random_netlist(seed: int, num_inputs: int = 5, num_gates: int = 12) -> Netlist:
+    rng = random.Random(seed)
+    netlist = Netlist(f"rand{seed}")
+    nets = [netlist.add_input(f"in{i}") for i in range(num_inputs)]
+    for index in range(num_gates):
+        gate_type, arity = _GATES[rng.randrange(len(_GATES))]
+        operands = [nets[rng.randrange(len(nets))] for _ in range(arity)]
+        name = f"n{index}"
+        netlist.add_gate(name, gate_type, operands)
+        nets.append(name)
+    for _ in range(3):
+        netlist.set_output(nets[rng.randrange(num_inputs, len(nets))])
+    return netlist
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_bench_roundtrip(seed):
+    netlist = random_netlist(seed)
+    parsed = parse_bench(write_bench(netlist))
+    assert parsed.inputs == netlist.inputs
+    assert parsed.truth_tables() == netlist.truth_tables()
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_blif_roundtrip(seed):
+    netlist = random_netlist(seed)
+    parsed = parse_blif(write_blif(netlist))
+    assert parsed.inputs == netlist.inputs
+    assert parsed.truth_tables() == netlist.truth_tables()
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=25, deadline=None)
+def test_cross_format_agreement(seed):
+    netlist = random_netlist(seed)
+    via_bench = parse_bench(write_bench(netlist))
+    via_blif = parse_blif(write_blif(netlist))
+    assert via_bench.truth_tables() == via_blif.truth_tables()
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=20, deadline=None)
+def test_verilog_renders_all_random_netlists(seed):
+    """The Verilog writer must accept anything the generators produce
+    (write-only format: structural sanity check)."""
+    from repro.io import write_verilog
+
+    netlist = random_netlist(seed)
+    text = write_verilog(netlist)
+    assert text.startswith("module ")
+    assert text.rstrip().endswith("endmodule")
+    assert text.count("input ") == len(netlist.inputs)
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_verilog_roundtrip(seed):
+    """write_verilog → parse_verilog must be a lossless functional trip."""
+    from repro.io import parse_verilog, write_verilog
+
+    netlist = random_netlist(seed)
+    parsed = parse_verilog(write_verilog(netlist))
+    assert parsed.inputs == netlist.inputs
+    assert parsed.truth_tables() == netlist.truth_tables()
+
+
+def test_verilog_reader_expression_precedence():
+    from repro.io import parse_verilog
+    from repro.truth import TruthTable
+
+    source = """
+    module expr (a, b, c, f);
+      input a; input b; input c;
+      output f;
+      assign f = a & b | ~c ^ a;
+    endmodule
+    """
+    netlist = parse_verilog(source)
+    (table,) = netlist.truth_tables()
+    expected = TruthTable.from_function(
+        3, lambda i: (i[0] and i[1]) or ((not i[2]) != i[0])
+    )
+    assert table == expected
+
+
+def test_verilog_reader_ternary_and_constants():
+    from repro.io import parse_verilog
+    from repro.truth import TruthTable
+
+    source = """
+    module t (s, a, f);
+      input s, a;
+      output f;
+      assign f = s ? a : 1'b1;
+    endmodule
+    """
+    netlist = parse_verilog(source)
+    (table,) = netlist.truth_tables()
+    expected = TruthTable.from_function(2, lambda i: i[1] if i[0] else True)
+    assert table == expected
+
+
+def test_verilog_reader_rejects_unsupported():
+    import pytest as _pytest
+
+    from repro.io import VerilogFormatError, parse_verilog
+
+    with _pytest.raises(VerilogFormatError):
+        parse_verilog("module m (a); input a; always @(posedge a); endmodule")

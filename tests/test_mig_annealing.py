@@ -1,0 +1,106 @@
+"""Tests for the simulated-annealing complement placement extension."""
+
+import pytest
+
+from repro.benchmarks import load_mig
+from repro.mig import (
+    EquivalenceGuard,
+    Mig,
+    Realization,
+    anneal_complements,
+    level_stats,
+    rram_costs,
+    signal_not,
+)
+from repro.mig.annealing import _ComplementModel
+
+
+class TestComplementModel:
+    def build(self):
+        mig = Mig()
+        a, b, c, d = (mig.add_pi() for _ in range(4))
+        inner = mig.make_maj(signal_not(a), b, c)
+        outer = mig.make_maj(inner, signal_not(d), a)
+        mig.add_po(signal_not(outer))
+        return mig
+
+    def test_initial_costs_match_views(self):
+        mig = self.build()
+        for realization in Realization:
+            model = _ComplementModel(mig, realization)
+            costs = rram_costs(mig, realization)
+            assert model.costs() == (costs.steps, costs.rrams)
+
+    def test_flip_is_involution(self):
+        mig = self.build()
+        model = _ComplementModel(mig, Realization.MAJ)
+        start = model.costs()
+        node = mig.reachable_nodes()[0]
+        model.apply_flip(node)
+        model.apply_flip(node)
+        assert model.costs() == start
+
+    def test_flip_matches_real_flip(self):
+        """Model-predicted costs after a flip equal the costs measured
+        after actually applying Ω.I to the graph."""
+        from repro.mig.rewrite import apply_inverter_propagation
+
+        for target_index in range(2):
+            mig = self.build()
+            model = _ComplementModel(mig, Realization.MAJ)
+            node = mig.reachable_nodes()[target_index]
+            model.apply_flip(node)
+            predicted = model.costs()
+            apply_inverter_propagation(mig, node)
+            actual = rram_costs(mig, Realization.MAJ)
+            assert predicted == (actual.steps, actual.rrams)
+
+
+class TestAnnealing:
+    def test_preserves_function(self):
+        mig = load_mig("x2")
+        guard = EquivalenceGuard(mig)
+        anneal_complements(mig, Realization.MAJ, iterations=800)
+        guard.verify_or_raise()
+        mig.check_invariants()
+
+    def test_never_worsens(self):
+        for name in ["x2", "cm162a", "rd53f2"]:
+            mig = load_mig(name)
+            before = rram_costs(mig, Realization.MAJ)
+            anneal_complements(mig, Realization.MAJ, iterations=800)
+            after = rram_costs(mig, Realization.MAJ)
+            assert (after.steps, after.rrams) <= (before.steps, before.rrams)
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            mig = load_mig("x2")
+            anneal_complements(mig, Realization.MAJ, iterations=600, seed=7)
+            costs = rram_costs(mig, Realization.MAJ)
+            results.append((costs.steps, costs.rrams, mig.num_gates()))
+        assert results[0] == results[1]
+
+    def test_empty_graph(self):
+        mig = Mig()
+        mig.add_pi()
+        assert not anneal_complements(mig, Realization.MAJ, iterations=10)
+
+    def test_finds_known_improvement(self):
+        """A node with all-complemented fanin is a guaranteed win the
+        annealer must find."""
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        dirty = mig.make_maj(signal_not(a), signal_not(b), signal_not(c))
+        top = mig.make_maj(signal_not(dirty), a, b)
+        mig.add_po(top)
+        # Flipping `dirty` clears both its fanin complements and the
+        # complemented edge into `top`: L drops 2 → 0.
+        before = level_stats(mig).levels_with_complements
+        assert before == 2
+        changed = anneal_complements(
+            mig, Realization.MAJ, iterations=1500, seed=3
+        )
+        after = level_stats(mig).levels_with_complements
+        assert changed
+        assert after == 0

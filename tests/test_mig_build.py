@@ -1,0 +1,151 @@
+"""Tests for MIG construction from netlists and truth tables."""
+
+import pytest
+
+from repro.mig import (
+    Realization,
+    level_stats,
+    mig_from_netlist,
+    mig_from_truth_tables,
+    mig_to_netlist,
+)
+from repro.network import GateType, Netlist
+from repro.truth import (
+    TruthTable,
+    count_ones_function,
+    nine_sym_function,
+    parity_function,
+)
+
+from conftest import reference_full_adder_tables
+
+
+class TestFromNetlist:
+    def test_full_adder(self, full_adder_netlist):
+        mig = mig_from_netlist(full_adder_netlist)
+        assert mig.truth_tables() == reference_full_adder_tables()
+
+    def test_every_gate_type(self):
+        n = Netlist("all")
+        for name in "abc":
+            n.add_input(name)
+        n.add_gate("g_and", GateType.AND, ["a", "b"])
+        n.add_gate("g_nand", GateType.NAND, ["a", "b"])
+        n.add_gate("g_or", GateType.OR, ["a", "b"])
+        n.add_gate("g_nor", GateType.NOR, ["a", "b"])
+        n.add_gate("g_xor", GateType.XOR, ["a", "b"])
+        n.add_gate("g_xnor", GateType.XNOR, ["a", "b"])
+        n.add_gate("g_not", GateType.NOT, ["a"])
+        n.add_gate("g_buf", GateType.BUF, ["a"])
+        n.add_gate("g_maj", GateType.MAJ, ["a", "b", "c"])
+        n.add_gate("g_mux", GateType.MUX, ["a", "b", "c"])
+        n.add_gate("g_c0", GateType.CONST0, [])
+        n.add_gate("g_c1", GateType.CONST1, [])
+        for gate in list(n.gates()):
+            n.set_output(gate.name)
+        mig = mig_from_netlist(n)
+        assert mig.truth_tables() == n.truth_tables()
+
+    def test_nary_gates_balanced(self):
+        n = Netlist()
+        for i in range(8):
+            n.add_input(f"x{i}")
+        n.add_gate("g", GateType.XOR, [f"x{i}" for i in range(8)])
+        n.set_output("g")
+        mig = mig_from_netlist(n)
+        assert mig.truth_tables() == n.truth_tables()
+        # Balanced tree: 3 XOR levels, 2 MIG levels each.
+        assert level_stats(mig).depth <= 6
+
+    def test_interface_names_preserved(self, full_adder_netlist):
+        mig = mig_from_netlist(full_adder_netlist)
+        assert mig.pi_names == ["a", "b", "cin"]
+        assert mig.po_names == ["sum", "cout"]
+
+
+class TestFromTruthTables:
+    def test_parity(self):
+        mig = mig_from_truth_tables(parity_function(6))
+        assert mig.truth_tables() == parity_function(6)
+
+    def test_nine_sym(self):
+        mig = mig_from_truth_tables(nine_sym_function())
+        assert mig.truth_tables() == nine_sym_function()
+
+    def test_multi_output_sharing(self):
+        tables = count_ones_function(5, 3)
+        mig = mig_from_truth_tables(tables)
+        assert mig.truth_tables() == tables
+        # Shared cofactors must be discovered: the total must be well
+        # below three independent Shannon trees.
+        independent = sum(
+            mig_from_truth_tables([t]).num_gates() for t in tables
+        )
+        assert mig.num_gates() <= independent
+
+    def test_constant_table(self):
+        mig = mig_from_truth_tables([TruthTable.constant(3, True)])
+        assert mig.num_gates() == 0
+        assert mig.truth_tables() == [TruthTable.constant(3, True)]
+
+    def test_projection_table(self):
+        mig = mig_from_truth_tables([TruthTable.variable(4, 2)])
+        assert mig.num_gates() == 0
+        assert mig.truth_tables() == [TruthTable.variable(4, 2)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mig_from_truth_tables([])
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            mig_from_truth_tables(
+                [TruthTable.constant(2, True), TruthTable.constant(3, True)]
+            )
+
+    def test_xor_detection_keeps_size_small(self):
+        mig = mig_from_truth_tables(parity_function(8))
+        # With hi == !lo detection each variable costs 3 nodes.
+        assert mig.num_gates() <= 3 * 8
+
+
+class TestToNetlist:
+    def test_roundtrip_function(self, maj3_mig):
+        netlist = mig_to_netlist(maj3_mig)
+        assert netlist.truth_tables() == maj3_mig.truth_tables()
+
+    def test_roundtrip_complex(self):
+        tables = count_ones_function(5, 3)
+        mig = mig_from_truth_tables(tables, "rd53")
+        netlist = mig_to_netlist(mig)
+        assert netlist.truth_tables() == tables
+
+    def test_roundtrip_via_netlist_and_back(self, full_adder_netlist):
+        mig = mig_from_netlist(full_adder_netlist)
+        back = mig_to_netlist(mig)
+        again = mig_from_netlist(back)
+        assert again.truth_tables() == mig.truth_tables()
+
+    def test_complemented_po(self):
+        from repro.mig import Mig, signal_not
+
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_po(signal_not(mig.make_maj(a, b, c)))
+        netlist = mig_to_netlist(mig)
+        assert netlist.truth_tables() == mig.truth_tables()
+
+    def test_constant_po(self):
+        from repro.mig import CONST1, Mig
+
+        mig = Mig()
+        mig.add_pi()
+        mig.add_po(CONST1)
+        netlist = mig_to_netlist(mig)
+        assert netlist.truth_tables() == mig.truth_tables()
+
+    def test_shared_po_drivers(self, maj3_mig):
+        maj3_mig.add_po(maj3_mig.pos[0], "g")
+        netlist = mig_to_netlist(maj3_mig)
+        tables = netlist.truth_tables()
+        assert tables[0] == tables[1]

@@ -1,0 +1,75 @@
+"""Tests for the equivalence-checking helpers."""
+
+import pytest
+
+from repro.mig import (
+    EquivalenceGuard,
+    Mig,
+    mig_from_truth_tables,
+    mig_matches_tables,
+    migs_equivalent,
+    signal_not,
+)
+from repro.truth import parity_function
+
+
+def test_migs_equivalent_identical():
+    a = mig_from_truth_tables(parity_function(5))
+    b = mig_from_truth_tables(parity_function(5))
+    assert migs_equivalent(a, b)
+
+
+def test_migs_equivalent_detects_difference():
+    a = mig_from_truth_tables(parity_function(5))
+    b = mig_from_truth_tables(parity_function(5))
+    b.set_po(0, signal_not(b.pos[0]))
+    assert not migs_equivalent(a, b)
+
+
+def test_migs_equivalent_interface_mismatch():
+    a = mig_from_truth_tables(parity_function(5))
+    b = mig_from_truth_tables(parity_function(6))
+    assert not migs_equivalent(a, b)
+
+
+def test_migs_equivalent_random_mode():
+    a = mig_from_truth_tables(parity_function(5))
+    b = mig_from_truth_tables(parity_function(5))
+    assert migs_equivalent(a, b, exhaustive_limit=2, num_vectors=256)
+    b.set_po(0, signal_not(b.pos[0]))
+    assert not migs_equivalent(a, b, exhaustive_limit=2, num_vectors=256)
+
+
+def test_mig_matches_tables():
+    tables = parity_function(5)
+    mig = mig_from_truth_tables(tables)
+    assert mig_matches_tables(mig, tables)
+    assert not mig_matches_tables(mig, [~tables[0]])
+    assert not mig_matches_tables(mig, tables + tables)
+
+
+def test_guard_detects_mutation():
+    mig = mig_from_truth_tables(parity_function(5))
+    guard = EquivalenceGuard(mig)
+    assert guard.verify()
+    mig.set_po(0, signal_not(mig.pos[0]))
+    assert not guard.verify()
+    with pytest.raises(AssertionError):
+        guard.verify_or_raise()
+
+
+def test_guard_random_mode():
+    mig = mig_from_truth_tables(parity_function(5))
+    guard = EquivalenceGuard(mig, exhaustive_limit=2, num_vectors=128)
+    assert guard.verify()
+    mig.set_po(0, signal_not(mig.pos[0]))
+    assert not guard.verify()
+
+
+def test_guard_tracks_structure_not_snapshot():
+    """The guard holds a reference: later equivalent rewrites pass."""
+    mig = mig_from_truth_tables(parity_function(5))
+    guard = EquivalenceGuard(mig)
+    # Double complement is a no-op.
+    mig.set_po(0, signal_not(signal_not(mig.pos[0])))
+    assert guard.verify()

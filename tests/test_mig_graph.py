@@ -1,0 +1,269 @@
+"""Unit tests for the MIG core data structure."""
+
+import pytest
+
+from repro.mig import (
+    CONST0,
+    CONST1,
+    Mig,
+    MigError,
+    make_signal,
+    signal_is_complemented,
+    signal_node,
+    signal_not,
+)
+from repro.truth import TruthTable, ternary_majority
+
+
+class TestSignals:
+    def test_encoding(self):
+        assert make_signal(5) == 10
+        assert make_signal(5, True) == 11
+        assert signal_node(11) == 5
+        assert signal_is_complemented(11)
+        assert not signal_is_complemented(10)
+
+    def test_negation(self):
+        assert signal_not(10) == 11
+        assert signal_not(signal_not(10)) == 10
+
+    def test_constants(self):
+        assert CONST0 == 0
+        assert CONST1 == 1
+        assert signal_not(CONST0) == CONST1
+
+
+class TestConstruction:
+    def test_pis_and_pos(self):
+        mig = Mig("m")
+        a = mig.add_pi("a")
+        mig.add_po(a, "f")
+        assert mig.num_pis == 1
+        assert mig.num_pos == 1
+        assert mig.pi_names == ["a"]
+        assert mig.po_names == ["f"]
+        assert mig.is_pi(signal_node(a))
+
+    def test_default_names(self):
+        mig = Mig()
+        mig.add_pi()
+        mig.add_po(CONST0)
+        assert mig.pi_names == ["x0"]
+        assert mig.po_names == ["f0"]
+
+    def test_make_maj_creates_node(self, maj3_mig):
+        assert maj3_mig.num_gates() == 1
+
+    def test_strashing_shares_nodes(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        f1 = mig.make_maj(a, b, c)
+        f2 = mig.make_maj(c, a, b)  # Ω.C implicit in sorted children
+        assert f1 == f2
+
+    def test_majority_rule_equal_children(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        assert mig.make_maj(a, a, b) == a
+
+    def test_majority_rule_complementary_children(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        assert mig.make_maj(a, signal_not(a), b) == b
+
+    def test_and_or_via_constants(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        land = mig.make_and(a, b)
+        lor = mig.make_or(a, b)
+        mig.add_po(land)
+        mig.add_po(lor)
+        t_and, t_or = mig.truth_tables()
+        va, vb = TruthTable.variable(2, 0), TruthTable.variable(2, 1)
+        assert t_and == (va & vb)
+        assert t_or == (va | vb)
+
+    def test_xor_and_mux(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        mig.add_po(mig.make_xor(a, b))
+        mig.add_po(mig.make_mux(a, b, c))
+        t_xor, t_mux = mig.truth_tables()
+        va, vb, vc = (TruthTable.variable(3, i) for i in range(3))
+        assert t_xor == (va ^ vb)
+        assert t_mux == (va & vb) | (~va & vc)
+
+    def test_constant_simplifications(self):
+        mig = Mig()
+        a = mig.add_pi()
+        assert mig.make_and(a, CONST1) == a
+        assert mig.make_and(a, CONST0) == CONST0
+        assert mig.make_or(a, CONST0) == a
+        assert mig.make_or(a, CONST1) == CONST1
+
+    def test_bad_signal_rejected(self):
+        mig = Mig()
+        a = mig.add_pi()
+        with pytest.raises(MigError):
+            mig.make_maj(a, 998, CONST0)
+
+    def test_children_sorted(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        children = maj3_mig.children(node)
+        assert list(children) == sorted(children)
+
+    def test_children_of_pi_rejected(self):
+        mig = Mig()
+        a = mig.add_pi()
+        with pytest.raises(MigError):
+            mig.children(signal_node(a))
+
+
+class TestFanout:
+    def test_fanout_tracking(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        f = mig.make_maj(a, b, c)
+        g = mig.make_and(f, a)
+        assert mig.fanout_size(signal_node(f)) == 1
+        assert signal_node(g) in mig.fanout_counts(signal_node(f))
+
+    def test_po_refs(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        f = mig.make_and(a, b)
+        mig.add_po(f)
+        mig.add_po(signal_not(f))
+        assert mig.po_refs(signal_node(f)) == [0, 1]
+
+
+class TestSimulation:
+    def test_maj_truth_table(self, maj3_mig):
+        (table,) = maj3_mig.truth_tables()
+        a, b, c = (TruthTable.variable(3, i) for i in range(3))
+        assert table == ternary_majority(a, b, c)
+
+    def test_complemented_po(self, maj3_mig):
+        po = maj3_mig.pos[0]
+        maj3_mig.set_po(0, signal_not(po))
+        (table,) = maj3_mig.truth_tables()
+        a, b, c = (TruthTable.variable(3, i) for i in range(3))
+        assert table == ~ternary_majority(a, b, c)
+
+    def test_simulate_words_width(self, maj3_mig):
+        with pytest.raises(MigError):
+            maj3_mig.simulate_words([0, 0], 1)
+
+    def test_constant_po(self):
+        mig = Mig()
+        mig.add_pi()
+        mig.add_po(CONST1)
+        (table,) = mig.truth_tables()
+        assert table == TruthTable.constant(1, True)
+
+
+class TestSubstitution:
+    def test_substitute_redirects_po(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        f = mig.make_maj(a, b, c)
+        mig.add_po(f)
+        # Replace by an equivalent reconstruction (same function).
+        g = mig.make_maj(signal_not(a), signal_not(b), signal_not(c))
+        mig.substitute(signal_node(f), signal_not(g))
+        (table,) = mig.truth_tables()
+        va, vb, vc = (TruthTable.variable(3, i) for i in range(3))
+        assert table == ternary_majority(va, vb, vc)
+
+    def test_substitute_merges_parents(self):
+        mig = Mig()
+        a, b, c, d = (mig.add_pi() for _ in range(4))
+        f1 = mig.make_maj(a, b, c)
+        f2 = mig.make_maj(a, b, d)
+        g1 = mig.make_and(f1, d)
+        g2 = mig.make_and(f2, d)
+        mig.add_po(g1)
+        mig.add_po(g2)
+        before = mig.num_gates()
+        # Claim f2 == f1 (not true functionally, but structurally the
+        # mechanics are what we test: parents g1/g2 must merge).
+        mig.substitute(signal_node(f2), f1)
+        assert mig.num_gates() < before
+        assert mig.pos[0] == mig.pos[1]
+
+    def test_substitute_cascades_majority_rule(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        f = mig.make_maj(a, b, c)
+        g = mig.make_and(f, a)  # M(f, a, 0)
+        mig.add_po(g)
+        # Substituting f := a turns g into M(a, a, 0) = a.
+        mig.substitute(signal_node(f), a)
+        assert mig.pos[0] == a
+
+    def test_substitute_self_complement_rejected(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        f = mig.make_maj(a, b, c)
+        with pytest.raises(MigError):
+            mig.substitute(signal_node(f), signal_not(f))
+
+    def test_substitute_cycle_rejected(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        f = mig.make_maj(a, b, c)
+        g = mig.make_and(f, a)
+        mig.add_po(g)
+        with pytest.raises(MigError):
+            mig.substitute(signal_node(f), g)
+
+    def test_invariants_after_substitution(self):
+        mig = Mig()
+        a, b, c, d = (mig.add_pi() for _ in range(4))
+        f = mig.make_maj(a, b, c)
+        g = mig.make_maj(f, c, d)
+        mig.add_po(g)
+        mig.substitute(signal_node(f), signal_not(mig.make_maj(
+            signal_not(a), signal_not(b), signal_not(c))))
+        mig.check_invariants()
+
+
+class TestCloneAndCopy:
+    def test_clone_equivalent(self, maj3_mig):
+        copy = maj3_mig.clone()
+        assert copy.truth_tables() == maj3_mig.truth_tables()
+        assert copy.pi_names == maj3_mig.pi_names
+
+    def test_clone_is_independent(self, maj3_mig):
+        copy = maj3_mig.clone()
+        a = copy.add_pi("extra")
+        assert copy.num_pis == 4
+        assert maj3_mig.num_pis == 3
+
+    def test_clone_drops_dead_nodes(self):
+        mig = Mig()
+        a, b, c = mig.add_pi(), mig.add_pi(), mig.add_pi()
+        dead = mig.make_maj(a, b, c)
+        live = mig.make_and(a, b)
+        mig.add_po(live)
+        copy = mig.clone()
+        assert copy.num_gates() == 1
+
+    def test_copy_from_restores_state(self, maj3_mig):
+        snapshot = maj3_mig.clone()
+        a = maj3_mig.pis[0]
+        # Mutate: complement the PO.
+        maj3_mig.set_po(0, signal_not(maj3_mig.pos[0]))
+        assert maj3_mig.truth_tables() != snapshot.truth_tables()
+        maj3_mig.copy_from(snapshot)
+        assert maj3_mig.truth_tables() == snapshot.truth_tables()
+
+    def test_copy_from_interface_mismatch(self, maj3_mig):
+        other = Mig()
+        other.add_pi()
+        other.add_po(CONST0)
+        with pytest.raises(MigError):
+            maj3_mig.copy_from(other)
+
+    def test_repr(self, maj3_mig):
+        assert "maj3" in repr(maj3_mig)

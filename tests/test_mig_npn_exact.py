@@ -1,0 +1,122 @@
+"""Tests for NPN canonization and exact small-function synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mig import Mig, exact_size, npn_canonize, synthesize_exact
+from repro.mig.npn import apply_npn_to_signals, npn_class_count
+from repro.truth import TruthTable, table_mask, ternary_majority
+
+
+class TestNpn:
+    def test_class_counts_match_theory(self):
+        # Known values: 1 class over 0 vars (output negation joins the
+        # constants), 2 over 1, 4 over 2, 14 over 3.
+        assert npn_class_count(0) == 1
+        assert npn_class_count(1) == 2
+        assert npn_class_count(2) == 4
+        assert npn_class_count(3) == 14
+
+    @given(st.integers(0, table_mask(3)))
+    @settings(max_examples=80, deadline=None)
+    def test_canonical_form_is_class_invariant(self, bits):
+        """Negating an input must not change the representative."""
+        table = TruthTable(3, bits)
+        rep_a, _ = npn_canonize(table)
+        flipped = TruthTable(
+            3,
+            (table.cofactor(0, True).bits & TruthTable.variable(3, 0).bits
+             ^ table.bits) ^ table.bits,
+        )
+        del flipped
+        # Negate variable 0 semantically: swap cofactors.
+        x = TruthTable.variable(3, 0)
+        negated = (x & table.cofactor(0, False)) | (~x & table.cofactor(0, True))
+        rep_b, _ = npn_canonize(negated)
+        assert rep_a == rep_b
+
+    @given(st.integers(0, table_mask(3)))
+    @settings(max_examples=60, deadline=None)
+    def test_output_negation_is_class_invariant(self, bits):
+        table = TruthTable(3, bits)
+        assert npn_canonize(table)[0] == npn_canonize(~table)[0]
+
+    @given(st.integers(0, table_mask(3)))
+    @settings(max_examples=60, deadline=None)
+    def test_transform_recovers_original(self, bits):
+        """Building the representative over transformed leaves yields
+        the original function — validated through an actual MIG."""
+        table = TruthTable(3, bits)
+        representative, transform = npn_canonize(table)
+        mig = Mig()
+        leaves = [mig.add_pi() for _ in range(3)]
+        rep_leaves, out_neg = apply_npn_to_signals(transform, leaves)
+        from repro.mig.resynth import synthesize_table
+
+        root = synthesize_table(mig, representative, rep_leaves)
+        mig.add_po(root ^ (1 if out_neg else 0))
+        assert mig.truth_tables() == [table]
+
+    def test_limit(self):
+        with pytest.raises(ValueError):
+            npn_canonize(TruthTable.constant(5, True))
+
+
+class TestExactSynthesis:
+    def test_known_minimal_sizes(self):
+        maj = TruthTable.from_function(3, lambda i: sum(i) >= 2)
+        conj = TruthTable.from_function(3, lambda i: i[0] and i[1])
+        xor2 = TruthTable.from_function(3, lambda i: i[0] != i[1])
+        xor3 = TruthTable.from_function(3, lambda i: sum(i) % 2 == 1)
+        assert exact_size(maj) == 1
+        assert exact_size(conj) == 1
+        assert exact_size(xor2) == 3
+        assert exact_size(xor3) == 3  # the celebrated MIG result
+
+    def test_trivial_functions_cost_zero(self):
+        assert exact_size(TruthTable.constant(3, True)) == 0
+        assert exact_size(TruthTable.variable(3, 1)) == 0
+        assert exact_size(~TruthTable.variable(3, 2)) == 0
+
+    @given(st.integers(0, table_mask(3)))
+    @settings(max_examples=120, deadline=None)
+    def test_every_function_synthesizes_correctly(self, bits):
+        table = TruthTable(3, bits)
+        mig = Mig()
+        leaves = [mig.add_pi() for _ in range(3)]
+        root = synthesize_exact(mig, table, leaves)
+        mig.add_po(root)
+        assert mig.truth_tables() == [table]
+        assert mig.num_gates() <= 4  # known bound for the 3-var space
+
+    @given(st.integers(0, table_mask(3)))
+    @settings(max_examples=60, deadline=None)
+    def test_size_matches_construction(self, bits):
+        table = TruthTable(3, bits)
+        mig = Mig()
+        leaves = [mig.add_pi() for _ in range(3)]
+        synthesize_exact(mig, table, leaves)
+        # Structural hashing can only merge, never add.
+        assert mig.num_gates() <= exact_size(table)
+
+    def test_two_variable_tables_accepted(self):
+        table = TruthTable.from_function(2, lambda i: i[0] or i[1])
+        mig = Mig()
+        leaves = [mig.add_pi() for _ in range(2)]
+        root = synthesize_exact(mig, table, leaves)
+        mig.add_po(root)
+        assert mig.truth_tables() == [table.extend(2)]
+
+    def test_rejects_large_tables(self):
+        with pytest.raises(ValueError):
+            exact_size(TruthTable.constant(4, True))
+
+    def test_size_histogram(self):
+        """The cost distribution over all 256 functions is fixed."""
+        histogram = {}
+        for bits in range(256):
+            size = exact_size(TruthTable(3, bits))
+            histogram[size] = histogram.get(size, 0) + 1
+        assert histogram == {0: 8, 1: 32, 2: 64, 3: 56, 4: 96}
+        assert sum(histogram.values()) == 256

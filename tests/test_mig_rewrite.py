@@ -1,0 +1,311 @@
+"""Unit tests for the MIG axiom implementations (Ω and Ψ rewrites)."""
+
+import pytest
+
+from repro.mig import (
+    EquivalenceGuard,
+    Mig,
+    node_levels,
+    signal_node,
+    signal_not,
+)
+from repro.mig.rewrite import (
+    apply_associativity,
+    apply_complementary_associativity,
+    apply_distributivity_lr,
+    apply_distributivity_rl,
+    apply_inverter_propagation,
+    apply_relevance,
+    complemented_fanin_count,
+    effective_children,
+    fanout_all_complemented,
+    inverter_propagation_case,
+    rebuild_with_replacement,
+)
+from repro.mig.views import level_stats
+
+
+def build_distributivity_pattern():
+    """n = M(M(x,y,u), M(x,y,v), z) — the Ω.D R→L redex."""
+    mig = Mig("dist")
+    x, y, u, v, z = (mig.add_pi(n) for n in "xyuvz")
+    left = mig.make_maj(x, y, u)
+    right = mig.make_maj(x, y, v)
+    top = mig.make_maj(left, right, z)
+    mig.add_po(top)
+    return mig, signal_node(top)
+
+
+class TestEffectiveChildren:
+    def test_plain_edge(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        signal = node << 1
+        assert effective_children(maj3_mig, signal) == maj3_mig.children(node)
+
+    def test_complemented_edge_flips(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        flipped = effective_children(maj3_mig, (node << 1) | 1)
+        assert flipped == tuple(
+            signal_not(c) for c in maj3_mig.children(node)
+        )
+
+    def test_non_gate_returns_none(self, maj3_mig):
+        pi = maj3_mig.pis[0]
+        assert effective_children(maj3_mig, pi << 1) is None
+
+
+class TestDistributivityRL:
+    def test_reduces_node_count(self):
+        mig, top = build_distributivity_pattern()
+        guard = EquivalenceGuard(mig)
+        before = mig.num_gates()
+        assert apply_distributivity_rl(mig, top)
+        guard.verify_or_raise()
+        assert mig.num_gates() < before
+
+    def test_respects_fanout_guard(self):
+        mig, top = build_distributivity_pattern()
+        # Give the left inner gate a second fanout: rewrite must refuse.
+        x, y = mig.pis[0] << 1, mig.pis[1] << 1
+        left = None
+        for node in mig.reachable_nodes():
+            if node != top and mig.fanout_size(node) == 1:
+                left = node
+                break
+        assert left is not None
+        extra = mig.make_and(left << 1, x)
+        mig.add_po(extra)
+        assert not apply_distributivity_rl(mig, top)
+
+    def test_force_overrides_guard(self):
+        mig, top = build_distributivity_pattern()
+        x = mig.pis[0] << 1
+        inner = [n for n in mig.reachable_nodes() if n != top][0]
+        mig.add_po(mig.make_and(inner << 1, x))
+        guard = EquivalenceGuard(mig)
+        assert apply_distributivity_rl(mig, top, force=True)
+        guard.verify_or_raise()
+
+    def test_matches_through_complemented_pairs(self):
+        mig = Mig()
+        x, y, u, v, z = (mig.add_pi(n) for n in "xyuvz")
+        left = mig.make_maj(x, y, u)
+        right = mig.make_maj(
+            signal_not(x), signal_not(y), signal_not(v)
+        )
+        top = mig.make_maj(signal_not(left), right, z)
+        mig.add_po(top)
+        guard = EquivalenceGuard(mig)
+        changed = apply_distributivity_rl(mig, signal_node(top))
+        guard.verify_or_raise()
+        assert changed
+
+    def test_identical_functions_collapse(self):
+        mig = Mig()
+        x, y, u, z = (mig.add_pi(n) for n in "xyuz")
+        left = mig.make_maj(x, y, u)
+        right = mig.make_maj(signal_not(x), signal_not(y), signal_not(u))
+        top = mig.make_maj(left, signal_not(right), z)
+        mig.add_po(top)
+        guard = EquivalenceGuard(mig)
+        assert apply_distributivity_rl(mig, signal_node(top))
+        guard.verify_or_raise()
+        # M(f, f, z) = f: the top must now be the left gate itself.
+        assert signal_node(mig.pos[0]) == signal_node(left)
+
+    def test_no_match_returns_false(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        assert not apply_distributivity_rl(maj3_mig, node)
+
+
+class TestDistributivityLR:
+    def test_hoists_deep_child(self):
+        mig = Mig()
+        a, b, p, q, x, y = (mig.add_pi(n) for n in "abpqxy")
+        deep = mig.make_maj(a, b, p)  # level 1
+        deep2 = mig.make_maj(deep, a, q)  # level 2
+        inner = mig.make_maj(deep2, x, y)  # level 3
+        top = mig.make_maj(inner, a, b)  # level 4
+        mig.add_po(top)
+        guard = EquivalenceGuard(mig)
+        levels = node_levels(mig)
+        assert apply_distributivity_lr(mig, signal_node(top), levels)
+        guard.verify_or_raise()
+        assert level_stats(mig).depth < 4
+
+    def test_no_gain_no_change(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        levels = node_levels(maj3_mig)
+        assert not apply_distributivity_lr(maj3_mig, node, levels)
+
+
+class TestAssociativity:
+    def test_swap_reduces_level(self):
+        mig = Mig()
+        u, y, p, q, r = (mig.add_pi(n) for n in "uypqr")
+        deep = mig.make_maj(p, q, r)  # level 1
+        inner = mig.make_maj(y, u, deep)  # level 2
+        top = mig.make_maj(deep, u, inner)  # M(z,u,M(y,u,x)) backwards
+        mig.add_po(top)
+        guard = EquivalenceGuard(mig)
+        levels = node_levels(mig)
+        changed = apply_associativity(mig, signal_node(top), levels)
+        guard.verify_or_raise()
+        assert changed
+        assert level_stats(mig).depth <= 2
+
+    def test_neutral_swap_needs_flag(self):
+        mig = Mig()
+        x, u, y, z = (mig.add_pi(n) for n in "xuyz")
+        inner = mig.make_maj(y, u, z)
+        top = mig.make_maj(x, u, inner)
+        mig.add_po(top)
+        levels = node_levels(mig)
+        assert not apply_associativity(mig, signal_node(top), levels)
+        guard = EquivalenceGuard(mig)
+        changed = apply_associativity(
+            mig, signal_node(mig.pos[0]), levels, allow_neutral=True
+        )
+        guard.verify_or_raise()
+        assert changed
+
+
+class TestComplementaryAssociativity:
+    def test_removes_complement(self):
+        mig = Mig()
+        x, u, y, z = (mig.add_pi(n) for n in "xuyz")
+        inner = mig.make_maj(y, signal_not(u), z)
+        top = mig.make_maj(x, u, inner)
+        mig.add_po(top)
+        guard = EquivalenceGuard(mig)
+        before = level_stats(mig)
+        changed = apply_complementary_associativity(
+            mig, signal_node(top), node_levels(mig)
+        )
+        guard.verify_or_raise()
+        assert changed
+        after = level_stats(mig)
+        assert sum(after.complements_per_level) < sum(
+            before.complements_per_level
+        )
+
+    def test_no_pattern_no_change(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        assert not apply_complementary_associativity(
+            maj3_mig, node, node_levels(maj3_mig)
+        )
+
+
+class TestInverterPropagation:
+    def build(self, complemented_count, po_complemented=True):
+        mig = Mig()
+        a, b, c = (mig.add_pi(n) for n in "abc")
+        children = [a, b, c]
+        for i in range(complemented_count):
+            children[i] = signal_not(children[i])
+        f = mig.make_maj(*children)
+        mig.add_po(signal_not(f) if po_complemented else f)
+        return mig, signal_node(f)
+
+    def test_case1_classified(self):
+        mig, node = self.build(3)
+        assert complemented_fanin_count(mig, node) == 3
+        assert inverter_propagation_case(mig, node) == 1
+
+    def test_case2_classified(self):
+        mig, node = self.build(2, po_complemented=True)
+        assert fanout_all_complemented(mig, node)
+        assert inverter_propagation_case(mig, node) == 2
+
+    def test_case3_classified(self):
+        mig, node = self.build(2, po_complemented=False)
+        assert inverter_propagation_case(mig, node) == 3
+
+    def test_below_threshold_not_classified(self):
+        mig, node = self.build(1)
+        assert inverter_propagation_case(mig, node) is None
+
+    def test_flip_preserves_function(self):
+        for count in (2, 3):
+            for po_comp in (False, True):
+                mig, node = self.build(count, po_comp)
+                guard = EquivalenceGuard(mig)
+                assert apply_inverter_propagation(mig, node)
+                guard.verify_or_raise()
+
+    def test_case1_clears_level(self):
+        mig, node = self.build(3, po_complemented=False)
+        assert apply_inverter_propagation(mig, node)
+        stats = level_stats(mig)
+        assert stats.complements_per_level[1] == 0
+        assert stats.po_complements == 1  # moved upstairs
+
+    def test_case2_cancels_everywhere(self):
+        mig, node = self.build(2, po_complemented=True)
+        assert apply_inverter_propagation(mig, node)
+        stats = level_stats(mig)
+        assert stats.complements_per_level[1] == 1
+        assert stats.po_complements == 0  # cancelled with the PO edge
+
+    def test_figure4(self):
+        """Paper Fig. 4: Ω.I_{R→L}(2) releases a level from complements."""
+        mig = Mig("fig4")
+        x, u, y, z, v, w = (mig.add_pi(n) for n in "xuyzvw")
+        left = mig.make_maj(u, y, z)
+        right = mig.make_maj(z, v, w)
+        top = mig.make_maj(
+            x, signal_not(left), signal_not(right)
+        )
+        mig.add_po(top)
+        before = level_stats(mig)
+        assert before.complements_per_level[2] == 2
+        assert before.levels_with_complements == 1
+        guard = EquivalenceGuard(mig)
+        node = signal_node(top)
+        assert inverter_propagation_case(mig, node) == 3
+        assert apply_inverter_propagation(mig, node)
+        guard.verify_or_raise()
+        after = level_stats(mig)
+        # The gate level is free of complements; one complement moved to
+        # the output edge.
+        assert after.complements_per_level[2] == 1  # x became !x
+        assert after.po_complements == 1
+
+
+class TestRelevance:
+    def test_rebuild_with_replacement(self):
+        mig = Mig()
+        x, y, z = (mig.add_pi(n) for n in "xyz")
+        cone = mig.make_and(x, z)
+        rebuilt = rebuild_with_replacement(mig, cone, x, signal_not(y))
+        assert rebuilt is not None and rebuilt != cone
+        mig.add_po(rebuilt)
+        from repro.truth import TruthTable
+
+        (table,) = mig.truth_tables()
+        vx, vy, vz = (TruthTable.variable(3, i) for i in range(3))
+        assert table == (~vy & vz)
+
+    def test_rebuild_untouched_cone(self):
+        mig = Mig()
+        x, y, z = (mig.add_pi(n) for n in "xyz")
+        cone = mig.make_and(y, z)
+        assert rebuild_with_replacement(mig, cone, x, signal_not(y)) == cone
+
+    def test_relevance_reduces_level(self):
+        mig = Mig()
+        x, y, p, q = (mig.add_pi(n) for n in "xypq")
+        # z-cone: M(M(x, p, q), x, y) — substituting x/!y collapses it.
+        deep = mig.make_maj(x, p, q)
+        z = mig.make_maj(deep, x, signal_not(y))
+        top = mig.make_maj(x, y, z)
+        mig.add_po(top)
+        guard = EquivalenceGuard(mig)
+        changed = apply_relevance(mig, signal_node(top), node_levels(mig))
+        guard.verify_or_raise()
+        assert changed
+        assert level_stats(mig).depth < 3
+
+    def test_relevance_no_shared_variable(self, maj3_mig):
+        (node,) = maj3_mig.reachable_nodes()
+        assert not apply_relevance(maj3_mig, node, node_levels(maj3_mig))

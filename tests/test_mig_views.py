@@ -1,0 +1,191 @@
+"""Tests for MIG level statistics and the Table I cost model."""
+
+import pytest
+
+from repro.mig import (
+    CONST0,
+    CONST1,
+    Mig,
+    Realization,
+    critical_nodes,
+    level_stats,
+    node_heights,
+    node_levels,
+    rram_costs,
+    signal_node,
+    signal_not,
+)
+
+
+def two_level_mig():
+    """f = M(M(a,b,c), !d, e) — one node per level, one complement."""
+    mig = Mig("two")
+    a, b, c, d, e = (mig.add_pi() for _ in range(5))
+    inner = mig.make_maj(a, b, c)
+    outer = mig.make_maj(inner, signal_not(d), e)
+    mig.add_po(outer)
+    return mig
+
+
+class TestRealization:
+    def test_constants(self):
+        assert Realization.IMP.rrams_per_gate == 6
+        assert Realization.IMP.steps_per_level == 10
+        assert Realization.MAJ.rrams_per_gate == 4
+        assert Realization.MAJ.steps_per_level == 3
+
+
+class TestLevels:
+    def test_node_levels(self):
+        mig = two_level_mig()
+        levels = node_levels(mig)
+        inner, outer = mig.reachable_nodes()
+        assert levels[inner] == 1
+        assert levels[outer] == 2
+        for pi in mig.pis:
+            assert levels[pi] == 0
+
+    def test_heights(self):
+        mig = two_level_mig()
+        heights = node_heights(mig)
+        inner, outer = mig.reachable_nodes()
+        assert heights[outer] == 0
+        assert heights[inner] == 1
+
+    def test_critical_nodes(self):
+        mig = two_level_mig()
+        assert set(critical_nodes(mig)) == set(mig.reachable_nodes())
+
+
+class TestLevelStats:
+    def test_two_level_stats(self):
+        stats = level_stats(two_level_mig())
+        assert stats.depth == 2
+        assert stats.size == 2
+        assert stats.nodes_per_level[1] == 1
+        assert stats.nodes_per_level[2] == 1
+        assert stats.complements_per_level[1] == 0
+        assert stats.complements_per_level[2] == 1  # the !d edge
+        assert stats.po_complements == 0
+        assert stats.levels_with_complements == 1
+
+    def test_constant_edges_do_not_count(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        mig.add_po(mig.make_or(a, b))  # M(a, b, 1): complemented const
+        stats = level_stats(mig)
+        assert stats.complements_per_level[1] == 0
+        assert stats.levels_with_complements == 0
+
+    def test_complemented_po_counts_as_virtual_level(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        f = mig.make_maj(a, b, c)
+        mig.add_po(signal_not(f))
+        stats = level_stats(mig)
+        assert stats.po_complements == 1
+        assert stats.levels_with_complements == 1
+
+    def test_constant_po_not_counted(self):
+        mig = Mig()
+        mig.add_pi()
+        mig.add_po(CONST1)  # complemented constant signal
+        stats = level_stats(mig)
+        assert stats.po_complements == 0
+
+
+class TestCostModel:
+    def test_table1_formulas(self):
+        stats = level_stats(two_level_mig())
+        # R = max(K*N_i + C_i): level 1 -> K, level 2 -> K + 1.
+        assert stats.rram_count(Realization.IMP) == 6 + 1
+        assert stats.rram_count(Realization.MAJ) == 4 + 1
+        # S = K*D + L with D=2, L=1.
+        assert stats.step_count(Realization.IMP) == 21
+        assert stats.step_count(Realization.MAJ) == 7
+
+    def test_wide_level_dominates_r(self):
+        mig = Mig("wide")
+        pis = [mig.add_pi() for _ in range(6)]
+        g1 = mig.make_maj(pis[0], pis[1], pis[2])
+        g2 = mig.make_maj(pis[3], pis[4], pis[5])
+        g3 = mig.make_maj(pis[1], pis[2], pis[3])
+        top = mig.make_maj(g1, g2, g3)
+        mig.add_po(top)
+        stats = level_stats(mig)
+        assert stats.nodes_per_level[1] == 3
+        assert stats.rram_count(Realization.IMP) == 18
+        assert stats.critical_level(Realization.IMP) == 1
+
+    def test_rram_costs_wrapper(self):
+        costs = rram_costs(two_level_mig(), Realization.MAJ)
+        assert costs.as_row() == (5, 7)
+        assert costs.depth == 2
+        assert costs.size == 2
+        assert costs.realization is Realization.MAJ
+
+    def test_steps_scale_with_realization(self):
+        mig = two_level_mig()
+        imp = rram_costs(mig, Realization.IMP)
+        maj = rram_costs(mig, Realization.MAJ)
+        assert imp.steps > maj.steps
+        assert imp.rrams > maj.rrams
+
+    def test_paper_example_x3_style_consistency(self):
+        """S and R recomputed from the level stats must be internally
+        consistent: S - L must be divisible by K_S."""
+        mig = two_level_mig()
+        stats = level_stats(mig)
+        for realization in Realization:
+            s = stats.step_count(realization)
+            assert (
+                s - stats.levels_with_complements
+            ) % realization.steps_per_level == 0
+
+
+class TestMultiOutput:
+    def test_depth_is_max_over_pos(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        shallow = mig.make_and(a, b)
+        deep = mig.make_maj(shallow, c, a)
+        mig.add_po(shallow)
+        mig.add_po(deep)
+        stats = level_stats(mig)
+        assert stats.depth == 2
+
+    def test_empty_mig(self):
+        mig = Mig()
+        mig.add_pi()
+        stats = level_stats(mig)
+        assert stats.depth == 0
+        assert stats.size == 0
+        assert stats.rram_count(Realization.IMP) == 0
+        assert stats.step_count(Realization.MAJ) == 0
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        from repro.mig import Mig, signal_not, to_dot
+
+        mig = Mig("fig4")
+        x, u, y = mig.add_pi("x"), mig.add_pi("u"), mig.add_pi("y")
+        inner = mig.make_maj(x, u, y)
+        top = mig.make_maj(x, signal_not(inner), u)
+        mig.add_po(signal_not(top), "f")
+        dot = to_dot(mig)
+        assert dot.startswith('digraph "fig4"')
+        assert 'label="M"' in dot
+        assert "style=dashed" in dot  # complemented edges visible
+        assert "rank=same" in dot
+        assert 'label="f"' in dot
+
+    def test_save_dot(self, tmp_path):
+        from repro.mig import Mig, save_dot
+
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_po(mig.make_maj(a, b, c))
+        path = tmp_path / "m.dot"
+        save_dot(mig, str(path))
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,170 @@
+"""Unit tests for the gate-level netlist IR."""
+
+import pytest
+
+from repro.network import GateType, Netlist, NetlistError, evaluate_gate_words
+from repro.truth import TruthTable
+
+from conftest import reference_full_adder_tables
+
+
+class TestConstruction:
+    def test_add_input_and_gate(self):
+        n = Netlist("t")
+        n.add_input("a")
+        n.add_gate("g", GateType.NOT, ["a"])
+        assert n.has_net("a")
+        assert n.has_net("g")
+        assert n.num_gates == 1
+
+    def test_duplicate_net_rejected(self):
+        n = Netlist()
+        n.add_input("a")
+        with pytest.raises(NetlistError):
+            n.add_input("a")
+        n.add_gate("g", GateType.NOT, ["a"])
+        with pytest.raises(NetlistError):
+            n.add_gate("g", GateType.BUF, ["a"])
+
+    def test_fixed_arity_enforced(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_input("b")
+        with pytest.raises(NetlistError):
+            n.add_gate("g", GateType.NOT, ["a", "b"])
+        with pytest.raises(NetlistError):
+            n.add_gate("g", GateType.MAJ, ["a", "b"])
+
+    def test_variadic_needs_operand(self):
+        n = Netlist()
+        with pytest.raises(NetlistError):
+            n.add_gate("g", GateType.AND, [])
+
+    def test_gate_lookup_missing(self):
+        n = Netlist()
+        with pytest.raises(NetlistError):
+            n.gate("nope")
+
+    def test_repr(self):
+        n = Netlist("demo")
+        n.add_input("a")
+        assert "demo" in repr(n)
+
+
+class TestValidation:
+    def test_dangling_operand(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("g", GateType.AND, ["a", "ghost"])
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_undriven_output(self):
+        n = Netlist()
+        n.set_output("ghost")
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_cycle_detected(self):
+        n = Netlist()
+        n.add_input("a")
+        n.add_gate("g1", GateType.AND, ["a", "g2"])
+        n.add_gate("g2", GateType.AND, ["a", "g1"])
+        with pytest.raises(NetlistError):
+            n.validate()
+
+    def test_topological_order(self, full_adder_netlist):
+        order = [g.name for g in full_adder_netlist.topological_order()]
+        assert order.index("axb") < order.index("sum")
+
+
+class TestLevels:
+    def test_levels_and_depth(self, full_adder_netlist):
+        levels = full_adder_netlist.level_of()
+        assert levels["a"] == 0
+        assert levels["axb"] == 1
+        assert levels["sum"] == 2
+        assert full_adder_netlist.depth() == 2
+
+    def test_depth_empty(self):
+        assert Netlist().depth() == 0
+
+
+class TestSimulation:
+    def test_full_adder_exhaustive(self, full_adder_netlist):
+        tables = full_adder_netlist.truth_tables()
+        assert tables == reference_full_adder_tables()
+
+    def test_simulate_single_vector(self, full_adder_netlist):
+        out = full_adder_netlist.simulate({"a": True, "b": True, "cin": False})
+        assert out["sum"] is False
+        assert out["cout"] is True
+
+    def test_missing_input_value(self, full_adder_netlist):
+        with pytest.raises(NetlistError):
+            full_adder_netlist.simulate({"a": True, "b": False})
+
+    def test_all_gate_word_semantics(self):
+        mask = 0b1111
+        a, b = 0b1010, 0b1100
+        assert evaluate_gate_words(GateType.AND, [a, b], mask) == 0b1000
+        assert evaluate_gate_words(GateType.NAND, [a, b], mask) == 0b0111
+        assert evaluate_gate_words(GateType.OR, [a, b], mask) == 0b1110
+        assert evaluate_gate_words(GateType.NOR, [a, b], mask) == 0b0001
+        assert evaluate_gate_words(GateType.XOR, [a, b], mask) == 0b0110
+        assert evaluate_gate_words(GateType.XNOR, [a, b], mask) == 0b1001
+        assert evaluate_gate_words(GateType.NOT, [a], mask) == 0b0101
+        assert evaluate_gate_words(GateType.BUF, [a], mask) == a
+        assert evaluate_gate_words(GateType.CONST0, [], mask) == 0
+        assert evaluate_gate_words(GateType.CONST1, [], mask) == mask
+
+    def test_maj_and_mux_words(self):
+        mask = 0xFF
+        a, b, c = 0xAA, 0xCC, 0xF0
+        maj = evaluate_gate_words(GateType.MAJ, [a, b, c], mask)
+        assert maj == (a & b) | (a & c) | (b & c)
+        mux = evaluate_gate_words(GateType.MUX, [a, b, c], mask)
+        assert mux == (a & b) | (~a & c & mask)
+
+    def test_nary_gates(self):
+        n = Netlist()
+        for name in "abcd":
+            n.add_input(name)
+        n.add_gate("g", GateType.AND, ["a", "b", "c", "d"])
+        n.set_output("g")
+        (table,) = n.truth_tables()
+        assert table.count_ones() == 1
+        assert table.value_at(0b1111)
+
+    def test_refuses_huge_exhaustive(self):
+        n = Netlist()
+        for i in range(21):
+            n.add_input(f"x{i}")
+        n.add_gate("g", GateType.OR, [f"x{i}" for i in range(21)])
+        n.set_output("g")
+        with pytest.raises(NetlistError):
+            n.truth_tables()
+
+    def test_duplicate_outputs_allowed(self, full_adder_netlist):
+        full_adder_netlist.set_output("sum")
+        tables = full_adder_netlist.truth_tables()
+        assert tables[0] == tables[2]
+
+
+class TestConeExtraction:
+    def test_cone_preserves_function(self, full_adder_netlist):
+        cone = full_adder_netlist.extract_output_cone(1, "cout_only")
+        assert cone.outputs == ["cout"]
+        assert cone.truth_tables() == [full_adder_netlist.truth_tables()[1]]
+
+    def test_cone_drops_unrelated_gates(self, full_adder_netlist):
+        cone = full_adder_netlist.extract_output_cone(1)
+        assert cone.num_gates == 1  # only the MAJ gate
+
+    def test_cone_keeps_interface(self, full_adder_netlist):
+        cone = full_adder_netlist.extract_output_cone(1)
+        assert cone.inputs == full_adder_netlist.inputs
+
+    def test_stats(self, full_adder_netlist):
+        stats = full_adder_netlist.stats()
+        assert stats == {"inputs": 3, "outputs": 2, "gates": 3, "depth": 2}

@@ -1,0 +1,141 @@
+"""Tests for the micro-op ISA and the array executor."""
+
+import pytest
+
+from repro.rram import (
+    ExecutionError,
+    Imp,
+    IntrinsicMaj,
+    LoadInput,
+    Program,
+    RramArray,
+    Step,
+    WriteCopy,
+    WriteLiteral,
+    run_program,
+)
+
+
+class TestImpSemantics:
+    """Paper Fig. 1(b): q' = !p + q."""
+
+    def test_truth_table(self):
+        expected = {(0, 0): 1, (0, 1): 1, (1, 0): 0, (1, 1): 1}
+        for (p, q), q_next in expected.items():
+            array = RramArray(2)
+            array.devices[0].write(bool(p))
+            array.devices[1].write(bool(q))
+            array.execute_step(Step([Imp(0, 1)]))
+            assert array.state(1) == bool(q_next), (p, q)
+
+    def test_source_unchanged(self):
+        array = RramArray(2)
+        array.devices[0].write(True)
+        array.execute_step(Step([Imp(0, 1)]))
+        assert array.state(0) is True
+
+
+class TestStepSemantics:
+    def test_reads_see_pre_step_state(self):
+        # Swap two devices via simultaneous copies: only possible when
+        # reads snapshot the pre-step state.
+        array = RramArray(2)
+        array.devices[0].write(True)
+        array.devices[1].write(False)
+        array.execute_step(Step([WriteCopy(0, 1), WriteCopy(1, 0)]))
+        assert array.states() == [False, True]
+
+    def test_write_conflict_rejected(self):
+        array = RramArray(2)
+        with pytest.raises(ExecutionError):
+            array.execute_step(
+                Step([WriteLiteral(0, True), WriteLiteral(0, False)])
+            )
+
+    def test_write_copy_negate(self):
+        array = RramArray(2)
+        array.devices[0].write(True)
+        array.execute_step(Step([WriteCopy(1, 0, negate=True)]))
+        assert array.state(1) is False
+
+    def test_intrinsic_maj_op(self):
+        # dst <- M(val(p), !val(q), dst)
+        array = RramArray(3)
+        array.devices[0].write(True)   # p
+        array.devices[1].write(False)  # q  -> !q = 1
+        array.execute_step(Step([IntrinsicMaj(2, p=0, q=1)]))
+        assert array.state(2) is True
+
+    def test_load_input(self):
+        array = RramArray(1)
+        array.execute_step(Step([LoadInput(0, 1)]), inputs=[False, True])
+        assert array.state(0) is True
+
+    def test_load_input_out_of_range(self):
+        array = RramArray(1)
+        with pytest.raises(ExecutionError):
+            array.execute_step(Step([LoadInput(0, 3)]), inputs=[False])
+
+    def test_steps_counted(self):
+        array = RramArray(1)
+        array.execute_step(Step([WriteLiteral(0, True)]))
+        array.execute_step(Step([WriteLiteral(0, False)]))
+        assert array.steps_executed == 2
+
+
+class TestProgramValidation:
+    def test_duplicate_write_rejected(self):
+        program = Program(
+            name="bad", realization="imp", num_devices=1,
+            steps=[Step([WriteLiteral(0, True), WriteLiteral(0, False)])],
+        )
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_device_range_checked(self):
+        program = Program(
+            name="bad", realization="imp", num_devices=1,
+            steps=[Step([Imp(0, 5)])],
+        )
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_input_range_checked(self):
+        program = Program(
+            name="bad", realization="imp", num_devices=1, num_inputs=1,
+            steps=[Step([LoadInput(0, 4)])],
+        )
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_step_read_write_sets(self):
+        step = Step([Imp(0, 1), WriteCopy(3, 2), IntrinsicMaj(6, 4, 5)])
+        assert step.written_devices() == [1, 3, 6]
+        assert sorted(step.read_devices()) == [0, 2, 4, 5]
+
+
+class TestRunProgram:
+    def test_arity_checked(self):
+        program = Program(
+            name="p", realization="imp", num_devices=1, num_inputs=2,
+            steps=[Step([LoadInput(0, 0)])], output_devices={0: 0},
+        )
+        with pytest.raises(ExecutionError):
+            run_program(program, [True])
+
+    def test_identity_program(self):
+        program = Program(
+            name="wire", realization="imp", num_devices=1, num_inputs=1,
+            steps=[Step([LoadInput(0, 0)])], output_devices={0: 0},
+        )
+        assert run_program(program, [True]) == [True]
+        assert run_program(program, [False]) == [False]
+
+    def test_outputs_sorted_by_index(self):
+        program = Program(
+            name="two", realization="imp", num_devices=2, num_inputs=2,
+            steps=[Step([LoadInput(0, 0), LoadInput(1, 1)])],
+            output_devices={1: 0, 0: 1},
+        )
+        # Output 0 reads device 1, output 1 reads device 0.
+        assert run_program(program, [True, False]) == [False, True]

@@ -1,0 +1,66 @@
+"""Tests for the RRAM device model against the paper's truth tables."""
+
+import pytest
+
+from repro.rram import RramDevice, next_state
+
+
+class TestFig2IntrinsicMajority:
+    """Paper Fig. 2: R' = M(P, !Q, R)."""
+
+    def test_r0_table(self):
+        # R = 0: R' = P AND (NOT Q).
+        expected = {(0, 0): 0, (0, 1): 0, (1, 0): 1, (1, 1): 0}
+        for (p, q), r_next in expected.items():
+            assert next_state(bool(p), bool(q), False) == bool(r_next)
+
+    def test_r1_table(self):
+        # R = 1: R' = P OR (NOT Q).
+        expected = {(0, 0): 1, (0, 1): 0, (1, 0): 1, (1, 1): 1}
+        for (p, q), r_next in expected.items():
+            assert next_state(bool(p), bool(q), True) == bool(r_next)
+
+    def test_is_majority_of_p_notq_r(self):
+        for p in (False, True):
+            for q in (False, True):
+                for r in (False, True):
+                    votes = int(p) + int(not q) + int(r)
+                    assert next_state(p, q, r) == (votes >= 2)
+
+
+class TestDevice:
+    def test_initial_state(self):
+        assert RramDevice().state is False
+        assert RramDevice(True).state is True
+
+    def test_set_clear(self):
+        device = RramDevice()
+        device.set()
+        assert device.state is True
+        device.clear()
+        assert device.state is False
+
+    def test_write(self):
+        device = RramDevice()
+        device.write(True)
+        assert device.state is True
+        device.write(False)
+        assert device.state is False
+
+    def test_hold_is_vcond(self):
+        # P == Q: state retained (the VCOND condition).
+        for state in (False, True):
+            for level in (False, True):
+                device = RramDevice(state)
+                device.apply(level, level)
+                assert device.state is state
+
+    def test_write_counter(self):
+        device = RramDevice()
+        device.set()
+        device.clear()
+        device.apply(False, False)
+        assert device.writes == 3
+
+    def test_repr(self):
+        assert "state=1" in repr(RramDevice(True))

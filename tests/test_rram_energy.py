@@ -1,0 +1,82 @@
+"""Tests for the energy/endurance accounting."""
+
+import pytest
+
+from repro.mig import Mig, Realization, mig_from_truth_tables
+from repro.rram import (
+    compile_mig,
+    compile_plim,
+    measure_energy,
+    verification_vectors,
+)
+from repro.truth import count_ones_function
+
+
+@pytest.fixture(scope="module")
+def rd53_reports():
+    mig = mig_from_truth_tables(count_ones_function(5, 3), "rd53")
+    vectors = verification_vectors(5)
+    return {
+        "imp": measure_energy(compile_mig(mig, Realization.IMP).program, vectors),
+        "maj": measure_energy(compile_mig(mig, Realization.MAJ).program, vectors),
+        "plim": measure_energy(compile_plim(mig).program, vectors),
+    }
+
+
+def test_counts_positive(rd53_reports):
+    for report in rd53_reports.values():
+        assert report.vectors == 32
+        assert report.pulses > 0
+        assert report.switches > 0
+        assert report.energy_pj > 0
+
+
+def test_switches_bounded_by_pulses(rd53_reports):
+    for report in rd53_reports.values():
+        assert report.switches <= report.pulses
+        assert 0 < report.switch_efficiency <= 1
+        assert report.max_device_switches <= report.max_device_pulses
+
+
+def test_maj_realization_uses_fewer_pulses(rd53_reports):
+    """3 steps/gate vs 10 steps/gate shows directly in pulses."""
+    assert rd53_reports["maj"].pulses < rd53_reports["imp"].pulses
+    assert rd53_reports["maj"].energy_pj < rd53_reports["imp"].energy_pj
+
+
+def test_per_vector_metrics(rd53_reports):
+    report = rd53_reports["maj"]
+    assert report.pulses_per_vector == pytest.approx(report.pulses / 32)
+    assert report.switches_per_vector == pytest.approx(report.switches / 32)
+
+
+def test_energy_weights():
+    mig = Mig()
+    a, b, c = (mig.add_pi() for _ in range(3))
+    mig.add_po(mig.make_maj(a, b, c))
+    program = compile_mig(mig, Realization.MAJ).program
+    vectors = verification_vectors(3)
+    cheap = measure_energy(program, vectors, switch_energy_pj=0.0,
+                           pulse_energy_pj=1.0)
+    assert cheap.energy_pj == pytest.approx(cheap.pulses)
+    switchy = measure_energy(program, vectors, switch_energy_pj=1.0,
+                             pulse_energy_pj=0.0)
+    assert switchy.energy_pj == pytest.approx(switchy.switches)
+
+
+def test_hold_pulses_do_not_switch():
+    """An IMP with p=1 holds the target: a pulse but never a switch."""
+    from repro.rram import Imp, LoadInput, Program, Step
+
+    program = Program(
+        name="hold", realization="imp", num_devices=2, num_inputs=2,
+        steps=[
+            Step([LoadInput(0, 0), LoadInput(1, 1)]),
+            Step([Imp(0, 1)]),
+        ],
+        output_devices={0: 1},
+    )
+    report = measure_energy(program, [[True, True]])
+    # Loads: 2 pulses, up to 1 switch each; the IMP pulse holds.
+    assert report.pulses == 3
+    assert report.switches <= 2

@@ -1,0 +1,182 @@
+"""Tests for the majority gadgets and the MIG → RRAM compiler."""
+
+import pytest
+
+from repro.mig import (
+    CONST1,
+    Mig,
+    Realization,
+    mig_from_netlist,
+    mig_from_truth_tables,
+    optimize_steps,
+    signal_not,
+)
+from repro.rram import (
+    IMP_GADGET_DEVICES,
+    IMP_GADGET_STEPS,
+    MAJ_GADGET_DEVICES,
+    MAJ_GADGET_STEPS,
+    compile_mig,
+    run_program,
+    standalone_majority_program,
+    verification_vectors,
+    verify_compiled,
+    verify_compiled_or_raise,
+)
+from repro.truth import count_ones_function, parity_function
+
+
+class TestGadgets:
+    @pytest.mark.parametrize("realization", ["imp", "maj"])
+    def test_computes_majority_exhaustively(self, realization):
+        program = standalone_majority_program(realization)
+        for assignment in range(8):
+            inputs = [bool((assignment >> i) & 1) for i in range(3)]
+            (out,) = run_program(program, inputs)
+            assert out == (sum(inputs) >= 2), (realization, inputs)
+
+    def test_paper_step_and_device_counts(self):
+        imp = standalone_majority_program("imp")
+        maj = standalone_majority_program("maj")
+        assert imp.num_steps == IMP_GADGET_STEPS == 10
+        assert imp.num_devices == IMP_GADGET_DEVICES == 6
+        assert maj.num_steps == MAJ_GADGET_STEPS == 3
+        assert maj.num_devices == MAJ_GADGET_DEVICES == 4
+
+    def test_unknown_realization(self):
+        with pytest.raises(ValueError):
+            standalone_majority_program("qed")
+
+
+def simple_mig():
+    mig = Mig("simple")
+    a, b, c, d = (mig.add_pi(n) for n in "abcd")
+    inner = mig.make_maj(a, b, c)
+    outer = mig.make_maj(inner, signal_not(d), a)
+    mig.add_po(outer, "f")
+    mig.add_po(inner, "g")
+    return mig
+
+
+class TestCompiler:
+    @pytest.mark.parametrize("realization", list(Realization))
+    def test_simple_circuit_executes_correctly(self, realization):
+        mig = simple_mig()
+        report = compile_mig(mig, realization)
+        verify_compiled_or_raise(mig, report)
+
+    @pytest.mark.parametrize("realization", list(Realization))
+    def test_step_count_matches_table1(self, realization):
+        mig = simple_mig()
+        report = compile_mig(mig, realization)
+        assert report.steps_match_model
+        assert report.measured_steps == report.analytic.steps
+
+    def test_multi_output_with_shared_logic(self):
+        tables = count_ones_function(5, 3)
+        mig = mig_from_truth_tables(tables, "rd53")
+        for realization in Realization:
+            report = compile_mig(mig, realization)
+            assert report.steps_match_model
+            verify_compiled_or_raise(mig, report)
+
+    def test_optimized_circuit_still_correct(self):
+        mig = mig_from_truth_tables(parity_function(6), "parity6")
+        optimize_steps(mig, Realization.MAJ, effort=6)
+        report = compile_mig(mig, Realization.MAJ)
+        verify_compiled_or_raise(mig, report)
+        assert report.steps_match_model
+
+    def test_complemented_po(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_po(signal_not(mig.make_maj(a, b, c)))
+        for realization in Realization:
+            report = compile_mig(mig, realization)
+            verify_compiled_or_raise(mig, report)
+            assert report.steps_match_model
+
+    def test_pi_directly_as_po(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        f = mig.make_maj(a, b, c)
+        mig.add_po(f)
+        mig.add_po(a)  # pass-through output
+        report = compile_mig(mig, Realization.MAJ)
+        verify_compiled_or_raise(mig, report)
+
+    def test_constant_pos(self):
+        from repro.mig import CONST0
+
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_po(mig.make_maj(a, b, c))
+        mig.add_po(CONST0)
+        mig.add_po(CONST1)
+        report = compile_mig(mig, Realization.MAJ)
+        verify_compiled_or_raise(mig, report)
+
+    def test_cross_level_value_lifetime(self):
+        # A level-1 value consumed at level 3 must stay alive.
+        mig = Mig()
+        a, b, c, d, e = (mig.add_pi() for _ in range(5))
+        l1 = mig.make_maj(a, b, c)
+        l2 = mig.make_maj(l1, d, e)
+        l3 = mig.make_maj(l2, l1, a)  # reuses l1 two levels up
+        mig.add_po(l3)
+        for realization in Realization:
+            report = compile_mig(mig, realization)
+            verify_compiled_or_raise(mig, report)
+
+    def test_complemented_pi_edge(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        f = mig.make_maj(signal_not(a), b, c)
+        mig.add_po(f)
+        for realization in Realization:
+            report = compile_mig(mig, realization)
+            verify_compiled_or_raise(mig, report)
+            # One complemented level: S = K*D + 1.
+            assert (
+                report.measured_steps
+                == realization.steps_per_level + 1
+            )
+
+    def test_constant_gate_inputs(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        f = mig.make_and(a, b)   # M(a, b, 0)
+        g = mig.make_or(a, b)    # M(a, b, 1)
+        mig.add_po(f)
+        mig.add_po(g)
+        for realization in Realization:
+            report = compile_mig(mig, realization)
+            verify_compiled_or_raise(mig, report)
+
+    def test_device_reuse_bounded(self):
+        # Devices must be recycled: far fewer than gates * K.
+        tables = count_ones_function(7, 3)
+        mig = mig_from_truth_tables(tables, "rd73")
+        report = compile_mig(mig, Realization.MAJ)
+        upper_bound_without_reuse = (
+            mig.num_gates() * MAJ_GADGET_DEVICES + mig.num_pis + 8
+        )
+        assert report.measured_devices < upper_bound_without_reuse
+
+    def test_verification_vectors_exhaustive_small(self):
+        vectors = verification_vectors(3)
+        assert len(vectors) == 8
+
+    def test_verification_vectors_sampled_large(self):
+        vectors = verification_vectors(20, samples=16)
+        assert len(vectors) == 18  # corners + samples
+        assert [False] * 20 in vectors
+        assert [True] * 20 in vectors
+
+    def test_verify_compiled_detects_corruption(self):
+        mig = simple_mig()
+        report = compile_mig(mig, Realization.MAJ)
+        # Corrupt: swap output devices.
+        devices = report.program.output_devices
+        devices[0], devices[1] = devices[1], devices[0]
+        assert not verify_compiled(mig, report)

@@ -1,0 +1,97 @@
+"""Tests for the PLiM-style serial RM3 backend (paper ref. [15])."""
+
+import pytest
+
+from repro.mig import (
+    CONST0,
+    CONST1,
+    Mig,
+    Realization,
+    mig_from_truth_tables,
+    signal_not,
+)
+from repro.rram import compile_mig, compile_plim, run_program
+from repro.truth import count_ones_function, nine_sym_function, parity_function
+
+
+def check_against_mig(mig, report):
+    num_inputs = mig.num_pis
+    for assignment in range(1 << num_inputs):
+        vec = [bool((assignment >> i) & 1) for i in range(num_inputs)]
+        words = [1 if bit else 0 for bit in vec]
+        expected = [bool(w & 1) for w in mig.simulate_words(words, 1)]
+        assert run_program(report.program, vec) == expected, assignment
+
+
+class TestCorrectness:
+    def test_single_majority(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        mig.add_po(mig.make_maj(a, b, c))
+        check_against_mig(mig, compile_plim(mig))
+
+    def test_complemented_children_all_cases(self):
+        for mask in range(8):
+            mig = Mig()
+            pis = [mig.add_pi() for _ in range(3)]
+            children = [
+                signal_not(s) if (mask >> i) & 1 else s
+                for i, s in enumerate(pis)
+            ]
+            mig.add_po(mig.make_maj(*children))
+            check_against_mig(mig, compile_plim(mig))
+
+    def test_and_or_gates(self):
+        mig = Mig()
+        a, b = mig.add_pi(), mig.add_pi()
+        mig.add_po(mig.make_and(a, b))
+        mig.add_po(mig.make_or(a, b))
+        check_against_mig(mig, compile_plim(mig))
+
+    def test_complemented_and_constant_pos(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi() for _ in range(3))
+        f = mig.make_maj(a, b, c)
+        mig.add_po(signal_not(f))
+        mig.add_po(CONST1)
+        mig.add_po(CONST0)
+        mig.add_po(a)
+        check_against_mig(mig, compile_plim(mig))
+
+    def test_multi_level_circuit(self):
+        mig = mig_from_truth_tables(count_ones_function(5, 3), "rd53")
+        check_against_mig(mig, compile_plim(mig))
+
+    def test_symmetric_function(self):
+        mig = mig_from_truth_tables(nine_sym_function(), "9sym")
+        check_against_mig(mig, compile_plim(mig))
+
+
+class TestInstructionAccounting:
+    def test_instruction_bounds(self):
+        mig = mig_from_truth_tables(parity_function(6), "parity6")
+        report = compile_plim(mig)
+        gates = report.gates
+        # 2..5 instructions per gate (a constant child makes the preload
+        # a single literal write) + loads + constants + PO inversions.
+        lower = 2 * gates
+        upper = 5 * gates + mig.num_pis + 2 + 2 * mig.num_pos
+        assert lower <= report.instructions <= upper
+
+    def test_one_op_per_step(self):
+        mig = mig_from_truth_tables(parity_function(4), "parity4")
+        report = compile_plim(mig)
+        assert all(len(step.ops) == 1 for step in report.program.steps)
+
+    def test_serial_vs_level_parallel_contrast(self):
+        """The architectural point: PLiM instructions scale with node
+        count, the paper's level-parallel MAJ schedule with depth."""
+        mig = mig_from_truth_tables(count_ones_function(8, 4), "rd84")
+        plim = compile_plim(mig)
+        parallel = compile_mig(mig, Realization.MAJ)
+        assert plim.instructions > 2 * parallel.measured_steps
+
+    def test_device_reuse(self):
+        mig = mig_from_truth_tables(count_ones_function(7, 3), "rd73")
+        report = compile_plim(mig)
+        assert report.program.num_devices < mig.num_pis + 2 + 2 * report.gates

@@ -1,0 +1,151 @@
+"""Tests for the reference benchmark function generators."""
+
+import pytest
+
+from repro.truth import (
+    TruthTable,
+    adder_function,
+    clip_style_function,
+    comparator_function,
+    con1_style_function,
+    count_ones_function,
+    majority_function,
+    multiplexer_function,
+    nine_sym_function,
+    parity_function,
+    squarer_function,
+    sym10_function,
+    symmetric_band_function,
+)
+
+
+def test_parity_small():
+    (table,) = parity_function(3)
+    assert table == TruthTable.from_function(3, lambda i: sum(i) % 2 == 1)
+
+
+def test_parity_is_balanced():
+    (table,) = parity_function(6)
+    assert table.count_ones() == table.num_entries // 2
+
+
+def test_count_ones_rd53():
+    tables = count_ones_function(5, 3)
+    assert len(tables) == 3
+    for assignment in range(32):
+        ones = bin(assignment).count("1")
+        value = sum(
+            (1 << b) for b in range(3) if tables[b].value_at(assignment)
+        )
+        assert value == ones
+
+
+def test_count_ones_rd84_width():
+    tables = count_ones_function(8, 4)
+    # 8 ones needs 4 bits: the top bit fires only on the all-ones row.
+    assert tables[3].count_ones() == 1
+    assert tables[3].value_at(255)
+
+
+def test_symmetric_band():
+    (table,) = symmetric_band_function(6, 2, 4)
+    for assignment in range(64):
+        ones = bin(assignment).count("1")
+        assert table.value_at(assignment) == (2 <= ones <= 4)
+
+
+def test_symmetric_band_validates_range():
+    with pytest.raises(ValueError):
+        symmetric_band_function(5, 4, 2)
+    with pytest.raises(ValueError):
+        symmetric_band_function(5, 0, 6)
+
+
+def test_nine_sym_matches_band():
+    assert nine_sym_function() == symmetric_band_function(9, 3, 6)
+
+
+def test_sym10_matches_band():
+    assert sym10_function() == symmetric_band_function(10, 3, 6)
+
+
+def test_nine_sym_is_symmetric():
+    (table,) = nine_sym_function()
+    # Swapping any two variables leaves a symmetric function unchanged:
+    # check by comparing cofactor pairs.
+    for i in range(8):
+        assert table.cofactor(i, True).cofactor(i + 1, False) == table.cofactor(
+            i, False
+        ).cofactor(i + 1, True)
+
+
+def test_multiplexer():
+    (table,) = multiplexer_function(2)
+    # 4 data + 2 selects = 6 vars; data d0..d3 then s0, s1.
+    assert table.num_vars == 6
+    for assignment in range(64):
+        inputs = [(assignment >> i) & 1 for i in range(6)]
+        sel = inputs[4] | (inputs[5] << 1)
+        assert table.value_at(assignment) == bool(inputs[sel])
+
+
+def test_majority_function():
+    (table,) = majority_function(5)
+    for assignment in range(32):
+        assert table.value_at(assignment) == (bin(assignment).count("1") >= 3)
+
+
+def test_majority_rejects_even():
+    with pytest.raises(ValueError):
+        majority_function(4)
+
+
+def test_adder_function():
+    tables = adder_function(3)
+    assert len(tables) == 4
+    for assignment in range(1 << 7):
+        bits = [(assignment >> i) & 1 for i in range(7)]
+        a = bits[0] | bits[1] << 1 | bits[2] << 2
+        b = bits[3] | bits[4] << 1 | bits[5] << 2
+        total = a + b + bits[6]
+        got = sum(1 << i for i in range(4) if tables[i].value_at(assignment))
+        assert got == total
+
+
+def test_comparator_function():
+    less, equal = comparator_function(2)
+    for assignment in range(16):
+        bits = [(assignment >> i) & 1 for i in range(4)]
+        a = bits[0] | bits[1] << 1
+        b = bits[2] | bits[3] << 1
+        assert less.value_at(assignment) == (a < b)
+        assert equal.value_at(assignment) == (a == b)
+
+
+def test_squarer_function():
+    tables = squarer_function(3)
+    assert len(tables) == 6
+    for x in range(8):
+        got = sum(1 << b for b in range(6) if tables[b].value_at(x))
+        assert got == x * x
+
+
+def test_con1_style_interface():
+    tables = con1_style_function()
+    assert len(tables) == 2
+    assert all(t.num_vars == 7 for t in tables)
+    assert not any(t.is_constant() for t in tables)
+
+
+def test_clip_style():
+    tables = clip_style_function()
+    assert len(tables) == 5
+    # +15 stays +15; +100 clips to +15; -200 clips to -16 (0b10000).
+    def val(x):
+        raw = x & 0x1FF
+        return sum(1 << b for b in range(5) if tables[b].value_at(raw))
+
+    assert val(15) == 15
+    assert val(100) == 15
+    assert val(-200) == 0b10000
+    assert val(-3) == (-3 & 0x1F)

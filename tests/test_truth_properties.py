@@ -1,0 +1,117 @@
+"""Property-based tests for the truth-table engine.
+
+These also serve as machine-checked statements of the MIG axiom set Ω/Ψ
+(paper Sec. II-B) at the semantic level: every graph rewrite the
+optimizers perform is justified by one of these identities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.truth import TruthTable, if_then_else, table_mask, ternary_majority
+
+NUM_VARS = 4
+
+
+def tables(num_vars: int = NUM_VARS):
+    return st.integers(min_value=0, max_value=table_mask(num_vars)).map(
+        lambda bits: TruthTable(num_vars, bits)
+    )
+
+
+@given(tables(), tables())
+def test_de_morgan(a, b):
+    assert ~(a & b) == (~a | ~b)
+    assert ~(a | b) == (~a & ~b)
+
+
+@given(tables(), tables(), tables())
+def test_xor_associative(a, b, c):
+    assert (a ^ b) ^ c == a ^ (b ^ c)
+
+
+@given(tables())
+def test_xor_self_inverse(a):
+    assert a ^ a == TruthTable.constant(NUM_VARS, False)
+
+
+@given(tables(), tables(), tables())
+def test_majority_commutativity(a, b, c):
+    """Ω.C — majority is fully symmetric."""
+    m = ternary_majority
+    assert m(a, b, c) == m(b, a, c) == m(c, b, a) == m(a, c, b)
+
+
+@given(tables(), tables())
+def test_majority_rule_equal_operands(a, z):
+    """Ω.M — M(x, x, z) = x and M(x, !x, z) = z."""
+    m = ternary_majority
+    assert m(a, a, z) == a
+    assert m(a, ~a, z) == z
+
+
+@given(tables(), tables(), tables(), tables())
+def test_majority_associativity(x, y, u, z):
+    """Ω.A — M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))."""
+    m = ternary_majority
+    assert m(x, u, m(y, u, z)) == m(z, u, m(y, u, x))
+
+
+@given(tables(), tables(), tables(), tables(), tables())
+@settings(max_examples=60)
+def test_majority_distributivity(x, y, u, v, z):
+    """Ω.D — M(x, y, M(u, v, z)) = M(M(x,y,u), M(x,y,v), z)."""
+    m = ternary_majority
+    assert m(x, y, m(u, v, z)) == m(m(x, y, u), m(x, y, v), z)
+
+
+@given(tables(), tables(), tables())
+def test_inverter_propagation(x, y, z):
+    """Ω.I — M(!x, !y, !z) = !M(x, y, z)."""
+    m = ternary_majority
+    assert m(~x, ~y, ~z) == ~m(x, y, z)
+
+
+@given(tables(), tables(), tables(), tables())
+def test_complementary_associativity(x, u, y, z):
+    """Ψ.C — M(x, u, M(y, !u, z)) = M(x, u, M(y, x, z))."""
+    m = ternary_majority
+    assert m(x, u, m(y, ~u, z)) == m(x, u, m(y, x, z))
+
+
+@given(st.integers(0, NUM_VARS - 1), st.integers(0, NUM_VARS - 1), tables())
+def test_relevance_on_projections(i, j, f):
+    """Ψ.R at the variable level: inside z, x may be replaced by !y —
+    checked by substituting variable i with the complement of j in a
+    majority with projections."""
+    if i == j:
+        return
+    x = TruthTable.variable(NUM_VARS, i)
+    y = TruthTable.variable(NUM_VARS, j)
+    m = ternary_majority
+    # replace x's occurrences inside f via Shannon: f_sub = ITE(!y, f|x=1, f|x=0)
+    substituted = if_then_else(~y, f.cofactor(i, True), f.cofactor(i, False))
+    assert m(x, y, f) == m(x, y, substituted)
+
+
+@given(tables(), st.integers(0, NUM_VARS - 1))
+def test_cofactor_idempotent(f, i):
+    assert f.cofactor(i, True).cofactor(i, True) == f.cofactor(i, True)
+
+
+@given(tables(), st.integers(0, NUM_VARS - 1))
+def test_shannon_identity(f, i):
+    x = TruthTable.variable(NUM_VARS, i)
+    assert (x & f.cofactor(i, True)) | (~x & f.cofactor(i, False)) == f
+
+
+@given(tables())
+def test_count_ones_complement(f):
+    assert f.count_ones() + (~f).count_ones() == f.num_entries
+
+
+@given(tables())
+def test_extend_preserves_semantics(f):
+    wider = f.extend(NUM_VARS + 2)
+    for assignment in range(f.num_entries):
+        assert wider.value_at(assignment) == f.value_at(assignment)

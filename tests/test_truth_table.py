@@ -1,0 +1,210 @@
+"""Unit tests for the bit-parallel truth-table engine."""
+
+import pytest
+
+from repro.truth import (
+    TruthTable,
+    all_tables,
+    if_then_else,
+    table_mask,
+    ternary_majority,
+    variable_pattern,
+)
+
+
+class TestConstruction:
+    def test_constant_false(self):
+        table = TruthTable.constant(3, False)
+        assert table.bits == 0
+        assert table.is_constant()
+
+    def test_constant_true(self):
+        table = TruthTable.constant(3, True)
+        assert table.bits == 0xFF
+        assert table.is_constant()
+
+    def test_zero_variables(self):
+        assert TruthTable.constant(0, True).bits == 1
+        assert TruthTable.constant(0, False).bits == 0
+
+    def test_variable_patterns(self):
+        assert TruthTable.variable(2, 0).bits == 0b1010
+        assert TruthTable.variable(2, 1).bits == 0b1100
+        assert TruthTable.variable(3, 2).bits == 0xF0
+
+    def test_variable_pattern_function(self):
+        assert variable_pattern(3, 0) == 0xAA
+        assert variable_pattern(3, 1) == 0xCC
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(3, 3)
+        with pytest.raises(ValueError):
+            TruthTable.variable(3, -1)
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(-1, 0)
+
+    def test_bits_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 0b10000)
+
+    def test_from_function_majority(self):
+        maj = TruthTable.from_function(3, lambda i: sum(i) >= 2)
+        assert maj.to_hex_string() == "e8"
+
+    def test_from_binary_string_and(self):
+        table = TruthTable.from_binary_string("1000")
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        assert table == (a & b)
+
+    def test_from_binary_string_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_binary_string("101")
+
+    def test_from_binary_string_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_binary_string("10x0")
+
+    def test_from_hex_string(self):
+        assert TruthTable.from_hex_string(3, "e8") == TruthTable.from_function(
+            3, lambda i: sum(i) >= 2
+        )
+
+    def test_binary_roundtrip(self):
+        table = TruthTable(3, 0b11001010)
+        assert TruthTable.from_binary_string(table.to_binary_string()) == table
+
+
+class TestAccessors:
+    def test_value_at(self):
+        a = TruthTable.variable(2, 0)
+        assert a.value_at(1) is True
+        assert a.value_at(2) is False
+
+    def test_value_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            TruthTable.variable(2, 0).value_at(4)
+
+    def test_evaluate(self):
+        maj = TruthTable.from_function(3, lambda i: sum(i) >= 2)
+        assert maj.evaluate([True, True, False]) is True
+        assert maj.evaluate([True, False, False]) is False
+
+    def test_evaluate_arity_check(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(2, 0).evaluate([True])
+
+    def test_count_ones(self):
+        assert TruthTable.variable(3, 0).count_ones() == 4
+        assert TruthTable.constant(3, True).count_ones() == 8
+
+    def test_num_entries(self):
+        assert TruthTable.constant(4, False).num_entries == 16
+
+    def test_depends_on(self):
+        a = TruthTable.variable(3, 0)
+        assert a.depends_on(0)
+        assert not a.depends_on(1)
+
+    def test_support(self):
+        a = TruthTable.variable(3, 0)
+        c = TruthTable.variable(3, 2)
+        assert (a & c).support() == (0, 2)
+
+    def test_assignments_where(self):
+        a = TruthTable.variable(2, 0)
+        assert list(a.assignments_where(True)) == [1, 3]
+        assert list(a.assignments_where(False)) == [0, 2]
+
+
+class TestOperators:
+    def test_and_or_xor_not(self):
+        a = TruthTable.variable(2, 0)
+        b = TruthTable.variable(2, 1)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+        assert (~a).bits == 0b0101
+
+    def test_double_negation(self):
+        a = TruthTable.variable(4, 2)
+        assert ~~a == a
+
+    def test_implies(self):
+        a = TruthTable.variable(1, 0)
+        t = TruthTable.constant(1, True)
+        assert a.implies(a) == t
+        assert t.implies(a) == a
+
+    def test_mismatched_vars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(2, 0) & TruthTable.variable(3, 0)
+
+    def test_non_table_operand_rejected(self):
+        with pytest.raises(TypeError):
+            TruthTable.variable(2, 0) & 3  # type: ignore[operator]
+
+    def test_ternary_majority(self):
+        a, b, c = (TruthTable.variable(3, i) for i in range(3))
+        maj = ternary_majority(a, b, c)
+        assert maj == TruthTable.from_function(3, lambda i: sum(i) >= 2)
+
+    def test_if_then_else(self):
+        a, b, c = (TruthTable.variable(3, i) for i in range(3))
+        ite = if_then_else(a, b, c)
+        expected = TruthTable.from_function(
+            3, lambda i: i[1] if i[0] else i[2]
+        )
+        assert ite == expected
+
+
+class TestCofactors:
+    def test_cofactor_variable_itself(self):
+        a = TruthTable.variable(3, 1)
+        assert a.cofactor(1, True) == TruthTable.constant(3, True)
+        assert a.cofactor(1, False) == TruthTable.constant(3, False)
+
+    def test_shannon_expansion(self):
+        f = TruthTable.from_function(3, lambda i: (i[0] and i[1]) or i[2])
+        x = TruthTable.variable(3, 0)
+        rebuilt = (x & f.cofactor(0, True)) | (~x & f.cofactor(0, False))
+        assert rebuilt == f
+
+    def test_cofactor_removes_dependence(self):
+        f = TruthTable.from_function(3, lambda i: i[0] != i[2])
+        assert not f.cofactor(2, True).depends_on(2)
+
+    def test_extend(self):
+        a2 = TruthTable.variable(2, 0)
+        a4 = a2.extend(4)
+        assert a4 == TruthTable.variable(4, 0)
+
+    def test_extend_shrinking_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(3, 0).extend(2)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = TruthTable.variable(3, 0)
+        b = TruthTable.variable(3, 0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TruthTable.variable(3, 1)
+        assert a != TruthTable.variable(4, 0)
+
+    def test_repr_contains_hex(self):
+        assert "0x" in repr(TruthTable.variable(3, 0))
+
+    def test_table_mask(self):
+        assert table_mask(0) == 1
+        assert table_mask(3) == 0xFF
+        with pytest.raises(ValueError):
+            table_mask(-1)
+
+    def test_all_tables_count(self):
+        assert len(list(all_tables(1))) == 4
+        assert len(list(all_tables(2))) == 16

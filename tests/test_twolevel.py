@@ -1,0 +1,209 @@
+"""Tests for the cube algebra and the espresso-style minimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import parse_pla, pla_truth_tables
+from repro.truth import TruthTable, table_mask
+from repro.twolevel import (
+    cubes as C,
+    cubes_to_table,
+    expand,
+    irredundant,
+    minimize_cubes,
+    minimize_pla,
+    minimize_table,
+)
+
+
+class TestCubeAlgebra:
+    def test_string_roundtrip(self):
+        for text in ("01-", "---", "111", "000", "-0-1"):
+            cube, num_vars = C.from_string(text)
+            assert C.to_string(cube, num_vars) == text
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError):
+            C.from_string("01x")
+
+    def test_universe_and_validity(self):
+        assert C.to_string(C.universe(3), 3) == "---"
+        cube, _num = C.from_string("01-")
+        assert C.is_valid(cube, 3)
+        assert not C.is_valid(0, 1)
+
+    def test_intersection(self):
+        a, _n = C.from_string("1--")
+        b, _n = C.from_string("-0-")
+        both = C.intersect(a, b, 3)
+        assert both is not None
+        assert C.to_string(both, 3) == "10-"
+
+    def test_disjoint_intersection(self):
+        a, _n = C.from_string("1-")
+        b, _n = C.from_string("0-")
+        assert C.intersect(a, b, 2) is None
+
+    def test_containment(self):
+        outer, _n = C.from_string("1--")
+        inner, _n = C.from_string("10-")
+        assert C.contains(outer, inner)
+        assert not C.contains(inner, outer)
+
+    def test_literal_and_minterm_count(self):
+        cube, _n = C.from_string("1-0")
+        assert C.literal_count(cube, 3) == 2
+        assert C.cube_minterm_count(cube, 3) == 2
+
+    def test_cofactor(self):
+        cube, _n = C.from_string("10-")
+        assert C.cofactor_cube(cube, 0, True, 3) is not None
+        assert C.cofactor_cube(cube, 0, False, 3) is None
+        freed = C.cofactor_cube(cube, 1, False, 3)
+        assert C.to_string(freed, 3) == "1--"
+
+    def test_supercube(self):
+        a, _n = C.from_string("10-")
+        b, _n = C.from_string("11-")
+        assert C.to_string(C.supercube([a, b]), 3) == "1--"
+
+
+class TestTautologyAndComplement:
+    def test_tautology_simple(self):
+        a, _n = C.from_string("1-")
+        b, _n = C.from_string("0-")
+        assert C.tautology([a, b], 2)
+        assert not C.tautology([a], 2)
+        assert C.tautology([C.universe(2)], 2)
+        assert not C.tautology([], 2)
+
+    @given(st.integers(1, table_mask(4)))
+    @settings(max_examples=60, deadline=None)
+    def test_complement_semantics(self, bits):
+        table = TruthTable(4, bits)
+        on_set = _minterm_cubes(table)
+        off = C.complement(on_set, 4)
+        assert cubes_to_table(off, 4) == ~table
+
+    @given(st.integers(0, table_mask(4)))
+    @settings(max_examples=40, deadline=None)
+    def test_covers_cube_universe(self, bits):
+        """F ⊇ universe iff F is the constant-1 function."""
+        table = TruthTable(4, bits)
+        on_set = _minterm_cubes(table)
+        expected = table == TruthTable.constant(4, True)
+        assert C.covers_cube(on_set, C.universe(4), 4) == expected
+
+    @given(st.integers(0, table_mask(3)), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_covers_cube_minterm(self, bits, assignment):
+        """F covers a minterm cube iff the table is 1 there."""
+        table = TruthTable(3, bits)
+        on_set = _minterm_cubes(table)
+        minterm = 0
+        for var in range(3):
+            value = C.POS if (assignment >> var) & 1 else C.NEG
+            minterm |= value << (2 * var)
+        assert C.covers_cube(on_set, minterm, 3) == table.value_at(assignment)
+
+
+def _minterm_cubes(table: TruthTable):
+    cubes = []
+    for assignment in table.assignments_where(True):
+        cube = 0
+        for var in range(table.num_vars):
+            value = C.POS if (assignment >> var) & 1 else C.NEG
+            cube |= value << (2 * var)
+        cubes.append(cube)
+    return cubes
+
+
+class TestMinimizer:
+    @given(st.integers(0, table_mask(4)))
+    @settings(max_examples=80, deadline=None)
+    def test_equivalence_preserved(self, bits):
+        table = TruthTable(4, bits)
+        cover = minimize_table(table)
+        assert cubes_to_table(cover, 4) == table
+
+    @given(st.integers(1, table_mask(4)))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_prime(self, bits):
+        """No literal of any result cube can be raised without hitting
+        the OFF-set."""
+        table = TruthTable(4, bits)
+        cover = minimize_table(table)
+        off = _minterm_cubes(~table)
+        for cube in cover:
+            for var in range(4):
+                if C.field(cube, var) == C.DC:
+                    continue
+                raised = C.set_field(cube, var, C.DC)
+                assert any(
+                    C.intersect(raised, o, 4) is not None for o in off
+                ), "non-prime cube in result"
+
+    @given(st.integers(1, table_mask(4)))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_irredundant(self, bits):
+        table = TruthTable(4, bits)
+        cover = minimize_table(table)
+        for index in range(len(cover)):
+            rest = cover[:index] + cover[index + 1 :]
+            if rest:
+                assert not C.covers_cube(rest, cover[index], 4), (
+                    "redundant cube in result"
+                )
+
+    def test_classic_example(self):
+        # f = a·b + a·!b + !a·b  ==  a + b : two cubes.
+        table = TruthTable.from_function(2, lambda i: i[0] or i[1])
+        cover = minimize_table(table)
+        assert len(cover) == 2
+        assert sum(C.literal_count(c, 2) for c in cover) == 2
+
+    def test_minimizes_minterm_canonical_parity_neighbours(self):
+        # xor has no merging: 2^(n-1) cubes stay.
+        table = TruthTable.from_function(3, lambda i: sum(i) % 2 == 1)
+        cover = minimize_table(table)
+        assert len(cover) == 4
+
+    def test_constants(self):
+        assert minimize_table(TruthTable.constant(3, False)) == []
+        cover = minimize_table(TruthTable.constant(3, True))
+        assert cover == [C.universe(3)]
+
+    def test_minimize_cubes_with_given_offset(self):
+        on = [C.from_string("11")[0]]
+        off = [C.from_string("00")[0]]
+        cover = minimize_cubes(on, 2, off_set=off)
+        # Don't-care space (01, 10) is free: a single-literal prime fits.
+        assert len(cover) == 1
+        assert C.literal_count(cover[0], 2) == 1
+
+
+class TestPlaBridge:
+    def test_minimize_pla_equivalent(self):
+        source = """
+.i 4
+.o 2
+.p 6
+1100 10
+1101 10
+1110 10
+1111 11
+0-11 01
+-111 01
+.e
+"""
+        cover = parse_pla(source, name="demo")
+        minimized = minimize_pla(cover)
+        assert pla_truth_tables(minimized) == pla_truth_tables(cover)
+        assert len(minimized.cubes) <= len(cover.cubes)
+
+    def test_minimize_pla_merges_adjacent(self):
+        source = ".i 3\n.o 1\n000 1\n001 1\n010 1\n011 1\n.e\n"
+        minimized = minimize_pla(parse_pla(source))
+        assert len(minimized.cubes) == 1
+        assert minimized.cubes[0][0] == "0--"
