@@ -5,25 +5,35 @@ less than 3 seconds" — in the authors' C++ implementation.  This bench
 measures our Python implementation per proposed algorithm over the
 whole large set so EXPERIMENTS.md can report the honest equivalent.
 
+Besides the pytest-benchmark console table, every run merges a
+machine-readable record into ``BENCH_runtime.json`` at the repo root:
+per-algorithm wall-clock, optimized gate totals, and the CostView
+recompute/delta counters aggregated over the set.
+
 Run:  pytest benchmarks/bench_runtime.py --benchmark-only
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from conftest import EFFORT, table2_names
+from conftest import EFFORT, record_bench, table2_names
 from repro.benchmarks import load_mig
 from repro.mig import Realization, optimize_rram, optimize_steps
 
 
-def _run_whole_set(optimizer) -> int:
+def _run_whole_set(optimizer):
     total_size = 0
+    profile: dict = {}
     for name in table2_names():
         mig = load_mig(name)
-        optimizer(mig)
+        result = optimizer(mig)
         total_size += mig.num_gates()
-    return total_size
+        for key, value in (result.profile or {}).items():
+            profile[key] = profile.get(key, 0) + value
+    return total_size, profile
 
 
 @pytest.mark.parametrize(
@@ -41,8 +51,19 @@ def _run_whole_set(optimizer) -> int:
 )
 def test_whole_set_runtime(benchmark, label, optimizer):
     """Wall-clock for one proposed algorithm over all 25 benchmarks."""
-    result = benchmark.pedantic(
-        lambda: _run_whole_set(optimizer), rounds=1, iterations=1
+    measured = {}
+
+    def run():
+        start = time.perf_counter()
+        total_size, profile = _run_whole_set(optimizer)
+        measured["seconds"] = round(time.perf_counter() - start, 3)
+        measured["total_gates"] = total_size
+        measured["profile"] = profile
+        return total_size
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_bench(
+        "whole_set", {label: dict(measured, effort=min(EFFORT, 10))}
     )
     assert result > 0
 
@@ -51,10 +72,24 @@ def test_single_large_benchmark_runtime(benchmark):
     """Steady-state timing on one mid-size circuit (apex7)."""
     names = table2_names()
     target = "apex7" if "apex7" in names else names[0]
+    last = {}
 
     def run():
         mig = load_mig(target)
-        optimize_steps(mig, Realization.MAJ, 6)
+        result = optimize_steps(mig, Realization.MAJ, 6)
+        last["total_gates"] = mig.num_gates()
+        last["profile"] = result.profile
         return mig.num_gates()
 
     benchmark(run)
+    record_bench(
+        "single_benchmark",
+        {
+            target: {
+                "seconds": round(benchmark.stats.stats.mean, 4),
+                "total_gates": last["total_gates"],
+                "profile": last["profile"],
+                "effort": 6,
+            }
+        },
+    )

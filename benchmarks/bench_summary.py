@@ -8,11 +8,15 @@ Reuses the session-wide Table II run and checks the directional claims:
   step penalty (paper: +21.09 %) — the trade-off that motivates having
   both algorithms.
 
+Aggregate ratios and per-flow (R, S) totals are also merged into the
+machine-readable ``BENCH_runtime.json`` ledger at the repo root.
+
 Run:  pytest benchmarks/bench_summary.py --benchmark-only -s
 """
 
 from __future__ import annotations
 
+from conftest import EFFORT, record_bench
 from repro.flows import render_summary, summarize_table2
 
 
@@ -26,6 +30,21 @@ def test_summary_claims(benchmark, table2_result, capsys):
         print("Sec. IV-B aggregate claims (measured vs paper)")
         print("=" * 72)
         print(render_summary(stats))
+
+    record_bench(
+        "summary",
+        {
+            "effort": EFFORT,
+            "ratios": {
+                key: round(value, 4)
+                for key, value in stats.as_dict().items()
+            },
+            "totals": {
+                flow: list(pair)
+                for flow, pair in table2_result.totals().items()
+            },
+        },
+    )
 
     # Directional checks (magnitudes differ: stand-in benchmarks; see
     # EXPERIMENTS.md for the per-claim discussion).

@@ -12,6 +12,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Optional
 
@@ -21,6 +22,32 @@ from repro.benchmarks import large_names, small_names
 
 EFFORT = int(os.environ.get("REPRO_BENCH_EFFORT", "40"))
 VERIFY = os.environ.get("REPRO_BENCH_VERIFY", "1") != "0"
+
+#: Machine-readable results ledger, committed at the repo root so the
+#: perf trajectory survives across PRs.
+BENCH_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_runtime.json")
+)
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Merge ``payload`` into ``BENCH_runtime.json`` under ``section``.
+
+    Read-modify-write so independent bench modules (runtime, summary)
+    can each contribute their slice without clobbering the others.
+    """
+    data: dict = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    section_data = data.setdefault(section, {})
+    section_data.update(payload)
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _subset(defaults: List[str]) -> List[str]:

@@ -72,12 +72,13 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
     initial = rram_costs(mig, realization)
     start = time.perf_counter()
+    result = None
     if args.algorithm != "none":
         optimizer = ALGORITHMS[args.algorithm]
         if args.algorithm in ("rram", "steps"):
-            optimizer(mig, realization, args.effort)
+            result = optimizer(mig, realization, args.effort)
         else:
-            optimizer(mig, args.effort)
+            result = optimizer(mig, args.effort)
     elapsed = time.perf_counter() - start
     final = rram_costs(mig, realization)
 
@@ -91,6 +92,23 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(f"optimized    : size={final.size} depth={final.depth} "
           f"R={final.rrams} S={final.steps}")
     print(f"runtime      : {elapsed:.2f}s")
+
+    if args.profile:
+        profile = result.profile if result is not None else None
+        if profile is None:
+            print("profile      : (no cost-view counters for this run)")
+        else:
+            print("profile      : cost-view evaluation counters")
+            for key in (
+                "full_recomputes",
+                "delta_updates",
+                "cache_hits",
+                "events_replayed",
+                "moves_tried",
+                "moves_accepted",
+                "predicted_skips",
+            ):
+                print(f"  {key:<18s}: {profile.get(key, 0)}")
 
     if guard is not None:
         ok = guard.verify()
@@ -273,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--verify", action="store_true",
         help="check equivalence (and execution, with --compile)",
+    )
+    synth.add_argument(
+        "--profile", action="store_true",
+        help="report incremental cost-view counters (recomputes, delta "
+        "updates, cache hits, moves tried/accepted)",
     )
     synth.set_defaults(func=_cmd_synth)
 

@@ -22,6 +22,7 @@ from .views import (
     node_levels,
     rram_costs,
 )
+from .costview import CostView, CostViewCounters
 from .build import mig_from_netlist, mig_from_truth_tables, mig_to_netlist
 from .equivalence import (
     EquivalenceGuard,
@@ -59,6 +60,8 @@ __all__ = [
     "signal_is_complemented",
     "signal_node",
     "signal_not",
+    "CostView",
+    "CostViewCounters",
     "LevelStats",
     "Realization",
     "RramCosts",

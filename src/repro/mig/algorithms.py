@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .costview import CostView
 from .graph import Mig, signal_is_complemented, signal_node
 from .rewrite import (
     apply_associativity,
@@ -47,6 +48,8 @@ class OptimizationResult:
     final_size: int
     final_depth: int
     history: List[Tuple[int, int]] = field(default_factory=list)  # (size, depth)
+    #: CostView observability counters (``repro.cli --profile``).
+    profile: Optional[Dict[str, int]] = None
 
     @property
     def size_reduction(self) -> int:
@@ -59,7 +62,33 @@ class OptimizationResult:
         return self.initial_depth - self.final_depth
 
 
-def _size_depth(mig: Mig) -> Tuple[int, int]:
+# Every pass accepts an optional CostView; without one it falls back to
+# the from-scratch views (same answers, recomputed per call).
+
+
+def _levels_of(mig: Mig, view: Optional[CostView]) -> Dict[int, int]:
+    return view.levels() if view is not None else node_levels(mig)
+
+
+def _stats_of(mig: Mig, view: Optional[CostView]):
+    return view.stats() if view is not None else level_stats(mig)
+
+
+def _costs_of(mig: Mig, realization: Realization, view: Optional[CostView]):
+    return view.costs(realization) if view is not None else rram_costs(
+        mig, realization
+    )
+
+
+def _reachable_of(mig: Mig, view: Optional[CostView]) -> List[int]:
+    return view.reachable() if view is not None else mig.reachable_nodes()
+
+
+def _size_depth(
+    mig: Mig, view: Optional[CostView] = None
+) -> Tuple[int, int]:
+    if view is not None:
+        return view.size_depth()
     stats = level_stats(mig)
     return stats.size, stats.depth
 
@@ -69,7 +98,9 @@ def _size_depth(mig: Mig) -> Tuple[int, int]:
 # ----------------------------------------------------------------------
 
 
-def eliminate(mig: Mig, *, max_rounds: int = 64) -> bool:
+def eliminate(
+    mig: Mig, *, max_rounds: int = 64, view: Optional[CostView] = None
+) -> bool:
     """``Ω.M; Ω.D_{R→L}`` to convergence — the paper's *eliminate*.
 
     Ω.M is enforced structurally at all times, so the pass reduces to
@@ -79,7 +110,7 @@ def eliminate(mig: Mig, *, max_rounds: int = 64) -> bool:
     changed_any = False
     for _round in range(max_rounds):
         changed = False
-        for node in mig.reachable_nodes():
+        for node in _reachable_of(mig, view):
             if not mig.is_gate(node):
                 continue
             if apply_distributivity_rl(mig, node):
@@ -90,15 +121,17 @@ def eliminate(mig: Mig, *, max_rounds: int = 64) -> bool:
     return changed_any
 
 
-def reshape(mig: Mig, *, variant: int = 0) -> bool:
+def reshape(
+    mig: Mig, *, variant: int = 0, view: Optional[CostView] = None
+) -> bool:
     """One ``Ω.A; Ψ.C`` sweep that re-arranges the graph.
 
     Used by Alg. 1 between eliminations to expose new merging
     opportunities.  ``variant`` alternates the node traversal direction
     between cycles so successive reshapes explore different orders.
     """
-    levels = node_levels(mig)
-    nodes = mig.reachable_nodes()
+    levels = _levels_of(mig, view)
+    nodes = _reachable_of(mig, view)
     if variant % 2:
         nodes = list(reversed(nodes))
     changed = False
@@ -107,23 +140,23 @@ def reshape(mig: Mig, *, variant: int = 0) -> bool:
             continue
         if apply_associativity(mig, node, levels, allow_neutral=True):
             changed = True
-            levels = node_levels(mig)
+            levels = _levels_of(mig, view)
         elif apply_complementary_associativity(mig, node, levels):
             changed = True
-            levels = node_levels(mig)
+            levels = _levels_of(mig, view)
     return changed
 
 
 def _critical_nodes_from(
-    mig: Mig, levels: Dict[int, int]
+    mig: Mig, levels: Dict[int, int], view: Optional[CostView] = None
 ) -> List[int]:
-    heights = node_heights(mig)
+    heights = view.heights() if view is not None else node_heights(mig)
     depth = 0
     for po in mig.pos:
         depth = max(depth, levels.get(signal_node(po), 0))
     nodes = [
         node
-        for node in mig.reachable_nodes()
+        for node in _reachable_of(mig, view)
         if levels[node] + heights.get(node, 0) == depth
     ]
     nodes.sort(key=lambda n: levels[n], reverse=True)
@@ -135,6 +168,7 @@ def push_up(
     *,
     use_relevance: bool = True,
     max_sweeps: int = 24,
+    view: Optional[CostView] = None,
 ) -> bool:
     """The paper's *push-up*: drive critical variables to upper levels.
 
@@ -147,7 +181,7 @@ def push_up(
     best_depth: Optional[int] = None
     stale_sweeps = 0
     for _sweep in range(max_sweeps):
-        levels = node_levels(mig)
+        levels = _levels_of(mig, view)
         depth = 0
         for po in mig.pos:
             depth = max(depth, levels.get(signal_node(po), 0))
@@ -159,7 +193,7 @@ def push_up(
             if stale_sweeps >= 2:
                 break
         moved = False
-        for node in _critical_nodes_from(mig, levels):
+        for node in _critical_nodes_from(mig, levels, view):
             if not mig.is_gate(node):
                 continue
             if (
@@ -208,6 +242,7 @@ def inverter_propagation_pass(
     steps_weight: int = 4,
     rram_weight: int = 1,
     max_rounds: int = 4,
+    view: Optional[CostView] = None,
 ) -> bool:
     """Greedy complement re-placement via Ω.I.
 
@@ -230,8 +265,10 @@ def inverter_propagation_pass(
     """
     changed_any = False
     for _round in range(max_rounds):
-        stats = level_stats(mig)
-        levels = dict(stats.node_levels)
+        stats = _stats_of(mig, view)
+        # No defensive copy: node_levels is freshly built per stats()
+        # call and excluded from the frozen dataclass hash/compare.
+        levels = stats.node_levels
         n_per_level = list(stats.nodes_per_level)
         c_per_level = list(stats.complements_per_level)
         po_complements = stats.po_complements
@@ -248,7 +285,7 @@ def inverter_propagation_pass(
             return best
 
         changed = False
-        for node in mig.reachable_nodes():
+        for node in _reachable_of(mig, view):
             if not mig.is_gate(node):
                 continue
             case = inverter_propagation_case(mig, node)
@@ -284,6 +321,8 @@ def inverter_propagation_pass(
             old_cost += rram_weight * total_r(c_per_level)
             new_cost = steps_weight * total_l(new_c, new_po_c)
             new_cost += rram_weight * total_r(new_c)
+            if view is not None:
+                view.counters.moves_tried += 1
             if new_cost > old_cost:
                 continue
             if new_cost == old_cost:
@@ -298,13 +337,15 @@ def inverter_propagation_pass(
                 continue
             changed = True
             changed_any = True
+            if view is not None:
+                view.counters.moves_accepted += 1
             if outcome:
                 c_per_level = new_c
                 po_complements = new_po_c
             else:
                 # Structural merge — recount everything.
-                stats = level_stats(mig)
-                levels = dict(stats.node_levels)
+                stats = _stats_of(mig, view)
+                levels = stats.node_levels
                 n_per_level = list(stats.nodes_per_level)
                 c_per_level = list(stats.complements_per_level)
                 po_complements = stats.po_complements
@@ -372,7 +413,11 @@ def _try_clear_level(mig: Mig, level: int, levels: Dict[int, int]) -> bool:
 
 
 def clear_complemented_levels(
-    mig: Mig, realization: Realization, *, max_rounds: int = 16
+    mig: Mig,
+    realization: Realization,
+    *,
+    max_rounds: int = 16,
+    view: Optional[CostView] = None,
 ) -> bool:
     """Greedy level-clearing: the objective of paper Sec. III-D made
     explicit.
@@ -383,10 +428,21 @@ def clear_complemented_levels(
     attacked with a coordinated group of Ω.I flips; the attempt is
     committed only when the global step count strictly improves (RRAM
     count as tie-break), otherwise rolled back.
+
+    With a :class:`CostView` attached, rejected candidates are scored
+    with :meth:`CostView.predict_flip_group` instead of the
+    apply/measure/rollback cycle that dominates the whole-set runtime.
+    This is result-identical: the prediction is exact unless a strash
+    collision is possible (then it falls back to the measured path),
+    and the baseline's rollback renumbering — ``copy_from(snapshot)``
+    lands on ``clone(clone(state))``, and cloning is *not* idempotent
+    because renumbering re-sorts triples and thus reorders the next
+    traversal — is reproduced verbatim by ``copy_from(clone())``; the
+    trial flips themselves never touch the surviving arrays.
     """
     changed_any = False
     for _round in range(max_rounds):
-        stats = level_stats(mig)
+        stats = _stats_of(mig, view)
         before = (
             stats.step_count(realization),
             stats.rram_count(realization),
@@ -399,12 +455,63 @@ def clear_complemented_levels(
         if stats.po_complements > 0:
             candidates.append((stats.po_complements, -1))
         improved = False
-        node_level_map = dict(stats.node_levels)
+        node_level_map = stats.node_levels
+        # The baseline's rejected-candidate state dance — ``snapshot =
+        # clone(); <trial, discarded>; copy_from(snapshot)`` — lands on
+        # ``clone(clone(state))``.  One clone is NOT enough (renumbering
+        # re-sorts triples, which reorders the next traversal), but the
+        # double clone is a fixpoint: ``clone`` is identity on its own
+        # double image, so once a round has compacted, every further
+        # rejected candidate maps the state back onto itself and the
+        # clones can be skipped (tests cross-check this against a
+        # reference clone-per-candidate implementation).
+        at_fixpoint = False
+
+        def reject_compact() -> None:
+            nonlocal at_fixpoint
+            if not at_fixpoint:
+                mig.copy_from(mig.clone())
+                at_fixpoint = True
+
         for _count, level in candidates:
             # Cheap structural feasibility check before paying for the
-            # snapshot clone.
-            if level != -1 and _level_clear_plan(mig, level, node_level_map) is None:
-                continue
+            # snapshot clone (and the exact flip plan for prediction).
+            if level == -1:
+                flips: List[int] = []
+                feasible = True
+                for po in mig.pos:
+                    if signal_is_complemented(po) and signal_node(po) != 0:
+                        driver = signal_node(po)
+                        if not mig.is_gate(driver):
+                            feasible = False
+                            break
+                        flips.append(driver)
+                if not feasible or not flips:
+                    # Baseline clones, fails inside _try_clear_po_level
+                    # and rolls back without applying anything.
+                    reject_compact()
+                    continue
+                flips = list(dict.fromkeys(flips))
+            else:
+                plan = _level_clear_plan(mig, level, node_level_map)
+                if plan is None:
+                    continue
+                flips = plan[0] + plan[1]
+            if view is not None:
+                view.counters.moves_tried += 1
+                predicted = view.predict_flip_group(flips, realization)
+                if predicted is not None:
+                    if predicted < before:
+                        for node in flips:
+                            if mig.is_gate(node):
+                                apply_inverter_propagation(mig, node)
+                        view.counters.moves_accepted += 1
+                        improved = True
+                        changed_any = True
+                        break
+                    view.counters.predicted_skips += 1
+                    reject_compact()
+                    continue
             snapshot = mig.clone()
             if level == -1:
                 ok = _try_clear_po_level(mig)
@@ -412,17 +519,18 @@ def clear_complemented_levels(
                 ok = _try_clear_level(mig, level, node_level_map)
             if not ok:
                 mig.copy_from(snapshot)
+                at_fixpoint = True
                 continue
-            new_stats = level_stats(mig)
-            after = (
-                new_stats.step_count(realization),
-                new_stats.rram_count(realization),
-            )
+            after_costs = _costs_of(mig, realization, view)
+            after = (after_costs.steps, after_costs.rrams)
             if after < before:
                 improved = True
                 changed_any = True
+                if view is not None:
+                    view.counters.moves_accepted += 1
                 break
             mig.copy_from(snapshot)
+            at_fixpoint = True
         if not improved:
             break
     return changed_any
@@ -458,16 +566,16 @@ def _try_clear_po_level(mig: Mig) -> bool:
 # what makes the published "effort" loop well-behaved.
 
 
-def _relevance_sweep(mig: Mig) -> bool:
+def _relevance_sweep(mig: Mig, view: Optional[CostView] = None) -> bool:
     """Apply Ψ.R across the critical paths (the middle step of Alg. 2)."""
-    levels = node_levels(mig)
+    levels = _levels_of(mig, view)
     changed = False
-    for node in _critical_nodes_from(mig, levels):
+    for node in _critical_nodes_from(mig, levels, view):
         if not mig.is_gate(node):
             continue
         if apply_relevance(mig, node, levels):
             changed = True
-            levels = node_levels(mig)
+            levels = _levels_of(mig, view)
     return changed
 
 
@@ -477,6 +585,7 @@ def _drive(
     effort: int,
     cycle_body,
     objective,
+    view: Optional[CostView] = None,
 ) -> OptimizationResult:
     """Shared driver: iterate, snapshot the best, roll back at the end.
 
@@ -484,7 +593,7 @@ def _drive(
     reports whether anything changed; ``objective(mig)`` returns a
     comparable key (smaller is better).
     """
-    initial_size, initial_depth = _size_depth(mig)
+    initial_size, initial_depth = _size_depth(mig, view)
     best_key = objective(mig)
     best = mig.clone()
     history: List[Tuple[int, int]] = []
@@ -493,7 +602,7 @@ def _drive(
     for cycle in range(effort):
         cycles = cycle + 1
         changed = cycle_body(mig, cycle)
-        history.append(_size_depth(mig))
+        history.append(_size_depth(mig, view))
         key = objective(mig)
         if key < best_key:
             best_key = key
@@ -505,7 +614,7 @@ def _drive(
             break
     if objective(mig) > best_key:
         mig.copy_from(best)
-    final_size, final_depth = _size_depth(mig)
+    final_size, final_depth = _size_depth(mig, view)
     return OptimizationResult(
         algorithm=algorithm,
         cycles_run=cycles,
@@ -514,6 +623,7 @@ def _drive(
         final_size=final_size,
         final_depth=final_depth,
         history=history,
+        profile=view.counters.as_dict() if view is not None else None,
     )
 
 
@@ -523,20 +633,23 @@ def optimize_area(mig: Mig, effort: int = DEFAULT_EFFORT) -> OptimizationResult:
     Objective: MIG size (node count), depth as tie-break.
     """
 
+    view = CostView(mig)
+
     def body(graph: Mig, cycle: int) -> bool:
-        changed = eliminate(graph)
-        changed |= reshape(graph, variant=cycle)
-        changed |= eliminate(graph)
+        changed = eliminate(graph, view=view)
+        changed |= reshape(graph, variant=cycle, view=view)
+        changed |= eliminate(graph, view=view)
         return changed
 
     def objective(graph: Mig) -> Tuple[int, int]:
-        size, depth = _size_depth(graph)
+        size, depth = _size_depth(graph, view if graph is mig else None)
         return (size, depth)
 
-    result = _drive(mig, "area", effort, body, objective)
-    eliminate(mig)
-    size, depth = _size_depth(mig)
+    result = _drive(mig, "area", effort, body, objective, view)
+    eliminate(mig, view=view)
+    size, depth = _size_depth(mig, view)
     result.final_size, result.final_depth = size, depth
+    result.profile = view.counters.as_dict()
     return result
 
 
@@ -546,17 +659,19 @@ def optimize_depth(mig: Mig, effort: int = DEFAULT_EFFORT) -> OptimizationResult
     Objective: MIG depth, size as tie-break.
     """
 
+    view = CostView(mig)
+
     def body(graph: Mig, cycle: int) -> bool:
-        changed = push_up(graph, use_relevance=False)
-        changed |= _relevance_sweep(graph)
-        changed |= push_up(graph, use_relevance=False)
+        changed = push_up(graph, use_relevance=False, view=view)
+        changed |= _relevance_sweep(graph, view)
+        changed |= push_up(graph, use_relevance=False, view=view)
         return changed
 
     def objective(graph: Mig) -> Tuple[int, int]:
-        size, depth = _size_depth(graph)
+        size, depth = _size_depth(graph, view if graph is mig else None)
         return (depth, size)
 
-    return _drive(mig, "depth", effort, body, objective)
+    return _drive(mig, "depth", effort, body, objective, view)
 
 
 def optimize_rram(
@@ -596,8 +711,12 @@ def optimize_rram(
     probe_costs = rram_costs(probe, realization)
     budget = int(probe_costs.steps * step_budget_factor) + 1
 
+    view = CostView(mig)
+
     def objective(graph: Mig) -> Tuple[int, int, int]:
-        costs = rram_costs(graph, realization)
+        costs = _costs_of(
+            graph, realization, view if graph is mig else None
+        )
         return (
             1 if costs.steps > budget else 0,
             costs.rrams,
@@ -608,22 +727,27 @@ def optimize_rram(
         mig.copy_from(probe)
 
     def body(graph: Mig, cycle: int) -> bool:
-        changed = push_up(graph, use_relevance=False)
+        changed = push_up(graph, use_relevance=False, view=view)
         changed |= inverter_propagation_pass(
-            graph, realization, cases=(1, 2, 3), steps_weight=2, rram_weight=1
+            graph, realization, cases=(1, 2, 3), steps_weight=2,
+            rram_weight=1, view=view,
         )
-        changed |= clear_complemented_levels(graph, realization)
-        changed |= push_up(graph, use_relevance=False)
-        changed |= reshape(graph, variant=cycle)
-        changed |= eliminate(graph)
+        changed |= clear_complemented_levels(graph, realization, view=view)
+        changed |= push_up(graph, use_relevance=False, view=view)
+        changed |= reshape(graph, variant=cycle, view=view)
+        changed |= eliminate(graph, view=view)
         return changed
 
-    result = _drive(mig, "rram", effort, body, objective)
+    result = _drive(mig, "rram", effort, body, objective, view)
     result.cycles_run += probe_result.cycles_run
     result.initial_size = initial_size
     result.initial_depth = initial_depth
-    size, depth = _size_depth(mig)
+    size, depth = _size_depth(mig, view)
     result.final_size, result.final_depth = size, depth
+    result.profile = view.counters.as_dict()
+    if probe_result.profile:
+        for key, value in probe_result.profile.items():
+            result.profile[key] = result.profile.get(key, 0) + value
     return result
 
 
@@ -639,30 +763,37 @@ def optimize_steps(
     count as tie-break.
     """
 
+    view = CostView(mig)
+
     def body(graph: Mig, cycle: int) -> bool:
-        changed = push_up(graph, use_relevance=False)
+        changed = push_up(graph, use_relevance=False, view=view)
         changed |= inverter_propagation_pass(
-            graph, realization, cases=None, steps_weight=8, rram_weight=1
+            graph, realization, cases=None, steps_weight=8, rram_weight=1,
+            view=view,
         )
         changed |= inverter_propagation_pass(
-            graph, realization, cases=(1, 2, 3), steps_weight=8, rram_weight=1
+            graph, realization, cases=(1, 2, 3), steps_weight=8,
+            rram_weight=1, view=view,
         )
-        changed |= clear_complemented_levels(graph, realization)
-        changed |= push_up(graph, use_relevance=False)
+        changed |= clear_complemented_levels(graph, realization, view=view)
+        changed |= push_up(graph, use_relevance=False, view=view)
         return changed
 
     def objective(graph: Mig) -> Tuple[int, int]:
-        costs = rram_costs(graph, realization)
+        costs = _costs_of(
+            graph, realization, view if graph is mig else None
+        )
         return (costs.steps, costs.rrams)
 
-    result = _drive(mig, "steps", effort, body, objective)
+    result = _drive(mig, "steps", effort, body, objective, view)
     snapshot = mig.clone()
     before = objective(mig)
-    push_up(mig, use_relevance=True)
+    push_up(mig, use_relevance=True, view=view)
     if objective(mig) > before:
         mig.copy_from(snapshot)
-    size, depth = _size_depth(mig)
+    size, depth = _size_depth(mig, view)
     result.final_size, result.final_depth = size, depth
+    result.profile = view.counters.as_dict()
     return result
 
 

@@ -34,12 +34,15 @@ from .views import Realization, level_stats
 class _ComplementModel:
     """Incremental evaluator of (L, R) under a flip assignment."""
 
-    def __init__(self, mig: Mig, realization: Realization) -> None:
-        stats = level_stats(mig)
+    def __init__(self, mig: Mig, realization: Realization, stats=None) -> None:
+        if stats is None:
+            stats = level_stats(mig)
         self.depth = stats.depth
         self.k_r = realization.rrams_per_gate
         self.k_s = realization.steps_per_level
-        self.node_level: Dict[int, int] = dict(stats.node_levels)
+        # No defensive copy: level_stats/CostView.stats build the dict
+        # fresh per call and the model only reads it.
+        self.node_level: Dict[int, int] = stats.node_levels
         self.nodes = mig.reachable_nodes()
         self.n_per_level = list(stats.nodes_per_level)
         # Edges: (child_gate_or_None, parent_level, orig_complement).
@@ -132,15 +135,20 @@ def anneal_complements(
     initial_temperature: float = 2.0,
     steps_weight: float = 4.0,
     rram_weight: float = 1.0,
+    view=None,
 ) -> bool:
     """Anneal the flip assignment; apply the best one found.
 
     Returns True when the realized assignment improved ``(S, R)``.
+    ``view`` optionally supplies a :class:`repro.mig.costview.CostView`
+    so the before/after cost evaluations reuse the incremental state.
     """
-    nodes = mig.reachable_nodes()
+    nodes = view.reachable() if view is not None else mig.reachable_nodes()
     if not nodes:
         return False
-    model = _ComplementModel(mig, realization)
+    model = _ComplementModel(
+        mig, realization, stats=view.stats() if view is not None else None
+    )
     start = model.costs()
 
     def energy(costs: Tuple[int, int]) -> float:
@@ -173,7 +181,7 @@ def anneal_complements(
     to_flip = [node for node, flip in best_flips.items() if flip]
     if not to_flip:
         return False
-    before = level_stats(mig)
+    before = view.stats() if view is not None else level_stats(mig)
     before_costs = (
         before.step_count(realization),
         before.rram_count(realization),
@@ -182,7 +190,7 @@ def anneal_complements(
     for node in to_flip:
         if mig.is_gate(node):
             apply_inverter_propagation(mig, node)
-    after = level_stats(mig)
+    after = view.stats() if view is not None else level_stats(mig)
     after_costs = (
         after.step_count(realization),
         after.rram_count(realization),

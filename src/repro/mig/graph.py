@@ -35,6 +35,12 @@ from ..truth import TruthTable, table_mask
 
 Signal = int
 
+# Structural-event kinds recorded in the mutation log consumed by
+# :class:`repro.mig.costview.CostView` for delta updates.
+EVENT_DETACH = 0  # (EVENT_DETACH, node, old_children)
+EVENT_ATTACH = 1  # (EVENT_ATTACH, node, new_children)
+EVENT_PO = 2  # (EVENT_PO, index, old_signal_or_None, new_signal)
+
 CONST0: Signal = 0
 CONST1: Signal = 1
 
@@ -96,6 +102,15 @@ class Mig:
         self._po_names: List[str] = []
         self._strash: Dict[Tuple[Signal, Signal, Signal], int] = {}
         self._generation = 0  # bumped on every structural change
+        # Structural-event log (see module constants).  Disabled until a
+        # CostView calls :meth:`enable_event_log`; clones therefore pay
+        # zero logging overhead.  Cursors are absolute positions
+        # ``_events_base + index``; wholesale rewrites (copy_from, log
+        # overflow) jump ``_events_base`` past every live cursor, which
+        # consumers detect and answer with a full recompute.
+        self._events: List[tuple] = []
+        self._events_base = 0
+        self._track_events = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,6 +123,45 @@ class Mig:
         Views cache against this to know when to recompute.
         """
         return self._generation
+
+    def enable_event_log(self) -> int:
+        """Start recording structural events for incremental views.
+
+        Every ``_attach``/``_detach``/PO edit from now on appends an
+        event tuple; returns the current (absolute) event cursor.
+        Idempotent — multiple views may share the log.
+        """
+        self._track_events = True
+        return self._events_base + len(self._events)
+
+    def event_cursor(self) -> int:
+        """Absolute position just past the last recorded event."""
+        return self._events_base + len(self._events)
+
+    def events_since(self, cursor: int) -> Optional[List[tuple]]:
+        """Events recorded since ``cursor``, or None if the prefix was
+        discarded (the caller must fall back to a full recompute)."""
+        start = cursor - self._events_base
+        if start < 0:
+            return None
+        return self._events[start:]
+
+    def discard_events_upto(self, cursor: int) -> None:
+        """Drop the event prefix before ``cursor`` (a consumed delta).
+
+        Any other consumer whose cursor is older detects the jump in
+        ``_events_base`` and recomputes from scratch.
+        """
+        drop = cursor - self._events_base
+        if drop > 0:
+            del self._events[:drop]
+            self._events_base = cursor
+
+    def _log_event(self, event: tuple) -> None:
+        self._events.append(event)
+        if len(self._events) > (1 << 20):  # bound memory; forces full
+            self._events_base += len(self._events)  # recompute downstream
+            self._events.clear()
 
     @property
     def num_nodes_allocated(self) -> int:
@@ -193,14 +247,19 @@ class Mig:
         self._pos.append(signal)
         self._po_names.append(name if name is not None else f"f{len(self._pos) - 1}")
         self._generation += 1
+        if self._track_events:
+            self._log_event((EVENT_PO, len(self._pos) - 1, None, signal))
         # No fanout bookkeeping for POs: they are queried via po_refs.
         return len(self._pos) - 1
 
     def set_po(self, index: int, signal: Signal) -> None:
         """Redirect an existing primary output to a new signal."""
         self._check_signal(signal)
+        old = self._pos[index]
         self._pos[index] = signal
         self._generation += 1
+        if self._track_events and old != signal:
+            self._log_event((EVENT_PO, index, old, signal))
 
     def make_maj(self, a: Signal, b: Signal, c: Signal) -> Signal:
         """Return the signal of ``M(a, b, c)``, creating a node if needed.
@@ -285,7 +344,10 @@ class Mig:
             # Redirect primary outputs.
             for i, po in enumerate(self._pos):
                 if signal_node(po) == old:
-                    self._pos[i] = new ^ (po & 1)
+                    redirected = new ^ (po & 1)
+                    self._pos[i] = redirected
+                    if self._track_events:
+                        self._log_event((EVENT_PO, i, po, redirected))
             # Redirect parents (snapshot: _rebuild_parent mutates fanout).
             for parent in list(self._fanout[old].keys()):
                 merged = self._rebuild_parent(parent, old, new)
@@ -353,24 +415,24 @@ class Mig:
 
     def reachable_nodes(self) -> List[int]:
         """Gate nodes reachable from the POs, in topological order."""
+        children_arr = self._children
         visited: Set[int] = set()
         order: List[int] = []
         stack: List[Tuple[int, int]] = []
         for po in self._pos:
-            root = signal_node(po)
-            if root in visited or not self.is_gate(root):
+            root = po >> 1
+            if root in visited or children_arr[root] is None:
                 continue
             stack.append((root, 0))
             while stack:
                 node, child_index = stack.pop()
                 if node in visited:
                     continue
-                triple = self._children[node]
-                assert triple is not None
+                triple = children_arr[node]
                 pushed = False
                 for i in range(child_index, 3):
-                    child = signal_node(triple[i])
-                    if child not in visited and self.is_gate(child):
+                    child = triple[i] >> 1  # type: ignore[index]
+                    if child not in visited and children_arr[child] is not None:
                         stack.append((node, i + 1))
                         stack.append((child, 0))
                         pushed = True
@@ -482,29 +544,66 @@ class Mig:
     # ------------------------------------------------------------------
 
     def clone(self) -> "Mig":
-        """Deep-copy the live part of the graph (dead nodes dropped)."""
+        """Deep-copy the live part of the graph (dead nodes dropped).
+
+        Built by direct array construction: the node remapping is
+        injective on signals, so mapped triples can neither Ω.M-reduce
+        nor collide in the strash, and the result is identical to the
+        (much slower) make_maj-based rebuild it replaces.
+        """
         copy = Mig(self.name)
-        mapping: Dict[int, Signal] = {0: CONST0}
+        children_arr = self._children
+        mapping = [-1] * len(children_arr)  # node -> signal in copy
+        mapping[0] = CONST0
+        c_children = copy._children
+        c_is_pi = copy._is_pi
+        c_fanout = copy._fanout
+        c_strash = copy._strash
         for node, name in zip(self._pis, self._pi_names):
-            mapping[node] = copy.add_pi(name)
+            idx = len(c_children)
+            c_children.append(None)
+            c_is_pi.append(True)
+            c_fanout.append({})
+            copy._pis.append(idx)
+            copy._pi_names.append(name)
+            mapping[node] = idx << 1
+
+        def copy_gate(node: int) -> None:
+            sa, sb, sc = children_arr[node]  # type: ignore[misc]
+            a = mapping[sa >> 1] ^ (sa & 1)
+            b = mapping[sb >> 1] ^ (sb & 1)
+            c = mapping[sc >> 1] ^ (sc & 1)
+            if b < a:
+                a, b = b, a
+            if c < b:
+                b, c = c, b
+                if b < a:
+                    a, b = b, a
+            triple = (a, b, c)
+            idx = len(c_children)
+            c_children.append(triple)
+            c_is_pi.append(False)
+            c_fanout.append({})
+            c_strash[triple] = idx
+            for s in triple:
+                fo = c_fanout[s >> 1]
+                fo[idx] = fo.get(idx, 0) + 1
+            mapping[node] = idx << 1
+
         for node in self.reachable_nodes():
-            a, b, c = (
-                mapping[signal_node(s)] ^ (s & 1) for s in self.children(node)
-            )
-            mapping[node] = copy.make_maj(a, b, c)
+            copy_gate(node)
         for po, name in zip(self._pos, self._po_names):
             driver = signal_node(po)
-            if driver not in mapping:
+            if mapping[driver] == -1:
                 # PO on an unreachable-from-other-POs node: copy its cone.
                 for node in self.cone_nodes(po):
-                    if node in mapping:
-                        continue
-                    a, b, c = (
-                        mapping[signal_node(s)] ^ (s & 1)
-                        for s in self.children(node)
-                    )
-                    mapping[node] = copy.make_maj(a, b, c)
-            copy.add_po(mapping[driver] ^ (po & 1), name)
+                    if mapping[node] == -1:
+                        copy_gate(node)
+                if mapping[driver] == -1:
+                    raise MigError(f"PO references detached node {driver}")
+            copy._pos.append(mapping[driver] ^ (po & 1))
+            copy._po_names.append(name)
+        copy._generation = len(c_children) - 1 + len(copy._pos)
         return copy
 
     def sweep_dead(self) -> int:
@@ -546,6 +645,10 @@ class Mig:
         self._po_names = source._po_names
         self._strash = source._strash
         self._generation += 1
+        # The graph changed wholesale without per-mutation events: jump
+        # the event base past every live cursor so views full-recompute.
+        self._events_base += len(self._events) + 1
+        self._events.clear()
 
     # ------------------------------------------------------------------
     # Internals
@@ -577,6 +680,8 @@ class Mig:
         for s in children:
             child = signal_node(s)
             self._fanout[child][node] = self._fanout[child].get(node, 0) + 1
+        if self._track_events:
+            self._log_event((EVENT_ATTACH, node, children))
 
     def _detach(self, node: int) -> None:
         """Remove a gate's children from fanout tables and the strash."""
@@ -592,6 +697,8 @@ class Mig:
             if counts[node] == 0:
                 del counts[node]
         self._children[node] = None
+        if self._track_events:
+            self._log_event((EVENT_DETACH, node, triple))
 
     def check_invariants(self) -> None:
         """Assert the structural invariants (used by the test-suite)."""

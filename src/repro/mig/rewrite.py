@@ -33,6 +33,17 @@ from .graph import Mig, MigError, Signal, signal_is_complemented, signal_node, s
 _SLOT_PAIRS = ((0, 1, 2), (0, 2, 1), (1, 2, 0))
 
 
+def signal_level(levels: Optional[Dict[int, int]], signal: Signal) -> int:
+    """Level of the node behind ``signal``.
+
+    PIs, constants, and nodes absent from the map (or a ``None`` map)
+    are level 0 — the shared convention of every level-aware rewrite.
+    """
+    if levels is None:
+        return 0
+    return levels.get(signal >> 1, 0)
+
+
 def effective_children(mig: Mig, edge: Signal) -> Optional[Tuple[Signal, Signal, Signal]]:
     """Children of the gate behind ``edge``, seen through its polarity.
 
@@ -138,23 +149,20 @@ def apply_distributivity_lr(
     children = mig.children(node)
     old_level = 1 + max(levels.get(signal_node(s), 0) for s in children)
 
-    def level_of(signal: Signal) -> int:
-        return levels.get(signal_node(signal), 0)
-
     best: Optional[Tuple[int, Tuple[Signal, ...], Signal]] = None
     for i, j, k in _SLOT_PAIRS:
         inner = effective_children(mig, children[k])
         if inner is None:
             continue
         x, y = children[i], children[j]
-        outer_level = max(level_of(x), level_of(y))
+        outer_level = max(signal_level(levels, x), signal_level(levels, y))
         for hoist_index in range(3):
             z = inner[hoist_index]
             u, v = (inner[m] for m in range(3) if m != hoist_index)
             new_level = 1 + max(
-                level_of(z),
-                1 + max(outer_level, level_of(u)),
-                1 + max(outer_level, level_of(v)),
+                signal_level(levels, z),
+                1 + max(outer_level, signal_level(levels, u)),
+                1 + max(outer_level, signal_level(levels, v)),
             )
             if new_level < old_level and (best is None or new_level < best[0]):
                 best = (new_level, (x, y, u, v), z)
@@ -189,11 +197,7 @@ def apply_associativity(
     if not mig.is_gate(node):
         return False
     children = mig.children(node)
-
-    def level_of(signal: Signal) -> int:
-        return levels.get(signal_node(signal), 0)
-
-    old_level = 1 + max(level_of(s) for s in children)
+    old_level = 1 + max(signal_level(levels, s) for s in children)
 
     for i, j, k in _SLOT_PAIRS:
         inner = effective_children(mig, children[k])
@@ -219,8 +223,8 @@ def apply_associativity(
                         continue
                     new_inner = mig.make_maj(y, u, x)
                     new_level = 1 + max(
-                        level_of(z),
-                        level_of(u),
+                        signal_level(levels, z),
+                        signal_level(levels, u),
                         _local_level(mig, signal_node(new_inner), levels),
                     )
                     if new_level > old_level:
@@ -259,13 +263,9 @@ def apply_complementary_associativity(
     if not mig.is_gate(node):
         return False
     children = mig.children(node)
-
-    def level_of(signal: Signal) -> int:
-        if levels is None:
-            return 0
-        return levels.get(signal_node(signal), 0)
-
-    old_level = 1 + max(level_of(s) for s in children) if levels else None
+    old_level = (
+        1 + max(signal_level(levels, s) for s in children) if levels else None
+    )
 
     for i, j, k in _SLOT_PAIRS:
         inner = effective_children(mig, children[k])
@@ -283,7 +283,9 @@ def apply_complementary_associativity(
                 # !u: fewer complements, no deeper level.
                 if signal_is_complemented(x) and signal_node(x) != 0:
                     continue
-                if levels is not None and level_of(x) > level_of(not_u):
+                if levels is not None and signal_level(
+                    levels, x
+                ) > signal_level(levels, not_u):
                     continue
                 new_inner = mig.make_maj(y, x, z)
                 replacement = mig.make_maj(x, u, new_inner)
@@ -291,9 +293,13 @@ def apply_complementary_associativity(
                     continue
                 if old_level is not None:
                     new_level = 1 + max(
-                        level_of(x), level_of(u), 1 + max(
-                            level_of(y), level_of(x), level_of(z)
-                        )
+                        signal_level(levels, x),
+                        signal_level(levels, u),
+                        1 + max(
+                            signal_level(levels, y),
+                            signal_level(levels, x),
+                            signal_level(levels, z),
+                        ),
                     )
                     if new_level > old_level:
                         continue
@@ -437,13 +443,13 @@ def apply_relevance(
     if not mig.is_gate(node):
         return False
     children = mig.children(node)
+    old_level = 1 + max(signal_level(levels, s) for s in children)
 
-    def level_of(signal: Signal) -> int:
-        return levels.get(signal_node(signal), 0)
-
-    old_level = 1 + max(level_of(s) for s in children)
-
-    order = sorted(range(3), key=lambda i: level_of(children[i]), reverse=True)
+    order = sorted(
+        range(3),
+        key=lambda i: signal_level(levels, children[i]),
+        reverse=True,
+    )
     z = children[order[0]]
     if not mig.is_gate(signal_node(z)):
         return False

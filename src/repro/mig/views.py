@@ -129,8 +129,14 @@ def node_levels(mig: Mig) -> Dict[int, int]:
 
 def level_stats(mig: Mig) -> LevelStats:
     """Compute the per-level statistics that drive the Table I model."""
-    levels = node_levels(mig)
+    levels: Dict[int, int] = {0: 0}
+    for pi in mig.pis:
+        levels[pi] = 0
     live = mig.reachable_nodes()
+    for node in live:
+        levels[node] = 1 + max(
+            levels[signal_node(s)] for s in mig.children(node)
+        )
     depth = 0
     for po in mig.pos:
         depth = max(depth, levels.get(signal_node(po), 0))

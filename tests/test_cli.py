@@ -43,6 +43,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "initial" in out
 
+    def test_synth_profile_counters(self, capsys):
+        code = main([
+            "synth", "xor5_d", "--algorithm", "steps",
+            "--effort", "4", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile      : cost-view evaluation counters" in out
+        for counter in (
+            "full_recomputes", "delta_updates", "cache_hits",
+            "moves_tried", "moves_accepted",
+        ):
+            assert counter in out
+
+    def test_synth_profile_without_optimizer(self, capsys):
+        code = main([
+            "synth", "rd53f1", "--algorithm", "none", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no cost-view counters" in out
+
     def test_synth_file(self, tmp_path, capsys):
         path = tmp_path / "tiny.bench"
         path.write_text(
