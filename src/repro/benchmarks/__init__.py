@@ -9,6 +9,7 @@ from .suite import (
     SMALL_BENCHMARKS,
     BenchmarkSpec,
     benchmark,
+    fuzz_corpus_names,
     large_names,
     load_mig,
     load_netlist,
@@ -25,6 +26,7 @@ __all__ = [
     "SMALL_BENCHMARKS",
     "BenchmarkSpec",
     "benchmark",
+    "fuzz_corpus_names",
     "large_names",
     "load_mig",
     "load_netlist",

@@ -271,3 +271,18 @@ def large_names() -> List[str]:
 def small_names() -> List[str]:
     """The 25 small benchmark names in table order."""
     return [b.name for b in _SMALL]
+
+
+def fuzz_corpus_names(max_inputs: int = 8) -> List[str]:
+    """The small-circuit corpus the fault-injection campaign sweeps.
+
+    Bundled benchmarks whose interface admits exhaustive verification
+    vectors (≤ ``max_inputs`` primary inputs), so detector-sensitivity
+    numbers are measured against the *complete* input space rather
+    than a sample.
+    """
+    return [
+        b.name
+        for b in (*_SMALL, *_LARGE)
+        if b.num_inputs <= max_inputs
+    ]

@@ -9,6 +9,9 @@ Subcommands
 ``table2``    Reproduce paper Table II (optionally a subset).
 ``table3``    Reproduce paper Table III (``--baseline bdd|aig``).
 ``bench-list``  List the built-in benchmark suites.
+``fuzz``      Time-budgeted differential fuzzing / fault-injection
+              campaign; failures are shrunk to repro bundles under
+              ``results/fuzz/``.
 """
 
 from __future__ import annotations
@@ -241,6 +244,54 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzConfig, run_fuzz
+    from .rram import FAULT_CLASSES
+
+    fault_classes = tuple(args.fault_classes or ())
+    if args.all_faults:
+        fault_classes = FAULT_CLASSES
+    config = FuzzConfig(
+        seconds=args.seconds,
+        seed=args.seed,
+        effort=args.effort,
+        fault_classes=fault_classes,
+        out_dir=args.out_dir,
+        max_cases=args.max_cases,
+        shrink_seconds=args.shrink_seconds,
+        min_detection=args.min_detection,
+    )
+    report = run_fuzz(config)
+
+    mode = "fault-injection" if fault_classes else "differential"
+    print(f"mode         : {mode}")
+    print(f"seed         : {config.seed}")
+    print(f"cases        : {report.cases_run} in {report.elapsed:.1f}s")
+    by_kind = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(report.cases_by_kind.items())
+    )
+    print(f"corpus       : {by_kind}")
+    if fault_classes:
+        for fault_class, row in sorted(report.detection_summary().items()):
+            print(
+                f"  {fault_class:<14s}: {row['detected']}/{row['sites']} sites "
+                f"detected, {row['missed']} missed, {row['latent']} latent "
+                f"(rate {row['detection_rate']:.2%}, floor "
+                f"{config.min_detection:.0%})"
+            )
+    print(f"failures     : {len(report.failures)}")
+    for failure in report.failures:
+        print(f"  {failure.get('check')}: {failure.get('detail')}")
+    for bundle in report.bundles:
+        print(f"bundle       : {bundle}")
+    if args.profile:
+        print("profile      : seconds per stage")
+        for stage, seconds in sorted(report.profile.items()):
+            print(f"  {stage:<10s}: {seconds:.2f}")
+    print(f"verdict      : {'PASS' if report.ok else 'FAIL'}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_list(_args: argparse.Namespace) -> int:
     print("large (Tables II / III-left):")
     for name in large_names():
@@ -334,14 +385,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_list = sub.add_parser("bench-list", help="list built-in benchmarks")
     bench_list.set_defaults(func=_cmd_bench_list)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing / fault-injection campaign",
+    )
+    fuzz.add_argument(
+        "--seconds", type=float, default=30.0, help="time budget (default 30)"
+    )
+    fuzz.add_argument("--seed", type=int, default=1, help="campaign seed")
+    fuzz.add_argument(
+        "--effort", type=int, default=4,
+        help="optimizer effort per oracle case (default 4)",
+    )
+    fuzz.add_argument(
+        "--fault-classes", nargs="*", metavar="CLASS",
+        help="run the fault-injection campaign for these classes "
+        "(stuck-set stuck-reset dropped-write sense-flip) instead of "
+        "the differential oracle",
+    )
+    fuzz.add_argument(
+        "--all-faults", action="store_true",
+        help="shorthand for every fault class",
+    )
+    fuzz.add_argument(
+        "--out-dir", default="results/fuzz",
+        help="where repro bundles are written (default results/fuzz)",
+    )
+    fuzz.add_argument(
+        "--max-cases", type=int, default=None,
+        help="hard case cap on top of the time budget",
+    )
+    fuzz.add_argument(
+        "--shrink-seconds", type=float, default=10.0,
+        help="delta-debugging budget per failure (default 10)",
+    )
+    fuzz.add_argument(
+        "--min-detection", type=float, default=0.95,
+        help="fault-detection floor for the PASS verdict (default 0.95)",
+    )
+    fuzz.add_argument(
+        "--profile", action="store_true",
+        help="report seconds spent per campaign stage",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
+    from .io import (
+        BenchFormatError,
+        BlifFormatError,
+        PlaFormatError,
+        VerilogFormatError,
+    )
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (
+        BenchFormatError,
+        BlifFormatError,
+        PlaFormatError,
+        VerilogFormatError,
+    ) as error:
+        print(f"repro-synth: error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"repro-synth: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,44 @@
+"""Differential fuzzing and fault-injection verification.
+
+An always-on adversary for the synthesis stack: seeded random circuit
+generators (:mod:`.generators`), a differential oracle cross-checking
+every representation, optimizer flow, cost view, and compiled RRAM
+program against each other (:mod:`.oracle`), delta-debugging case
+shrinking with on-disk repro bundles (:mod:`.shrink`), and the
+time-budgeted campaign driver behind ``repro-synth fuzz``
+(:mod:`.harness`), including the fault-injection sensitivity sweep
+built on :mod:`repro.rram.faults`.
+"""
+
+from .generators import (
+    GENERATOR_KINDS,
+    MigFuzzSpec,
+    case_circuit,
+    case_netlist,
+    random_gate_netlist,
+    random_mig,
+    random_mig_netlist,
+    random_table_netlist,
+)
+from .oracle import CHECKS, OracleFailure, check_case
+from .shrink import shrink_netlist, write_bundle
+from .harness import FuzzConfig, FuzzReport, run_fuzz
+
+__all__ = [
+    "GENERATOR_KINDS",
+    "MigFuzzSpec",
+    "case_circuit",
+    "case_netlist",
+    "random_gate_netlist",
+    "random_mig",
+    "random_mig_netlist",
+    "random_table_netlist",
+    "CHECKS",
+    "OracleFailure",
+    "check_case",
+    "shrink_netlist",
+    "write_bundle",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+]

@@ -1,0 +1,250 @@
+"""Seeded random circuit generators for the fuzzing harness.
+
+Three complementary sources, so fuzzing is not limited to the 50 paper
+benchmarks:
+
+* :func:`random_mig` — *structured* MIGs built gate by gate with
+  configurable complement density, reconvergence bias, and deliberate
+  dead nodes.  This exercises the graph layer the way the optimizers
+  see it (sorted triples, strashing, Ω.M reduction already applied).
+* :func:`random_table_netlist` — netlists lowered from random truth
+  tables via Shannon decomposition, covering function space uniformly
+  rather than structure space.
+* :func:`random_gate_netlist` — unstructured gate soups over the full
+  primitive palette (including NAND/NOR/XNOR/MUX chains the paper
+  benchmarks rarely produce), stressing the format writers and the
+  three representation lowerings.
+
+Everything is driven by explicit seeds: a (kind, seed, parameters)
+triple always yields the same circuit, which is what makes every fuzz
+failure replayable from its repro bundle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..mig import Mig, Signal, mig_from_truth_tables, mig_to_netlist, signal_not
+from ..network import GateType, Netlist
+from ..truth import TruthTable
+
+#: Generator kinds the harness round-robins over.
+GENERATOR_KINDS: Tuple[str, ...] = ("mig", "table", "gates")
+
+
+@dataclass(frozen=True)
+class MigFuzzSpec:
+    """Parameters of one structured random MIG."""
+
+    num_inputs: int
+    num_gates: int
+    num_outputs: int
+    seed: int
+    #: Probability that any operand / output edge is complemented.
+    complement_density: float = 0.35
+    #: Probability an operand is drawn from the most recent signals
+    #: (high values produce deep reconvergent chains; low values
+    #: produce wide, shallow fan-in).
+    reconvergence: float = 0.5
+    #: Fraction of gates deliberately left unreferenced by the outputs
+    #: (dead logic the views and sweeps must ignore).
+    dead_node_rate: float = 0.15
+
+    def describe(self) -> dict:
+        return {
+            "kind": "mig",
+            "num_inputs": self.num_inputs,
+            "num_gates": self.num_gates,
+            "num_outputs": self.num_outputs,
+            "seed": self.seed,
+            "complement_density": self.complement_density,
+            "reconvergence": self.reconvergence,
+            "dead_node_rate": self.dead_node_rate,
+        }
+
+
+def _maybe_complement(rng: random.Random, signal: Signal, density: float) -> Signal:
+    return signal_not(signal) if rng.random() < density else signal
+
+
+def random_mig(spec: MigFuzzSpec) -> Mig:
+    """Build the structured random MIG described by ``spec``.
+
+    Gates draw operands either from a recent window (reconvergence) or
+    from the whole signal pool; the constant node is mixed in at low
+    rate so AND/OR-shaped triples appear.  Because ``make_maj``
+    strashes and Ω.M-reduces, the realized gate count can be below
+    ``num_gates`` — the generator keeps creating until the target count
+    of *distinct* gates is reached or the attempt budget runs out.
+    """
+    rng = random.Random(spec.seed)
+    mig = Mig(f"fuzz_mig_{spec.seed:x}")
+    pool: List[Signal] = [mig.add_pi(f"x{i}") for i in range(spec.num_inputs)]
+    gate_signals: List[Signal] = []
+    attempts = 0
+    max_attempts = spec.num_gates * 8 + 32
+    while len(gate_signals) < spec.num_gates and attempts < max_attempts:
+        attempts += 1
+        operands: List[Signal] = []
+        for _ in range(3):
+            if rng.random() < 0.06:
+                operands.append(0)  # constant (complemented below → 1)
+                continue
+            window = max(3, len(pool) // 3)
+            if gate_signals and rng.random() < spec.reconvergence:
+                source = pool[-window:]
+            else:
+                source = pool
+            operands.append(source[rng.randrange(len(source))])
+        a, b, c = (
+            _maybe_complement(rng, s, spec.complement_density)
+            for s in operands
+        )
+        before = mig.num_nodes_allocated
+        signal = mig.make_maj(a, b, c)
+        if mig.num_nodes_allocated == before:
+            continue  # reduced or strashed into an existing signal
+        gate_signals.append(signal)
+        pool.append(signal)
+
+    candidates = gate_signals or pool
+    live_share = [
+        s
+        for s in candidates
+        if rng.random() >= spec.dead_node_rate or len(candidates) <= 2
+    ]
+    if not live_share:
+        live_share = candidates[-1:]
+    for index in range(spec.num_outputs):
+        # Bias outputs toward late (deep) signals so depth is exercised.
+        position = len(live_share) - 1 - min(
+            index, rng.randrange(max(1, len(live_share)))
+        )
+        signal = live_share[max(0, position)]
+        mig.add_po(
+            _maybe_complement(rng, signal, spec.complement_density),
+            f"f{index}",
+        )
+    return mig
+
+
+def random_mig_netlist(spec: MigFuzzSpec) -> Netlist:
+    """The structured random MIG of ``spec``, exported as a netlist."""
+    netlist = mig_to_netlist(random_mig(spec))
+    netlist.name = f"fuzz_mig_{spec.seed:x}"
+    return netlist
+
+
+def random_table_netlist(
+    num_inputs: int, num_outputs: int, seed: int
+) -> Netlist:
+    """A netlist computing ``num_outputs`` random truth tables.
+
+    Lowered through Shannon decomposition (``mig_from_truth_tables``),
+    so the circuit realizes an *arbitrary* function — the corner the
+    structural generators cannot reach.
+    """
+    rng = random.Random(seed)
+    tables = [
+        TruthTable(num_inputs, rng.getrandbits(1 << num_inputs))
+        for _ in range(num_outputs)
+    ]
+    mig = mig_from_truth_tables(tables, f"fuzz_table_{seed:x}")
+    netlist = mig_to_netlist(mig)
+    netlist.name = f"fuzz_table_{seed:x}"
+    return netlist
+
+
+_GATE_PALETTE: Tuple[Tuple[GateType, int], ...] = (
+    (GateType.AND, 2),
+    (GateType.NAND, 2),
+    (GateType.OR, 2),
+    (GateType.NOR, 2),
+    (GateType.XOR, 2),
+    (GateType.XNOR, 2),
+    (GateType.NOT, 1),
+    (GateType.BUF, 1),
+    (GateType.MAJ, 3),
+    (GateType.MUX, 3),
+    (GateType.AND, 3),  # n-ary variants as .bench files produce them
+    (GateType.OR, 3),
+)
+
+
+def random_gate_netlist(
+    seed: int,
+    *,
+    num_inputs: int = 5,
+    num_gates: int = 16,
+    num_outputs: int = 2,
+) -> Netlist:
+    """An unstructured random gate netlist over the full palette."""
+    rng = random.Random(seed)
+    netlist = Netlist(f"fuzz_gates_{seed:x}")
+    nets = [netlist.add_input(f"x{i}") for i in range(num_inputs)]
+    for index in range(num_gates):
+        gate_type, arity = _GATE_PALETTE[rng.randrange(len(_GATE_PALETTE))]
+        operands = [nets[rng.randrange(len(nets))] for _ in range(arity)]
+        netlist.add_gate(f"g{index}", gate_type, operands)
+        nets.append(f"g{index}")
+    for _ in range(num_outputs):
+        netlist.set_output(nets[rng.randrange(num_inputs, len(nets))])
+    netlist.validate()
+    return netlist
+
+
+def case_circuit(
+    kind: str, seed: int, *, small: bool = False
+) -> Tuple[Netlist, "Mig | None"]:
+    """The harness's per-case entry point: one seeded circuit of
+    ``kind`` (round-robined from :data:`GENERATOR_KINDS`).
+
+    Returns ``(netlist, mig)`` where ``mig`` is the raw structured MIG
+    for the ``"mig"`` kind — kept separately because exporting to a
+    netlist drops its deliberate dead nodes, which the oracle wants the
+    optimizers and cost views to chew on.  ``small`` selects the
+    tighter interface used by the fault campaign (exhaustive
+    verification vectors stay cheap).
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    if kind == "mig":
+        spec = MigFuzzSpec(
+            num_inputs=rng.randint(3, 5 if small else 7),
+            num_gates=rng.randint(6, 14 if small else 30),
+            num_outputs=rng.randint(1, 2 if small else 3),
+            seed=seed,
+            complement_density=rng.choice((0.15, 0.35, 0.6)),
+            reconvergence=rng.choice((0.2, 0.5, 0.8)),
+            dead_node_rate=rng.choice((0.0, 0.15, 0.3)),
+        )
+        mig = random_mig(spec)
+        netlist = mig_to_netlist(mig)
+        netlist.name = mig.name
+        return netlist, mig
+    if kind == "table":
+        return (
+            random_table_netlist(
+                rng.randint(3, 4 if small else 6),
+                rng.randint(1, 2),
+                seed,
+            ),
+            None,
+        )
+    if kind == "gates":
+        return (
+            random_gate_netlist(
+                seed,
+                num_inputs=rng.randint(3, 5 if small else 7),
+                num_gates=rng.randint(6, 12 if small else 24),
+                num_outputs=rng.randint(1, 3),
+            ),
+            None,
+        )
+    raise ValueError(f"unknown generator kind {kind!r}")
+
+
+def case_netlist(kind: str, seed: int, *, small: bool = False) -> Netlist:
+    """Netlist-only convenience wrapper over :func:`case_circuit`."""
+    return case_circuit(kind, seed, small=small)[0]

@@ -1,0 +1,317 @@
+"""The fuzzing campaign driver behind ``repro-synth fuzz``.
+
+Two campaign modes share one time budget and one seed:
+
+* **differential** (default) — round-robin the generators, run every
+  case through the full oracle (:mod:`repro.fuzz.oracle`); any failure
+  is delta-debugged to a minimal reproducer and persisted as a bundle.
+* **fault injection** (``fault_classes`` non-empty) — sweep single
+  faults of each class over compiled programs of the small-circuit
+  corpus (bundled benchmarks first, generated circuits after) and
+  measure how often the functional verifier catches them.  Misses —
+  faults that corrupted an internal sensed value yet were masked at
+  every output — are shrunk and bundled exactly like oracle failures.
+
+Everything is deterministic in ``(seed, case index)``; the wall-clock
+budget only decides *how many* cases run, never what any case does, so
+every failure replays from the seed recorded in its bundle.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..benchmarks import fuzz_corpus_names, load_netlist
+from ..mig import Realization, mig_from_netlist
+from ..network import Netlist
+from ..rram import (
+    FAULT_CLASSES,
+    FaultCampaignStats,
+    clean_references,
+    compile_mig,
+    enumerate_fault_models,
+    probe_fault,
+    verification_vectors,
+)
+from .generators import GENERATOR_KINDS, case_circuit
+from .oracle import OracleFailure, check_case
+from .shrink import shrink_netlist, write_bundle
+
+DEFAULT_OUT_DIR = "results/fuzz"
+
+
+@dataclass
+class FuzzConfig:
+    """One campaign's knobs (the CLI maps onto this 1:1)."""
+
+    seconds: float = 30.0
+    seed: int = 1
+    effort: int = 4
+    #: Empty → differential mode; else the fault classes to sweep.
+    fault_classes: Tuple[str, ...] = ()
+    out_dir: str = DEFAULT_OUT_DIR
+    #: Hard case cap (mainly for tests); None = time budget only.
+    max_cases: Optional[int] = None
+    #: Max fault sites probed per (program, class); sites beyond this
+    #: are randomly sampled, and the sampling is seeded.
+    max_fault_sites: int = 48
+    shrink_seconds: float = 10.0
+    min_detection: float = 0.95
+    #: Include the bundled small-benchmark corpus in the fault sweep.
+    use_benchmark_corpus: bool = True
+
+    def case_seed(self, index: int) -> int:
+        """The deterministic per-case seed (recorded in bundles)."""
+        return (self.seed * 1_000_003 + index) & 0x7FFFFFFF
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign learned."""
+
+    config: FuzzConfig
+    cases_run: int = 0
+    elapsed: float = 0.0
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    bundles: List[str] = field(default_factory=list)
+    cases_by_kind: Dict[str, int] = field(default_factory=dict)
+    fault_stats: Dict[str, FaultCampaignStats] = field(default_factory=dict)
+    #: Seconds spent per stage (generate/oracle/faults/shrink).
+    profile: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Campaign verdict: no oracle failures and every swept fault
+        class at or above the detection floor."""
+        if self.failures:
+            return False
+        return all(
+            stats.detection_rate >= self.config.min_detection
+            for stats in self.fault_stats.values()
+        )
+
+    def detection_summary(self) -> Dict[str, Dict[str, object]]:
+        return {
+            fault_class: {
+                "sites": stats.sites,
+                "detected": stats.detected,
+                "missed": stats.missed,
+                "latent": stats.latent,
+                "detection_rate": round(stats.detection_rate, 4),
+            }
+            for fault_class, stats in self.fault_stats.items()
+        }
+
+
+def _charge(profile: Dict[str, float], stage: str, start: float) -> float:
+    now = time.perf_counter()
+    profile[stage] = profile.get(stage, 0.0) + (now - start)
+    return now
+
+
+def _shrink_and_bundle(
+    report: FuzzReport,
+    netlist: Netlist,
+    predicate,
+    case_id: str,
+    info: Dict[str, object],
+) -> None:
+    config = report.config
+    start = time.perf_counter()
+    original_stats = netlist.stats()
+    try:
+        shrunk = shrink_netlist(
+            netlist, predicate, max_seconds=config.shrink_seconds
+        )
+    except Exception:  # noqa: BLE001 - never lose the unshrunk repro
+        shrunk = netlist
+    _charge(report.profile, "shrink", start)
+    info = dict(info)
+    info["shrink"] = {
+        "original": original_stats,
+        "shrunk": shrunk.stats(),
+    }
+    bundle_dir = write_bundle(config.out_dir, case_id, shrunk, info)
+    report.bundles.append(bundle_dir)
+
+
+def _run_differential_case(
+    report: FuzzReport, kind: str, case_seed: int, case_id: str
+) -> None:
+    config = report.config
+    start = time.perf_counter()
+    netlist, mig = case_circuit(kind, case_seed)
+    start = _charge(report.profile, "generate", start)
+    failure = check_case(netlist, mig, effort=config.effort)
+    _charge(report.profile, "oracle", start)
+    if failure is None:
+        return
+    failure.case = {"kind": kind, "seed": case_seed, "case_id": case_id}
+    report.failures.append(failure.describe())
+
+    def same_check_fails(candidate: Netlist) -> bool:
+        return (
+            check_case(
+                candidate, effort=config.effort, checks=[failure.check]
+            )
+            is not None
+        )
+
+    _shrink_and_bundle(
+        report,
+        netlist,
+        same_check_fails,
+        case_id,
+        {"failure": failure.describe()},
+    )
+
+
+def _campaign_stats(
+    netlist: Netlist,
+    fault_class: str,
+    realization: Realization,
+    rng: random.Random,
+    max_sites: int,
+) -> FaultCampaignStats:
+    """Sweep single faults of one class over one compiled program."""
+    mig = mig_from_netlist(netlist)
+    compiled = compile_mig(mig, realization)
+    vectors = verification_vectors(mig.num_pis)
+    references = clean_references(compiled.program, vectors)
+    models = enumerate_fault_models(compiled.program, fault_class)
+    if len(models) > max_sites:
+        models = rng.sample(models, max_sites)
+    stats = FaultCampaignStats(fault_class)
+    for model in models:
+        verdict = probe_fault(compiled, model, vectors, references)
+        if verdict.detected:
+            stats.detected += 1
+        elif verdict.missed:
+            stats.missed += 1
+            stats.misses.append(verdict)
+        else:
+            stats.latent += 1
+    return stats
+
+
+def _netlist_has_miss(
+    netlist: Netlist, fault_class: str, realization: Realization
+) -> bool:
+    """Shrinking predicate: the class still has a verification escape."""
+    mig = mig_from_netlist(netlist)
+    compiled = compile_mig(mig, realization)
+    vectors = verification_vectors(mig.num_pis)
+    references = clean_references(compiled.program, vectors)
+    for model in enumerate_fault_models(compiled.program, fault_class):
+        if probe_fault(compiled, model, vectors, references).missed:
+            return True
+    return False
+
+
+def _run_fault_case(
+    report: FuzzReport,
+    netlist: Netlist,
+    realization: Realization,
+    rng: random.Random,
+    case_id: str,
+    provenance: Dict[str, object],
+) -> None:
+    config = report.config
+    for fault_class in config.fault_classes:
+        start = time.perf_counter()
+        stats = _campaign_stats(
+            netlist, fault_class, realization, rng, config.max_fault_sites
+        )
+        _charge(report.profile, "faults", start)
+        report.fault_stats.setdefault(
+            fault_class, FaultCampaignStats(fault_class)
+        ).merge(stats)
+        if not stats.misses:
+            continue
+        miss_labels = [v.model.label for v in stats.misses]
+        _shrink_and_bundle(
+            report,
+            netlist,
+            lambda candidate: _netlist_has_miss(
+                candidate, fault_class, realization
+            ),
+            f"{case_id}_{fault_class}",
+            {
+                "failure": {
+                    "check": f"fault-miss:{fault_class}",
+                    "detail": (
+                        f"{len(stats.misses)} exercised-but-undetected "
+                        f"fault(s): {', '.join(miss_labels[:8])}"
+                    ),
+                    **provenance,
+                },
+                "fault": {
+                    "class": fault_class,
+                    "realization": realization.value,
+                    "missed_sites": miss_labels,
+                },
+            },
+        )
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run one campaign to its time budget; returns the full report."""
+    for fault_class in config.fault_classes:
+        if fault_class not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault class {fault_class!r}; "
+                f"expected one of {FAULT_CLASSES}"
+            )
+    report = FuzzReport(config=config)
+    started = time.perf_counter()
+    deadline = started + config.seconds
+    fault_mode = bool(config.fault_classes)
+
+    corpus: List[Tuple[str, Netlist]] = []
+    if fault_mode and config.use_benchmark_corpus:
+        corpus = [
+            (name, load_netlist(name)) for name in fuzz_corpus_names()
+        ]
+
+    index = 0
+    while True:
+        if config.max_cases is not None and index >= config.max_cases:
+            break
+        if index > 0 and time.perf_counter() >= deadline:
+            break
+        case_seed = config.case_seed(index)
+        kind = GENERATOR_KINDS[index % len(GENERATOR_KINDS)]
+        case_id = f"seed{config.seed}_case{index:04d}_{kind}"
+        if fault_mode:
+            rng = random.Random(case_seed)
+            realization = (
+                Realization.MAJ if index % 2 == 0 else Realization.IMP
+            )
+            if index < len(corpus):
+                name, netlist = corpus[index]
+                case_id = f"seed{config.seed}_case{index:04d}_{name}"
+                provenance = {"benchmark": name}
+            else:
+                start = time.perf_counter()
+                netlist, _ = case_circuit(kind, case_seed, small=True)
+                _charge(report.profile, "generate", start)
+                provenance = {"kind": kind, "seed": case_seed}
+            provenance["realization"] = realization.value
+            _run_fault_case(
+                report, netlist, realization, rng, case_id, provenance
+            )
+            report.cases_by_kind[provenance.get("benchmark", kind)] = (
+                report.cases_by_kind.get(provenance.get("benchmark", kind), 0)
+                + 1
+            )
+        else:
+            _run_differential_case(report, kind, case_seed, case_id)
+            report.cases_by_kind[kind] = report.cases_by_kind.get(kind, 0) + 1
+        report.cases_run += 1
+        index += 1
+
+    report.elapsed = time.perf_counter() - started
+    return report

@@ -1,0 +1,215 @@
+"""Delta-debugging case shrinking and on-disk repro bundles.
+
+When the oracle (or the fault campaign) trips on a generated circuit,
+the raw case is rarely the story — a 30-gate soup hides the 3-gate
+interaction that actually matters.  :func:`shrink_netlist` minimizes a
+failing netlist against an arbitrary predicate with three reduction
+passes run to fixpoint:
+
+1. **output reduction** — keep the smallest output subset that still
+   fails (single outputs first, then ddmin-style halves);
+2. **gate collapse** — replace each gate by one of its operands or a
+   constant, dropping its whole cone when nothing else references it;
+3. **input pruning** — drop primary inputs no surviving gate reads.
+
+Every candidate is re-validated and re-tested through the predicate, so
+the result is *by construction* a failing circuit.  The shrunk case is
+persisted by :func:`write_bundle` as a ``.blif`` plus a JSON metadata
+file under ``results/fuzz/`` — everything needed to replay the failure
+(`repro-synth synth results/fuzz/<case>/repro.blif` or the recorded
+seed) without the fuzzing session that found it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..io import save_blif, write_blif
+from ..network import Gate, GateType, Netlist
+
+Predicate = Callable[[Netlist], bool]
+
+DEFAULT_SHRINK_SECONDS = 15.0
+
+
+def _with_outputs(netlist: Netlist, outputs: Sequence[str]) -> Netlist:
+    """A copy of ``netlist`` exposing only ``outputs``."""
+    reduced = Netlist(netlist.name)
+    for name in netlist.inputs:
+        reduced.add_input(name)
+    for gate in netlist.gates():
+        reduced.add_gate(gate.name, gate.gate_type, gate.operands)
+    for name in outputs:
+        reduced.set_output(name)
+    return reduced
+
+
+def _collapse_gate(
+    netlist: Netlist, victim: str, replacement: Optional[str]
+) -> Optional[Netlist]:
+    """A copy with gate ``victim`` removed and its net rewired to
+    ``replacement`` (another net, or None for constant 0)."""
+    reduced = Netlist(netlist.name)
+    for name in netlist.inputs:
+        reduced.add_input(name)
+    const_name = "_shrink_const0"
+    already_has_const = any(
+        gate.name == const_name for gate in netlist.gates()
+    )
+    needs_const = replacement is None and not already_has_const
+    substitute = const_name if replacement is None else replacement
+
+    def rewire(net: str) -> str:
+        return substitute if net == victim else net
+
+    if needs_const:
+        reduced.add_gate(const_name, GateType.CONST0, ())
+    for gate in netlist.gates():
+        if gate.name == victim:
+            continue
+        reduced.add_gate(
+            gate.name, gate.gate_type, [rewire(op) for op in gate.operands]
+        )
+    for name in netlist.outputs:
+        reduced.set_output(rewire(name))
+    try:
+        reduced.validate()
+    except Exception:  # noqa: BLE001 - rejected candidate, not an error
+        return None
+    return reduced
+
+
+def _prune(netlist: Netlist) -> Netlist:
+    """Drop gates no output depends on and inputs nothing reads."""
+    needed: set = set()
+    stack = list(netlist.outputs)
+    while stack:
+        net = stack.pop()
+        if net in needed:
+            continue
+        needed.add(net)
+        if net not in netlist.inputs:
+            stack.extend(netlist.gate(net).operands)
+    reduced = Netlist(netlist.name)
+    for name in netlist.inputs:
+        if name in needed:
+            reduced.add_input(name)
+    for gate in netlist.gates():
+        if gate.name in needed:
+            reduced.add_gate(gate.name, gate.gate_type, gate.operands)
+    for name in netlist.outputs:
+        reduced.set_output(name)
+    reduced.validate()
+    return reduced
+
+
+def shrink_netlist(
+    netlist: Netlist,
+    predicate: Predicate,
+    *,
+    max_seconds: float = DEFAULT_SHRINK_SECONDS,
+) -> Netlist:
+    """Minimize ``netlist`` while ``predicate`` keeps returning True.
+
+    The predicate must already hold on ``netlist`` (the caller observed
+    the failure); it is assumed deterministic.  Predicate exceptions
+    count as "does not fail" so shrinking never escalates one bug into
+    another silently.
+    """
+
+    deadline = time.perf_counter() + max_seconds
+
+    def still_fails(candidate: Optional[Netlist]) -> bool:
+        if candidate is None:
+            return False
+        try:
+            return bool(predicate(candidate))
+        except Exception:  # noqa: BLE001 - different crash ≠ same bug
+            return False
+
+    current = _prune(netlist)
+    if not still_fails(current):
+        current = netlist  # pruning changed the behaviour; keep raw
+
+    # Pass 1: output reduction (single outputs, then halves).
+    outputs = current.outputs
+    if len(outputs) > 1:
+        for name in outputs:
+            candidate = _with_outputs(current, [name])
+            if still_fails(_prune(candidate)):
+                current = _prune(candidate)
+                break
+        else:
+            half = len(outputs) // 2
+            for subset in (outputs[:half], outputs[half:]):
+                if not subset:
+                    continue
+                candidate = _with_outputs(current, subset)
+                if still_fails(_prune(candidate)):
+                    current = _prune(candidate)
+                    break
+
+    # Pass 2/3: gate collapse to fixpoint, pruning as we go.
+    progress = True
+    while progress and time.perf_counter() < deadline:
+        progress = False
+        gates: List[Gate] = list(current.gates())
+        # Deepest-last order: collapsing near the outputs first removes
+        # the most logic per accepted step.
+        for gate in reversed(gates):
+            if time.perf_counter() >= deadline:
+                break
+            replacements: List[Optional[str]] = list(gate.operands) + [None]
+            for replacement in replacements:
+                if replacement == gate.name:
+                    continue
+                candidate = _collapse_gate(current, gate.name, replacement)
+                if candidate is None:
+                    continue
+                candidate = _prune(candidate)
+                if still_fails(candidate):
+                    current = candidate
+                    progress = True
+                    break
+            else:
+                continue
+            break  # restart the sweep over the shrunken netlist
+    return current
+
+
+def write_bundle(
+    out_dir: str,
+    case_id: str,
+    netlist: Netlist,
+    info: Dict[str, object],
+) -> str:
+    """Persist one repro bundle; returns the bundle directory.
+
+    Layout: ``<out_dir>/<case_id>/repro.blif`` (the shrunk circuit) and
+    ``repro.json`` (generator seed, failing check, fault descriptor,
+    shrink statistics — whatever the caller recorded in ``info``).
+    """
+    bundle_dir = os.path.join(out_dir, case_id)
+    os.makedirs(bundle_dir, exist_ok=True)
+    blif_path = os.path.join(bundle_dir, "repro.blif")
+    save_blif(netlist, blif_path)
+    payload = dict(info)
+    payload.setdefault("circuit", {})
+    payload["circuit"] = {
+        **netlist.stats(),
+        "name": netlist.name,
+        **payload["circuit"],  # type: ignore[dict-item]
+    }
+    payload["files"] = {"blif": "repro.blif"}
+    with open(os.path.join(bundle_dir, "repro.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return bundle_dir
+
+
+def bundle_blif_text(netlist: Netlist) -> str:
+    """The BLIF text a bundle would contain (for in-memory tests)."""
+    return write_blif(netlist)

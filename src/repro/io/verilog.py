@@ -28,6 +28,8 @@ def write_verilog(netlist: Netlist, module_name: str = "") -> str:
     """Render a :class:`Netlist` as a structural Verilog module."""
     netlist.validate()
     module = module_name or re.sub(r"\W", "_", netlist.name) or "top"
+    if not _IDENT.match(module):
+        module = f"_{module}"
 
     inputs = [_escape(name) for name in netlist.inputs]
     # Outputs must be distinct ports; alias duplicates through wires.

@@ -26,6 +26,7 @@ from .costview import CostView, CostViewCounters
 from .build import mig_from_netlist, mig_from_truth_tables, mig_to_netlist
 from .equivalence import (
     EquivalenceGuard,
+    mig_matches_netlist,
     mig_matches_tables,
     migs_equivalent,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "mig_from_truth_tables",
     "mig_to_netlist",
     "EquivalenceGuard",
+    "mig_matches_netlist",
     "mig_matches_tables",
     "migs_equivalent",
     "ALGORITHMS",

@@ -60,6 +60,37 @@ def mig_matches_tables(
     return mig.truth_tables() == list(tables)
 
 
+def mig_matches_netlist(
+    mig: Mig,
+    netlist,
+    *,
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+    num_vectors: int = DEFAULT_RANDOM_VECTORS,
+    seed: int = 0xD47E,
+) -> bool:
+    """Check an MIG against the netlist it was lowered from.
+
+    Inputs/outputs are matched positionally (the ``mig_from_netlist``
+    contract).  Exhaustive below ``exhaustive_limit`` inputs, seeded
+    random words above — the same miter discipline as
+    :func:`migs_equivalent`, used by the fuzzing oracle on generated
+    circuits too large to enumerate.
+    """
+    if mig.num_pis != len(netlist.inputs):
+        return False
+    if mig.num_pos != len(netlist.outputs):
+        return False
+    if mig.num_pis <= exhaustive_limit:
+        return mig.truth_tables() == netlist.truth_tables()
+    words = _random_words(mig.num_pis, num_vectors, seed)
+    mask = (1 << num_vectors) - 1
+    mig_out = mig.simulate_words(words, mask)
+    net_out = netlist.simulate_words(
+        {name: word for name, word in zip(netlist.inputs, words)}, mask
+    )
+    return mig_out == [net_out[name] for name in netlist.outputs]
+
+
 class EquivalenceGuard:
     """Snapshot-and-verify wrapper used by tests and the safe optimizer.
 

@@ -1,5 +1,19 @@
 """Gate-level netlist IR and simulation."""
 
-from .netlist import Gate, GateType, Netlist, NetlistError, evaluate_gate_words
+from .netlist import (
+    Gate,
+    GateType,
+    Netlist,
+    NetlistError,
+    evaluate_gate_words,
+    netlists_equivalent,
+)
 
-__all__ = ["Gate", "GateType", "Netlist", "NetlistError", "evaluate_gate_words"]
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "NetlistError",
+    "evaluate_gate_words",
+    "netlists_equivalent",
+]

@@ -11,6 +11,7 @@ by structural benchmark generators.
 from __future__ import annotations
 
 import enum
+import random
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..truth import TruthTable, table_mask
@@ -355,3 +356,49 @@ class Netlist:
             f"Netlist({self.name!r}, inputs={s['inputs']}, "
             f"outputs={s['outputs']}, gates={s['gates']})"
         )
+
+
+NETLIST_EXHAUSTIVE_LIMIT = 12
+NETLIST_RANDOM_VECTORS = 256
+
+
+def netlists_equivalent(
+    first: Netlist,
+    second: Netlist,
+    *,
+    exhaustive_limit: int = NETLIST_EXHAUSTIVE_LIMIT,
+    num_vectors: int = NETLIST_RANDOM_VECTORS,
+    seed: int = 0x10BF,
+) -> bool:
+    """Check two netlists compute the same function.
+
+    Inputs and outputs are matched *positionally* (declaration order),
+    which is the contract every format writer/reader pair preserves.
+    Small interfaces are compared exhaustively; larger ones with a
+    seeded batch of random vectors plus the all-0/all-1 corners.
+    """
+    if len(first.inputs) != len(second.inputs):
+        return False
+    if len(first.outputs) != len(second.outputs):
+        return False
+    num_inputs = len(first.inputs)
+    if num_inputs <= exhaustive_limit:
+        return first.truth_tables() == second.truth_tables()
+    rng = random.Random(seed)
+    mask = (1 << (num_vectors + 2)) - 1
+    corner_bits = 1  # vector 0 all-zeros, vector 1 all-ones
+    words = [
+        (rng.getrandbits(num_vectors) << 2) | (corner_bits << 1)
+        for _ in range(num_inputs)
+    ]
+    first_words = {
+        name: word for name, word in zip(first.inputs, words)
+    }
+    second_words = {
+        name: word for name, word in zip(second.inputs, words)
+    }
+    first_out = first.simulate_words(first_words, mask)
+    second_out = second.simulate_words(second_words, mask)
+    first_values = [first_out[name] for name in first.outputs]
+    second_values = [second_out[name] for name in second.outputs]
+    return first_values == second_values

@@ -12,7 +12,14 @@ from .isa import (
     WriteCopy,
     WriteLiteral,
 )
-from .array import ExecutionError, RramArray, run_program
+from .array import ExecutionError, RramArray, SenseTrace, run_program, run_program_traced
+from .faults import (
+    FAULT_CLASSES,
+    FaultCampaignStats,
+    FaultModel,
+    FaultVerdict,
+    enumerate_fault_models,
+)
 from .gadgets import (
     IMP_GADGET_DEVICES,
     IMP_GADGET_STEPS,
@@ -24,6 +31,8 @@ from .compiler import CompilationError, CompilationReport, compile_mig
 from .plim import PlimReport, compile_plim
 from .energy import EnergyReport, measure_energy
 from .verify import (
+    clean_references,
+    probe_fault,
     verification_vectors,
     verify_compiled,
     verify_compiled_or_raise,
@@ -42,7 +51,14 @@ __all__ = [
     "WriteLiteral",
     "ExecutionError",
     "RramArray",
+    "SenseTrace",
     "run_program",
+    "run_program_traced",
+    "FAULT_CLASSES",
+    "FaultCampaignStats",
+    "FaultModel",
+    "FaultVerdict",
+    "enumerate_fault_models",
     "IMP_GADGET_DEVICES",
     "IMP_GADGET_STEPS",
     "MAJ_GADGET_DEVICES",
@@ -55,6 +71,8 @@ __all__ = [
     "compile_plim",
     "EnergyReport",
     "measure_energy",
+    "clean_references",
+    "probe_fault",
     "verification_vectors",
     "verify_compiled",
     "verify_compiled_or_raise",

@@ -4,13 +4,25 @@ Executes compiled :class:`~repro.rram.isa.Program` objects on a vector
 of behavioural :class:`~repro.rram.device.RramDevice` models, enforcing
 the simultaneity semantics of a step (all sensing happens before any
 switching) and the write-once-per-step discipline.
+
+Fault injection and tracing
+---------------------------
+An optional :class:`~repro.rram.faults.FaultModel` degrades execution
+(stuck devices, dropped writes, mis-sensed reads); an optional sense
+trace records the values every op actually observed, step by step.
+Comparing the traces of a clean and a faulty run tells whether a fault
+was *exercised* even when the primary outputs happen to mask it — the
+measurement :mod:`repro.fuzz` builds its detector-sensitivity numbers
+on.  Both features are strictly opt-in: without them the executor runs
+the original code paths.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .device import RramDevice
+from .faults import FaultModel
 from .isa import (
     Imp,
     IntrinsicMaj,
@@ -22,6 +34,10 @@ from .isa import (
     WriteLiteral,
 )
 
+#: A sense trace: per executed step, the values sensed by its ops in
+#: op order (one entry per read slot; see :meth:`Step.read_devices`).
+SenseTrace = List[Tuple[bool, ...]]
+
 
 class ExecutionError(RuntimeError):
     """Raised when a program violates array semantics at run time."""
@@ -30,11 +46,22 @@ class ExecutionError(RuntimeError):
 class RramArray:
     """A bank of RRAM devices executing micro-programs step by step."""
 
-    def __init__(self, num_devices: int) -> None:
+    def __init__(
+        self,
+        num_devices: int,
+        *,
+        fault_model: Optional[FaultModel] = None,
+        record_trace: bool = False,
+    ) -> None:
+        stuck = fault_model.stuck_map if fault_model is not None else {}
         self.devices: List[RramDevice] = [
-            RramDevice() for _ in range(num_devices)
+            RramDevice(stuck_at=stuck.get(index))
+            for index in range(num_devices)
         ]
         self.steps_executed = 0
+        self.fault_model = fault_model
+        self.trace: SenseTrace = []
+        self._record_trace = record_trace
 
     def state(self, index: int) -> bool:
         """Sense one device."""
@@ -54,8 +81,22 @@ class RramArray:
             raise ExecutionError("a device is written twice within one step")
         # All reads observe the pre-step state.
         snapshot = [device.state for device in self.devices]
-        for op in step.ops:
+        fault = self.fault_model
+        step_index = self.steps_executed
+        if fault is not None and fault.sense_flips:
+            for flip_step, device in fault.sense_flips:
+                if flip_step == step_index and device < len(snapshot):
+                    snapshot[device] = not snapshot[device]
+        dropped = fault.dropped_writes if fault is not None else ()
+        sensed: List[bool] = []
+        for op_index, op in enumerate(step.ops):
+            if self._record_trace:
+                _trace_op_reads(op, snapshot, sensed)
+            if dropped and (step_index, op_index) in dropped:
+                continue
             self._apply(op, snapshot, inputs)
+        if self._record_trace:
+            self.trace.append(tuple(sensed))
         self.steps_executed += 1
 
     def _apply(
@@ -89,19 +130,58 @@ class RramArray:
             raise ExecutionError(f"unknown micro-op {op!r}")
 
 
-def run_program(program: Program, input_values: Sequence[bool]) -> List[bool]:
+def _trace_op_reads(
+    op: MicroOp, snapshot: Sequence[bool], sensed: List[bool]
+) -> None:
+    """Append the values ``op`` senses (in read-slot order)."""
+    if isinstance(op, (WriteCopy, Imp)):
+        sensed.append(snapshot[op.src])
+    elif isinstance(op, IntrinsicMaj):
+        sensed.append(snapshot[op.p])
+        sensed.append(snapshot[op.q])
+
+
+def run_program(
+    program: Program,
+    input_values: Sequence[bool],
+    *,
+    fault_model: Optional[FaultModel] = None,
+) -> List[bool]:
     """Execute a program for one input assignment; returns PO values."""
+    outputs, _ = run_program_traced(
+        program, input_values, fault_model=fault_model, record_trace=False
+    )
+    return outputs
+
+
+def run_program_traced(
+    program: Program,
+    input_values: Sequence[bool],
+    *,
+    fault_model: Optional[FaultModel] = None,
+    record_trace: bool = True,
+) -> Tuple[List[bool], SenseTrace]:
+    """Execute a program and also return its sense trace.
+
+    The trace lists, per step, every value the step's ops observed —
+    the observable footprint fault exercise is judged against.
+    """
     if len(input_values) != program.num_inputs:
         raise ExecutionError(
             f"program expects {program.num_inputs} inputs, "
             f"got {len(input_values)}"
         )
     program.validate()
-    array = RramArray(program.num_devices)
+    array = RramArray(
+        program.num_devices,
+        fault_model=fault_model,
+        record_trace=record_trace,
+    )
     inputs = [bool(v) for v in input_values]
     for step in program.steps:
         array.execute_step(step, inputs)
-    return [
+    outputs = [
         array.state(program.output_devices[po_index])
         for po_index in sorted(program.output_devices)
     ]
+    return outputs, array.trace

@@ -15,9 +15,21 @@ P == Q       (VCOND)      R   (hold)
 
 which is exactly the *intrinsic majority* ``R' = M(P, !Q, R)`` — the
 observation the paper's MAJ realization exploits.
+
+Fault support
+-------------
+A device may optionally be declared *stuck* (``stuck_at=True`` models a
+cell welded into LRS by a forming failure, ``stuck_at=False`` one that
+can no longer be SET).  A stuck device senses its stuck value and
+ignores every switching pulse; the fault-injection harness
+(:mod:`repro.rram.faults`) uses this to measure how reliably the
+functional verifier catches silicon defects.  The default
+(``stuck_at=None``) is byte-for-byte the original fault-free behaviour.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 def next_state(p: bool, q: bool, r: bool) -> bool:
@@ -29,15 +41,21 @@ def next_state(p: bool, q: bool, r: bool) -> bool:
 class RramDevice:
     """One resistive switch with an event-counted state."""
 
-    __slots__ = ("state", "writes")
+    __slots__ = ("state", "writes", "stuck_at")
 
-    def __init__(self, state: bool = False) -> None:
-        self.state = bool(state)
+    def __init__(
+        self, state: bool = False, stuck_at: Optional[bool] = None
+    ) -> None:
+        self.stuck_at = stuck_at
+        self.state = bool(state) if stuck_at is None else stuck_at
         self.writes = 0
 
     def apply(self, p: bool, q: bool) -> bool:
         """Apply electrode levels for one step; returns the new state."""
-        self.state = next_state(p, q, self.state)
+        if self.stuck_at is None:
+            self.state = next_state(p, q, self.state)
+        else:
+            self.state = self.stuck_at
         self.writes += 1
         return self.state
 

@@ -1,0 +1,189 @@
+"""Opt-in fault models for the RRAM array executor.
+
+The synthesis flow proves programs correct against ideal device
+physics; this module asks the complementary question: *if the silicon
+misbehaves, does the functional verifier notice?*  Four single-fault
+classes are modelled, each a plausible RRAM defect:
+
+``stuck-set`` / ``stuck-reset``
+    A device welded into LRS (logic 1) or HRS (logic 0).  It senses its
+    stuck value and ignores every switching pulse.
+``dropped-write``
+    One micro-op of one step silently fails to switch its destination
+    (a pulse of insufficient amplitude/duration); the device keeps its
+    previous state.
+``sense-flip``
+    The sense amplifier misreads one device during one step: every op
+    of that step sensing the device observes the inverted value.
+
+A :class:`FaultModel` bundles any number of such faults and is accepted
+by :class:`repro.rram.array.RramArray` and
+:func:`repro.rram.array.run_program`; with no model attached the
+executor takes the original fault-free paths.
+
+:func:`enumerate_fault_models` yields every single-fault model of one
+class for a compiled program — the site list the fuzzing harness
+(:mod:`repro.fuzz.harness`) sweeps when measuring detector sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from .isa import Program
+
+#: The fault classes understood by :func:`enumerate_fault_models`.
+FAULT_CLASSES: Tuple[str, ...] = (
+    "stuck-set",
+    "stuck-reset",
+    "dropped-write",
+    "sense-flip",
+)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """An immutable set of injected faults for one execution.
+
+    ``stuck`` maps device index → stuck logic value; ``dropped_writes``
+    holds ``(step_index, op_index)`` pairs whose write is suppressed;
+    ``sense_flips`` holds ``(step_index, device)`` pairs whose sensed
+    value is inverted throughout that step.
+    """
+
+    stuck: Tuple[Tuple[int, bool], ...] = ()
+    dropped_writes: FrozenSet[Tuple[int, int]] = frozenset()
+    sense_flips: FrozenSet[Tuple[int, int]] = frozenset()
+    #: Human-readable provenance, e.g. ``"stuck-set@dev3"``.
+    label: str = ""
+
+    @staticmethod
+    def stuck_at(device: int, value: bool) -> "FaultModel":
+        """A single stuck-at fault on ``device``."""
+        kind = "stuck-set" if value else "stuck-reset"
+        return FaultModel(
+            stuck=((device, value),), label=f"{kind}@dev{device}"
+        )
+
+    @staticmethod
+    def dropped_write(step: int, op: int) -> "FaultModel":
+        """A single suppressed write: op ``op`` of step ``step``."""
+        return FaultModel(
+            dropped_writes=frozenset({(step, op)}),
+            label=f"dropped-write@s{step}.op{op}",
+        )
+
+    @staticmethod
+    def sense_flip(step: int, device: int) -> "FaultModel":
+        """A single mis-sense of ``device`` during step ``step``."""
+        return FaultModel(
+            sense_flips=frozenset({(step, device)}),
+            label=f"sense-flip@s{step}.dev{device}",
+        )
+
+    @property
+    def stuck_map(self) -> Dict[int, bool]:
+        """``stuck`` as a dict (the executor's lookup form)."""
+        return dict(self.stuck)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serializable description (for repro bundles)."""
+        return {
+            "label": self.label,
+            "stuck": [[d, v] for d, v in self.stuck],
+            "dropped_writes": sorted(self.dropped_writes),
+            "sense_flips": sorted(self.sense_flips),
+        }
+
+
+@dataclass
+class FaultVerdict:
+    """Outcome of probing one fault model against one program.
+
+    ``detected``  — some verification vector produced wrong outputs;
+    ``exercised`` — the fault visibly corrupted at least one sensed or
+    output value (a fault can be exercised yet *masked* at the outputs
+    on every vector — exactly the misses the harness must report);
+    ``latent``    — the fault never changed any observable value, so no
+    functional test could possibly see it (excluded from sensitivity).
+    """
+
+    model: FaultModel
+    detected: bool = False
+    exercised: bool = False
+    vectors_run: int = 0
+
+    @property
+    def missed(self) -> bool:
+        """Exercised but never caught — a verification escape."""
+        return self.exercised and not self.detected
+
+    @property
+    def latent(self) -> bool:
+        return not self.exercised
+
+
+@dataclass
+class FaultCampaignStats:
+    """Aggregated sensitivity numbers over one sweep of fault sites."""
+
+    fault_class: str
+    detected: int = 0
+    missed: int = 0
+    latent: int = 0
+    misses: List[FaultVerdict] = field(default_factory=list)
+
+    @property
+    def sites(self) -> int:
+        return self.detected + self.missed + self.latent
+
+    @property
+    def detection_rate(self) -> float:
+        """Detected fraction of the *exercisable* faults (latent ones
+        are invisible to any functional test and excluded, the standard
+        fault-simulation convention)."""
+        exercised = self.detected + self.missed
+        if exercised == 0:
+            return 1.0
+        return self.detected / exercised
+
+    def merge(self, other: "FaultCampaignStats") -> None:
+        self.detected += other.detected
+        self.missed += other.missed
+        self.latent += other.latent
+        self.misses.extend(other.misses)
+
+
+def enumerate_fault_models(
+    program: Program, fault_class: str
+) -> List[FaultModel]:
+    """Every single-fault model of ``fault_class`` for ``program``.
+
+    Site spaces: one per device for the stuck classes, one per written
+    micro-op for ``dropped-write``, one per (step, sensed device) pair
+    for ``sense-flip``.
+    """
+    if fault_class == "stuck-set":
+        return [
+            FaultModel.stuck_at(d, True) for d in range(program.num_devices)
+        ]
+    if fault_class == "stuck-reset":
+        return [
+            FaultModel.stuck_at(d, False) for d in range(program.num_devices)
+        ]
+    if fault_class == "dropped-write":
+        return [
+            FaultModel.dropped_write(step_index, op_index)
+            for step_index, step in enumerate(program.steps)
+            for op_index in range(len(step.ops))
+        ]
+    if fault_class == "sense-flip":
+        return [
+            FaultModel.sense_flip(step_index, device)
+            for step_index, step in enumerate(program.steps)
+            for device in sorted(set(step.read_devices()))
+        ]
+    raise ValueError(
+        f"unknown fault class {fault_class!r}; expected one of {FAULT_CLASSES}"
+    )

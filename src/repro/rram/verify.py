@@ -5,16 +5,23 @@ and checks every probed input assignment against the MIG's reference
 simulation.  This closes the loop between the synthesis layer and the
 hardware model: a program that passes computes the right function *by
 construction of the device physics*, not by trusting the compiler.
+
+:func:`probe_fault` additionally measures the verifier as a *detector*:
+it replays the same vectors with a fault model attached and classifies
+the fault as detected, missed (exercised but masked at every output),
+or latent — the per-site primitive behind the fault-injection campaign
+of :mod:`repro.fuzz.harness`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..mig import Mig
-from .array import run_program
+from .array import SenseTrace, run_program, run_program_traced
 from .compiler import CompilationReport
+from .faults import FaultModel, FaultVerdict
 
 EXHAUSTIVE_LIMIT = 10
 DEFAULT_SAMPLES = 64
@@ -60,6 +67,46 @@ def verify_compiled(
             return False
         del word
     return True
+
+
+def clean_references(
+    program, vectors: Sequence[Sequence[bool]]
+) -> List[Tuple[List[bool], SenseTrace]]:
+    """Fault-free (outputs, sense trace) per vector, computed once so a
+    fault-site sweep can reuse them across hundreds of probes."""
+    return [
+        run_program_traced(program, list(vector)) for vector in vectors
+    ]
+
+
+def probe_fault(
+    report: CompilationReport,
+    fault_model: FaultModel,
+    vectors: Sequence[Sequence[bool]],
+    references: Optional[Sequence[Tuple[List[bool], SenseTrace]]] = None,
+) -> FaultVerdict:
+    """Replay the verification vectors with ``fault_model`` injected.
+
+    Detected — outputs diverge from the fault-free run on some vector
+    (the probe stops there, as a verifier would).  Exercised — some
+    sensed value diverged even though outputs matched.  Neither —
+    latent: the fault never altered an observable value.
+    """
+    if references is None:
+        references = clean_references(report.program, vectors)
+    verdict = FaultVerdict(model=fault_model)
+    for vector, (clean_outputs, clean_trace) in zip(vectors, references):
+        outputs, trace = run_program_traced(
+            report.program, list(vector), fault_model=fault_model
+        )
+        verdict.vectors_run += 1
+        if outputs != clean_outputs:
+            verdict.detected = True
+            verdict.exercised = True
+            break
+        if trace != clean_trace:
+            verdict.exercised = True
+    return verdict
 
 
 def verify_compiled_or_raise(mig: Mig, report: CompilationReport) -> None:

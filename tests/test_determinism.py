@@ -1,0 +1,86 @@
+"""Same seed, same everything.
+
+The synthesis stack must be bit-for-bit reproducible: two runs of the
+same flow with the same seed have to emit identical cost reports and
+identical compiled programs, down to dataclass equality of every step.
+This is what makes fuzz bundles replayable and results/ regenerable.
+"""
+
+from repro.benchmarks import load_netlist
+from repro.cli import main
+from repro.fuzz import FuzzConfig, case_netlist, run_fuzz
+from repro.mig import (
+    Realization,
+    anneal_complements,
+    mig_from_netlist,
+    optimize_rram,
+    rram_costs,
+)
+from repro.rram import compile_mig
+
+
+def _synth_once(name, realization, effort):
+    mig = mig_from_netlist(load_netlist(name))
+    optimize_rram(mig, realization, effort)
+    report = compile_mig(mig, realization)
+    return rram_costs(mig, realization), report
+
+
+class TestFlowDeterminism:
+    def test_identical_programs_and_costs(self):
+        for realization in (Realization.IMP, Realization.MAJ):
+            first_costs, first = _synth_once("misex1", realization, 8)
+            second_costs, second = _synth_once("misex1", realization, 8)
+            assert first_costs == second_costs
+            assert first.analytic == second.analytic
+            assert first.measured_steps == second.measured_steps
+            assert first.program == second.program  # step-for-step
+
+    def test_annealing_is_seeded(self):
+        runs = []
+        for _ in range(2):
+            mig = mig_from_netlist(load_netlist("rd53f1"))
+            anneal_complements(
+                mig, Realization.MAJ, iterations=200, seed=7
+            )
+            runs.append(rram_costs(mig, Realization.MAJ))
+        assert runs[0] == runs[1]
+
+    def test_cli_synth_output_is_stable(self, capsys):
+        outputs = []
+        for _ in range(2):
+            code = main([
+                "synth", "xor5_d", "--algorithm", "rram",
+                "--effort", "8", "--compile", "--verify",
+            ])
+            assert code == 0
+            out = capsys.readouterr().out
+            # Runtime wall-clock is the one legitimately varying line.
+            outputs.append(
+                "\n".join(
+                    line for line in out.splitlines()
+                    if not line.startswith("runtime")
+                )
+            )
+        assert outputs[0] == outputs[1]
+
+
+class TestFuzzDeterminism:
+    def test_case_generation_is_pure_in_seed(self):
+        for kind in ("mig", "table", "gates"):
+            first = case_netlist(kind, 1234)
+            second = case_netlist(kind, 1234)
+            assert first.truth_tables() == second.truth_tables()
+            assert first.stats() == second.stats()
+
+    def test_campaigns_agree_case_for_case(self, tmp_path):
+        reports = [
+            run_fuzz(FuzzConfig(
+                seconds=120.0, seed=9, max_cases=6,
+                out_dir=str(tmp_path / f"run{i}"),
+            ))
+            for i in range(2)
+        ]
+        assert reports[0].cases_run == reports[1].cases_run == 6
+        assert reports[0].failures == reports[1].failures == []
+        assert reports[0].cases_by_kind == reports[1].cases_by_kind

@@ -1,0 +1,100 @@
+"""The campaign driver and its ``repro-synth fuzz`` front-end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import FuzzConfig, FuzzReport, run_fuzz
+from repro.rram import FAULT_CLASSES
+
+
+class TestRunFuzz:
+    def test_differential_smoke(self, tmp_path):
+        report = run_fuzz(FuzzConfig(
+            seconds=60.0, seed=5, max_cases=4,
+            out_dir=str(tmp_path),
+        ))
+        assert report.cases_run == 4
+        assert report.failures == []
+        assert report.bundles == []
+        assert report.ok
+        assert report.profile["oracle"] > 0
+        # All three generator kinds got a turn.
+        assert set(report.cases_by_kind) == {"mig", "table", "gates"}
+
+    def test_fault_campaign_meets_floor_and_bundles_misses(self, tmp_path):
+        report = run_fuzz(FuzzConfig(
+            seconds=60.0, seed=3, max_cases=4, max_fault_sites=20,
+            fault_classes=FAULT_CLASSES, out_dir=str(tmp_path),
+            shrink_seconds=2.0,
+        ))
+        assert report.cases_run == 4
+        assert set(report.fault_stats) == set(FAULT_CLASSES)
+        summary = report.detection_summary()
+        for fault_class in FAULT_CLASSES:
+            row = summary[fault_class]
+            assert row["sites"] > 0
+            assert row["detection_rate"] >= 0.95, row
+        # Every verification escape produced a repro bundle.
+        total_missed_bundles = sum(
+            1 for stats in report.fault_stats.values() if stats.misses
+        )
+        assert len(report.bundles) >= (1 if total_missed_bundles else 0)
+        for bundle in report.bundles:
+            payload = json.loads(open(f"{bundle}/repro.json").read())
+            assert payload["failure"]["check"].startswith("fault-miss:")
+            assert payload["fault"]["missed_sites"]
+
+    def test_rejects_unknown_fault_class(self):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            run_fuzz(FuzzConfig(fault_classes=("gremlins",)))
+
+    def test_report_ok_reflects_detection_floor(self):
+        report = FuzzReport(config=FuzzConfig(min_detection=0.95))
+        from repro.rram import FaultCampaignStats
+
+        report.fault_stats["stuck-set"] = FaultCampaignStats(
+            "stuck-set", detected=1, missed=1
+        )
+        assert not report.ok  # 50% < 95%
+        report.fault_stats["stuck-set"] = FaultCampaignStats(
+            "stuck-set", detected=20, missed=1
+        )
+        assert report.ok
+
+
+class TestFuzzCli:
+    def test_differential_run_passes(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seconds", "2", "--seed", "1", "--max-cases", "3",
+            "--out-dir", str(tmp_path), "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode         : differential" in out
+        assert "verdict      : PASS" in out
+        assert "profile" in out
+
+    def test_fault_run_reports_rates(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seconds", "2", "--seed", "1", "--max-cases", "2",
+            "--fault-classes", "stuck-set",
+            "--out-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode         : fault-injection" in out
+        assert "stuck-set" in out
+        assert "floor 95%" in out
+
+    def test_all_faults_flag(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seconds", "2", "--seed", "2", "--max-cases", "1",
+            "--all-faults", "--out-dir", str(tmp_path),
+            "--shrink-seconds", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        for fault_class in FAULT_CLASSES:
+            assert fault_class in out

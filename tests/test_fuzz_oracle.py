@@ -1,0 +1,85 @@
+"""The differential oracle: clean circuits pass, planted bugs trip it."""
+
+import pytest
+
+from repro.fuzz import CHECKS, OracleFailure, case_circuit, check_case
+from repro.mig import Mig, mig_from_netlist, signal_not
+from repro.network import GateType, Netlist
+
+
+def _xor_netlist():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    netlist.add_gate("f", GateType.XOR, [a, b])
+    netlist.set_output("f")
+    return netlist
+
+
+class TestCleanCases:
+    @pytest.mark.parametrize("kind", ("mig", "table", "gates"))
+    def test_generated_cases_pass(self, kind):
+        netlist, mig = case_circuit(kind, 42)
+        assert check_case(netlist, mig, effort=3) is None
+
+    def test_trivial_netlist_passes(self):
+        assert check_case(_xor_netlist()) is None
+
+    def test_mig_with_dead_nodes_passes(self):
+        netlist, mig = case_circuit("mig", 4207)
+        assert mig is not None
+        assert check_case(netlist, mig, effort=3) is None
+
+
+class TestPlantedBugs:
+    def test_wrong_mig_is_caught(self):
+        # Hand the oracle a MIG computing a *different* function than
+        # the netlist: the very first cross-representation check, or at
+        # the latest a flow check, must fire.
+        netlist = _xor_netlist()
+        wrong = Mig("t")
+        a = wrong.add_pi("a")
+        b = wrong.add_pi("b")
+        wrong.add_po(wrong.make_and(a, b), "f")  # AND, not XOR
+        failure = check_case(netlist, wrong)
+        assert failure is not None
+        assert isinstance(failure, OracleFailure)
+
+    def test_failure_names_a_known_check(self):
+        # An XNOR MIG against the XOR netlist: one complemented output.
+        netlist = _xor_netlist()
+        reference = mig_from_netlist(netlist)
+        wrong = Mig("t")
+        a = wrong.add_pi("a")
+        b = wrong.add_pi("b")
+        wrong.add_po(signal_not(wrong.make_xor(a, b)), "f")
+        assert wrong.truth_tables() != reference.truth_tables()
+        failure = check_case(netlist, wrong)
+        assert failure is not None
+        assert any(
+            failure.check == c or failure.check.startswith(c.split("-")[0])
+            for c in CHECKS
+        )
+        assert failure.describe()["detail"]
+
+
+class TestCheckFiltering:
+    def test_subset_runs_only_requested_checks(self):
+        netlist, mig = case_circuit("mig", 99)
+        # A wrong MIG passes when only an unrelated check is enabled...
+        wrong = Mig("w")
+        a = wrong.add_pi("x0")
+        wrong.add_po(a, "f0")
+        assert (
+            check_case(_xor_netlist(), checks=["plim-exec"]) is None
+        )
+        # ...and still fails when its own check is enabled.
+        assert check_case(netlist, mig, checks=["xrep-mig"]) is None
+
+    def test_prefix_matching_for_guarded_groups(self):
+        # A crash inside the representation block is attributed to
+        # "xrep"; re-running with the specific sub-check enabled must
+        # still execute the block (prefix-tolerant matching).
+        netlist = _xor_netlist()
+        assert check_case(netlist, checks=["xrep-bdd"]) is None
+        assert check_case(netlist, checks=["xrep"]) is None

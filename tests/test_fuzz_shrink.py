@@ -1,0 +1,108 @@
+"""Delta-debugging shrinker and repro-bundle serialization."""
+
+import json
+
+import pytest
+
+from repro.fuzz import case_netlist, shrink_netlist, write_bundle
+from repro.io import read_blif
+from repro.network import GateType, Netlist, netlists_equivalent
+
+
+def _wide_netlist():
+    """Many independent outputs; only one of them matters."""
+    netlist = Netlist("wide")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    netlist.add_gate("g_and", GateType.AND, [a, b])
+    netlist.add_gate("g_or", GateType.OR, [b, c])
+    netlist.add_gate("g_xor", GateType.XOR, [a, c])
+    netlist.add_gate("g_deep", GateType.NAND, ["g_and", "g_xor"])
+    for name in ("g_and", "g_or", "g_xor", "g_deep"):
+        netlist.set_output(name)
+    return netlist
+
+
+class TestShrink:
+    def test_shrinks_to_single_relevant_output(self):
+        netlist = _wide_netlist()
+
+        def fails(candidate):
+            # "Bug" fires whenever the circuit still contains an XOR.
+            return any(
+                g.gate_type is GateType.XOR for g in candidate.gates()
+            )
+
+        shrunk = shrink_netlist(netlist, fails, max_seconds=10)
+        assert fails(shrunk)
+        assert len(shrunk.outputs) < len(netlist.outputs)
+        assert shrunk.num_gates < netlist.num_gates
+
+    def test_result_always_satisfies_predicate(self):
+        netlist = case_netlist("gates", 3141)
+
+        def fails(candidate):
+            return len(candidate.inputs) >= 2
+
+        shrunk = shrink_netlist(netlist, fails, max_seconds=5)
+        assert fails(shrunk)
+        shrunk.validate()
+
+    def test_predicate_exception_treated_as_pass(self):
+        netlist = _wide_netlist()
+        calls = []
+
+        def flaky(candidate):
+            calls.append(candidate.num_gates)
+            if candidate.num_gates < 4:
+                raise RuntimeError("different crash")
+            return True
+
+        shrunk = shrink_netlist(netlist, flaky, max_seconds=5)
+        # Candidates that crashed the predicate were never accepted.
+        assert shrunk.num_gates >= 4
+
+    def test_respects_time_budget(self):
+        import time
+
+        netlist = case_netlist("mig", 777)
+
+        def slow(candidate):
+            time.sleep(0.02)
+            return True
+
+        start = time.perf_counter()
+        shrink_netlist(netlist, slow, max_seconds=0.3)
+        # One in-flight predicate call may overshoot; a runaway loop
+        # would take many times the budget.
+        assert time.perf_counter() - start < 5.0
+
+
+class TestBundles:
+    def test_bundle_contents_roundtrip(self, tmp_path):
+        netlist = case_netlist("gates", 2718)
+        info = {
+            "failure": {"check": "flow-area", "detail": "planted"},
+            "seed": 2718,
+        }
+        bundle_dir = write_bundle(str(tmp_path), "case0001", netlist, info)
+        payload = json.loads(
+            (tmp_path / "case0001" / "repro.json").read_text()
+        )
+        assert payload["failure"]["check"] == "flow-area"
+        assert payload["seed"] == 2718
+        assert payload["circuit"]["inputs"] == len(netlist.inputs)
+        assert payload["files"]["blif"] == "repro.blif"
+        replayed = read_blif(str(tmp_path / "case0001" / "repro.blif"))
+        assert netlists_equivalent(netlist, replayed)
+
+    def test_bundle_json_is_deterministic(self, tmp_path):
+        netlist = case_netlist("table", 11)
+        info = {"failure": {"check": "plim-exec", "detail": "x"}}
+        write_bundle(str(tmp_path / "a"), "case", netlist, info)
+        write_bundle(str(tmp_path / "b"), "case", netlist, info)
+        assert (
+            (tmp_path / "a" / "case" / "repro.json").read_text()
+            == (tmp_path / "b" / "case" / "repro.json").read_text()
+        )

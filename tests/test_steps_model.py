@@ -1,0 +1,63 @@
+"""The paper's step model, checked as a property on real circuits.
+
+Table I gives S = K_S·D + L (K_S = 10 for IMP, 3 for MAJ).  For every
+Table II benchmark and both realizations, three independent answers
+must coincide: the analytic formula from ``rram_costs``, the
+incremental :class:`CostView`, and the *measured* step count of the
+compiled micro-program — plus a hypothesis sweep over generated MIGs
+so agreement does not hinge on the benchmark corpus.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks import large_names, load_netlist
+from repro.fuzz import case_netlist
+from repro.mig import CostView, Realization, mig_from_netlist, rram_costs
+from repro.rram import compile_mig
+
+TABLE2 = large_names()
+REALIZATIONS = (Realization.IMP, Realization.MAJ)
+
+
+@pytest.mark.parametrize("name", TABLE2)
+@pytest.mark.parametrize("realization", REALIZATIONS, ids=lambda r: r.value)
+def test_steps_model_on_table2(name, realization):
+    mig = mig_from_netlist(load_netlist(name))
+    analytic = rram_costs(mig, realization)
+
+    # The closed form itself.
+    assert analytic.steps == (
+        realization.steps_per_level * analytic.depth
+        + analytic.levels_with_complements
+    )
+
+    # Incremental view agrees with the from-scratch computation.
+    assert CostView(mig).costs(realization) == analytic
+
+    # The compiler's measured schedule length matches the model.
+    report = compile_mig(mig, realization)
+    assert report.analytic == analytic
+    assert report.steps_match_model, (
+        f"{name}/{realization.value}: measured {report.measured_steps} "
+        f"vs model S={analytic.steps}"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    realization=st.sampled_from(REALIZATIONS),
+)
+def test_steps_model_on_generated_circuits(seed, realization):
+    netlist = case_netlist("mig", seed, small=True)
+    mig = mig_from_netlist(netlist)
+    analytic = rram_costs(mig, realization)
+    assert analytic.steps == (
+        realization.steps_per_level * analytic.depth
+        + analytic.levels_with_complements
+    )
+    assert CostView(mig).costs(realization) == analytic
+    report = compile_mig(mig, realization)
+    assert report.steps_match_model
