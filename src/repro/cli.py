@@ -9,9 +9,15 @@ Subcommands
 ``table2``    Reproduce paper Table II (optionally a subset).
 ``table3``    Reproduce paper Table III (``--baseline bdd|aig``).
 ``bench-list``  List the built-in benchmark suites.
+``bench``     Time the whole-set flows / packed-kernel speedups and
+              append a machine-readable entry to ``BENCH_runtime.json``.
 ``fuzz``      Time-budgeted differential fuzzing / fault-injection
               campaign; failures are shrunk to repro bundles under
               ``results/fuzz/``.
+
+Whole-set subcommands accept ``--jobs N`` to shard independent units of
+work (benchmarks, fuzz cases, verification chunks) across worker
+processes; results are bit-identical to ``--jobs 1`` by construction.
 """
 
 from __future__ import annotations
@@ -149,7 +155,16 @@ def _cmd_synth(args: argparse.Namespace) -> int:
                   f"(model S={report.analytic.steps}, "
                   f"match={report.steps_match_model})")
             if args.verify:
-                ok = verify_compiled(mig, report)
+                from .rram.verify import EXHAUSTIVE_LIMIT
+
+                limit = (
+                    args.exhaustive_limit
+                    if args.exhaustive_limit is not None
+                    else EXHAUSTIVE_LIMIT
+                )
+                ok = verify_compiled(
+                    mig, report, exhaustive_limit=limit, jobs=args.jobs
+                )
                 print(f"execution    : {'PASS' if ok else 'FAIL'}")
                 if not ok:
                     return 1
@@ -160,10 +175,21 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from .flows import render_summary, render_table2, run_table2, summarize_table2
 
     names = args.benchmarks or None
-    result = run_table2(names, effort=args.effort, verify=args.verify)
+    result = run_table2(
+        names, effort=args.effort, verify=args.verify, jobs=args.jobs
+    )
     print(render_table2(result, with_paper=not args.no_paper))
     print()
     print(render_summary(summarize_table2(result), with_paper=not args.no_paper))
+    if args.profile:
+        merged = result.merged_profile()
+        if not merged:
+            print("\nprofile      : (no cost-view counters recorded)")
+        else:
+            print("\nprofile      : cost-view counters summed over all "
+                  "cells (and workers)")
+            for key in sorted(merged):
+                print(f"  {key:<18s}: {merged[key]}")
     return 0
 
 
@@ -172,9 +198,13 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
     names = args.benchmarks or None
     if args.baseline == "bdd":
-        result = run_table3_bdd(names, effort=args.effort, verify=args.verify)
+        result = run_table3_bdd(
+            names, effort=args.effort, verify=args.verify, jobs=args.jobs
+        )
     else:
-        result = run_table3_aig(names, effort=args.effort, verify=args.verify)
+        result = run_table3_aig(
+            names, effort=args.effort, verify=args.verify, jobs=args.jobs
+        )
     print(render_table3(result, with_paper=not args.no_paper))
     return 0
 
@@ -260,6 +290,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_cases=args.max_cases,
         shrink_seconds=args.shrink_seconds,
         min_detection=args.min_detection,
+        jobs=args.jobs,
     )
     report = run_fuzz(config)
 
@@ -306,6 +337,38 @@ def _cmd_bench_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .flows.bench import append_bench_entry, bench_fuzz_smoke, bench_table2
+
+    entries = []
+    if args.what in ("table2", "all"):
+        print(f"timing whole-set Table II flow (effort={args.effort}, "
+              f"jobs={args.jobs}) ...")
+        entries.append(
+            bench_table2(
+                args.benchmarks or None, effort=args.effort, jobs=args.jobs
+            )
+        )
+    if args.what in ("fuzz-smoke", "all"):
+        print("timing packed vs scalar verification on the fuzz smoke "
+              "corpus ...")
+        entries.append(bench_fuzz_smoke(jobs=args.jobs))
+    for entry in entries:
+        if not args.no_append:
+            append_bench_entry(entry, args.output)
+        if entry["kind"] == "table2":
+            print(f"table2       : {entry['seconds']}s over "
+                  f"{entry['benchmarks']} benchmarks (jobs={entry['jobs']})")
+        else:
+            print(f"fuzz-smoke   : packed {entry['packed_seconds']}s vs "
+                  f"scalar {entry['scalar_seconds']}s = "
+                  f"{entry['speedup']}x over {entry['programs']} programs")
+    if not args.no_append:
+        print(f"appended {len(entries)} entr"
+              f"{'y' if len(entries) == 1 else 'ies'} to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-synth`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -348,6 +411,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="report incremental cost-view counters (recomputes, delta "
         "updates, cache hits, moves tried/accepted)",
     )
+    synth.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for exhaustive --verify of the compiled "
+        "program (default 1 = inline)",
+    )
+    synth.add_argument(
+        "--exhaustive-limit", type=int, default=None,
+        help="widest interface verified exhaustively instead of by "
+        "sampling (default 10; hard cap 24 — beyond it verification "
+        "refuses with a clear error)",
+    )
     synth.set_defaults(func=_cmd_synth)
 
     table2 = sub.add_parser("table2", help="reproduce paper Table II")
@@ -356,6 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--verify", action="store_true")
     table2.add_argument("--no-paper", action="store_true",
                         help="omit the published reference rows")
+    table2.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (benchmark-sharded; output is "
+        "bit-identical to --jobs 1)",
+    )
+    table2.add_argument(
+        "--profile", action="store_true",
+        help="report cost-view counters summed over all cells/workers",
+    )
     table2.set_defaults(func=_cmd_table2)
 
     table3 = sub.add_parser("table3", help="reproduce paper Table III")
@@ -364,6 +447,11 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--effort", type=int, default=40)
     table3.add_argument("--verify", action="store_true")
     table3.add_argument("--no-paper", action="store_true")
+    table3.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (benchmark-sharded; output is "
+        "bit-identical to --jobs 1)",
+    )
     table3.set_defaults(func=_cmd_table3)
 
     report = sub.add_parser(
@@ -385,6 +473,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_list = sub.add_parser("bench-list", help="list built-in benchmarks")
     bench_list.set_defaults(func=_cmd_bench_list)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time whole-set flows and packed-kernel speedups, appending "
+        "a machine-readable entry to BENCH_runtime.json",
+    )
+    bench.add_argument("benchmarks", nargs="*",
+                       help="Table II subset for the table2 timing")
+    bench.add_argument(
+        "--what", choices=["table2", "fuzz-smoke", "all"], default="all",
+        help="which measurement to run (default all)",
+    )
+    bench.add_argument("--effort", type=int, default=10,
+                       help="optimizer effort for the table2 timing")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the timed flows")
+    bench.add_argument("--output", default="BENCH_runtime.json",
+                       help="bench file to append to")
+    bench.add_argument("--no-append", action="store_true",
+                       help="measure and print without touching the file")
+    bench.set_defaults(func=_cmd_bench)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -426,7 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--profile", action="store_true",
-        help="report seconds spent per campaign stage",
+        help="report seconds spent per campaign stage (summed across "
+        "workers when --jobs > 1)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for case execution (case verdicts are "
+        "independent of the job count)",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
     return parser
@@ -440,6 +555,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         PlaFormatError,
         VerilogFormatError,
     )
+    from .rram import VerificationCapError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -450,6 +566,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         BlifFormatError,
         PlaFormatError,
         VerilogFormatError,
+        VerificationCapError,
     ) as error:
         print(f"repro-synth: error: {error}", file=sys.stderr)
         return 2

@@ -14,9 +14,13 @@ from .experiments import (
     run_table3_bdd,
     summarize_table2,
 )
+from .bench import append_bench_entry, bench_fuzz_smoke, bench_table2
 from .render import render_summary, render_table2, render_table3
 
 __all__ = [
+    "append_bench_entry",
+    "bench_fuzz_smoke",
+    "bench_table2",
     "DEFAULT_EFFORT",
     "BaselineRow",
     "ConfigResult",

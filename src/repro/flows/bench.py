@@ -1,0 +1,151 @@
+"""Machine-readable runtime benchmarking behind ``repro-synth bench``.
+
+Two measurements, both appended to ``BENCH_runtime.json`` as entries
+under an ``"entries"`` list (existing keys in the file are preserved,
+so historical records like ``baseline_pre_costview`` survive):
+
+* **table2** — wall-clock of the whole-set Table II flow at a given
+  effort and job count, with the CostView profile counters merged
+  across every (benchmark, config) cell.
+* **fuzz-smoke** — the packed-kernel speedup claim: functional
+  verification of compiled programs over the fuzz smoke corpus, timed
+  once through the bit-packed engine (:func:`repro.rram.verify_window`)
+  and once through the per-assignment scalar device simulator
+  (:func:`repro.rram.run_program`), asserting identical verdicts and
+  recording the ratio.
+
+Entries are plain dicts so downstream tooling (CI trend checks,
+EXPERIMENTS.md tables) can consume them without importing this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+DEFAULT_BENCH_PATH = "BENCH_runtime.json"
+
+
+def _machine_info() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def bench_table2(
+    names: Optional[Sequence[str]] = None,
+    *,
+    effort: int = 10,
+    jobs: int = 1,
+    verify: bool = False,
+) -> Dict[str, object]:
+    """Time the whole-set Table II flow; returns one bench entry."""
+    from .experiments import run_table2
+
+    start = time.perf_counter()
+    result = run_table2(list(names) if names else None, effort=effort,
+                        verify=verify, jobs=jobs)
+    seconds = time.perf_counter() - start
+    return {
+        "kind": "table2",
+        "seconds": round(seconds, 3),
+        "effort": effort,
+        "jobs": jobs,
+        "benchmarks": len(result.rows),
+        "profile": result.merged_profile(),
+        **_machine_info(),
+    }
+
+
+def _scalar_mismatch(program, mig) -> int:
+    """Reference per-assignment sweep: first mismatch or -1.
+
+    Deliberately the pre-packing implementation shape — one device-level
+    :func:`repro.rram.run_program` replay per assignment — kept here so
+    the speedup of the packed engine is measured against the real
+    former hot path, and so ``bench`` re-checks verdict agreement
+    between the two executors on every run.
+    """
+    from ..rram import run_program
+
+    num_inputs = mig.num_pis
+    for assignment in range(1 << num_inputs):
+        vector = [bool((assignment >> i) & 1) for i in range(num_inputs)]
+        words = [1 if bit else 0 for bit in vector]
+        expected = [bool(w & 1) for w in mig.simulate_words(words, 1)]
+        if run_program(program, vector) != expected:
+            return assignment
+    return -1
+
+
+def bench_fuzz_smoke(*, jobs: int = 1) -> Dict[str, object]:
+    """Measure packed-vs-scalar verification speedup on the fuzz corpus.
+
+    Compiles every smoke-corpus benchmark for both realizations, then
+    verifies each program exhaustively twice — packed engine vs scalar
+    device simulator — requiring identical verdicts.  Returns one bench
+    entry with both wall-clocks and the speedup ratio.
+    """
+    from ..benchmarks import fuzz_corpus_names, load_netlist
+    from ..mig import Realization, mig_from_netlist
+    from ..rram import compile_mig, find_first_mismatch
+
+    compiled: List = []
+    for name in fuzz_corpus_names():
+        netlist = load_netlist(name)
+        mig = mig_from_netlist(netlist)
+        for realization in (Realization.IMP, Realization.MAJ):
+            compiled.append((name, mig, compile_mig(mig, realization)))
+
+    start = time.perf_counter()
+    packed_verdicts = [
+        find_first_mismatch(mig, report, jobs=jobs) is None
+        for _name, mig, report in compiled
+    ]
+    packed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar_verdicts = [
+        _scalar_mismatch(report.program, mig) < 0
+        for _name, mig, report in compiled
+    ]
+    scalar_seconds = time.perf_counter() - start
+
+    if packed_verdicts != scalar_verdicts:
+        raise AssertionError(
+            "packed and scalar verification disagree on the smoke corpus"
+        )
+    speedup = scalar_seconds / packed_seconds if packed_seconds > 0 else 0.0
+    return {
+        "kind": "fuzz-smoke",
+        "programs": len(compiled),
+        "verdicts_all_pass": all(packed_verdicts),
+        "packed_seconds": round(packed_seconds, 4),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "speedup": round(speedup, 2),
+        "jobs": jobs,
+        **_machine_info(),
+    }
+
+
+def append_bench_entry(
+    entry: Dict[str, object], path: str = DEFAULT_BENCH_PATH
+) -> Dict[str, object]:
+    """Append one entry to the bench file, preserving existing keys."""
+    data: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    entries = data.setdefault("entries", [])
+    if not isinstance(entries, list):  # defensive: never clobber data
+        raise ValueError(f"{path}: 'entries' exists but is not a list")
+    entries.append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data

@@ -6,6 +6,13 @@ configurations over the large benchmark set), ``run_table3_bdd`` and
 compute the aggregate percentages and ratios the paper quotes in
 Sec. IV.  Every run can verify functional equivalence of the optimized
 graphs against the original circuits.
+
+Whole-set runs shard per ``(benchmark, configuration)`` cell across
+worker processes (``jobs > 1``) through the deterministic scheduler in
+:mod:`repro.parallel`: every cell is a pure function of its payload,
+results aggregate in submission order, and worker-side CostView
+profiling counters are summed into the result — so the rendered tables
+are byte-identical for any job count.
 """
 
 from __future__ import annotations
@@ -13,6 +20,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..parallel import merged_counters, run_ordered
+from ..parallel.workers import table2_task, table3_task
 
 from ..aig import aig_from_netlist, aig_rram_costs
 from ..bdd import BddOverflowError, bdd_rram_costs, build_best_order
@@ -64,6 +74,10 @@ class ConfigResult:
     size: int
     runtime_seconds: float
     verified: Optional[bool] = None
+    #: CostView counters of the optimizer run (None when the optimizer
+    #: ran without a view); summed across cells/workers by
+    #: :meth:`Table2Result.merged_profile`.
+    profile: Optional[Dict[str, int]] = None
 
     def as_row(self) -> Tuple[int, int]:
         """``(R, S)`` — the two columns the paper tables report."""
@@ -90,9 +104,62 @@ class Table2Result:
         """Benchmarks included in this run, in table order."""
         return list(self.rows)
 
+    def merged_profile(self) -> Dict[str, int]:
+        """CostView counters summed over every cell (and thus every
+        worker when the run was sharded)."""
+        return merged_counters(
+            [
+                cell.profile
+                for row in self.rows.values()
+                for cell in row.values()
+            ]
+        )
+
+    def total_runtime(self) -> float:
+        """Σ optimizer wall-clock over all cells (CPU-seconds, not
+        elapsed time — the sum is job-count independent)."""
+        return sum(
+            cell.runtime_seconds
+            for row in self.rows.values()
+            for cell in row.values()
+        )
+
 
 def _verify_guard(mig: Mig) -> EquivalenceGuard:
     return EquivalenceGuard(mig, num_vectors=512)
+
+
+def table2_cell(
+    name: str, config: str, effort: int, verify: bool
+) -> ConfigResult:
+    """Compute one Table II cell — pure in its arguments.
+
+    Both the inline path and the pool workers call exactly this
+    function, which is what makes ``jobs=N`` bit-identical to
+    ``jobs=1``.
+    """
+    netlist = load_netlist(name)
+    optimizer, realization = TABLE2_CONFIGS[config]
+    mig = mig_from_netlist(netlist)
+    guard = _verify_guard(mig) if verify else None
+    start = time.perf_counter()
+    opt_result = optimizer(mig, effort)
+    elapsed = time.perf_counter() - start
+    verified = guard.verify() if guard is not None else None
+    if verified is False:
+        raise AssertionError(
+            f"{name}/{config}: optimization changed the function"
+        )
+    costs = rram_costs(mig, realization)
+    return ConfigResult(
+        rrams=costs.rrams,
+        steps=costs.steps,
+        depth=costs.depth,
+        size=costs.size,
+        runtime_seconds=elapsed,
+        verified=verified,
+        profile=getattr(opt_result, "profile", None),
+    )
 
 
 def run_table2(
@@ -101,35 +168,24 @@ def run_table2(
     effort: int = DEFAULT_EFFORT,
     verify: bool = True,
     configs: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> Table2Result:
-    """Reproduce Table II over ``names`` (default: all 25 large)."""
+    """Reproduce Table II over ``names`` (default: all 25 large).
+
+    ``jobs > 1`` shards the (benchmark × configuration) cells across
+    worker processes; the result is bit-identical to ``jobs=1``.
+    """
     result = Table2Result(effort=effort)
     selected_configs = list(configs or TABLE2_CONFIGS)
-    for name in names or large_names():
-        netlist = load_netlist(name)
-        row: Dict[str, ConfigResult] = {}
-        for config in selected_configs:
-            optimizer, realization = TABLE2_CONFIGS[config]
-            mig = mig_from_netlist(netlist)
-            guard = _verify_guard(mig) if verify else None
-            start = time.perf_counter()
-            optimizer(mig, effort)
-            elapsed = time.perf_counter() - start
-            verified = guard.verify() if guard is not None else None
-            if verified is False:
-                raise AssertionError(
-                    f"{name}/{config}: optimization changed the function"
-                )
-            costs = rram_costs(mig, realization)
-            row[config] = ConfigResult(
-                rrams=costs.rrams,
-                steps=costs.steps,
-                depth=costs.depth,
-                size=costs.size,
-                runtime_seconds=elapsed,
-                verified=verified,
-            )
-        result.rows[name] = row
+    selected_names = list(names or large_names())
+    payloads = [
+        (name, config, effort, verify)
+        for name in selected_names
+        for config in selected_configs
+    ]
+    cells = run_ordered(table2_task, payloads, jobs=jobs)
+    for name, config, cell in cells:
+        result.rows.setdefault(name, {})[config] = cell
     return result
 
 
@@ -183,28 +239,23 @@ def _mig_pair(
     return costs.as_row()
 
 
-def run_table3_bdd(
-    names: Optional[Sequence[str]] = None,
+def table3_row(
+    baseline: str,
+    name: str,
+    effort: int,
+    verify: bool,
     *,
-    effort: int = DEFAULT_EFFORT,
-    verify: bool = True,
     node_limit: int = 600_000,
     sift: bool = False,
     sift_size_limit: int = 4000,
-) -> Table3Result:
-    """Table III (left): BDD baseline [11] vs the multi-objective flow.
+) -> BaselineRow:
+    """Compute one Table III row — pure in its arguments (the unit the
+    parallel scheduler shards per benchmark)."""
+    netlist = load_netlist(name)
+    note = ""
+    if baseline == "bdd":
+        from .experiments_sift import maybe_sift
 
-    ``sift=True`` additionally runs dynamic reordering on BDDs of up to
-    ``sift_size_limit`` nodes, giving the baseline the best variable
-    order we can find (the comparison is conservative either way: the
-    default best-of-N static order is what [11]-era flows used).
-    """
-    from .experiments_sift import maybe_sift
-
-    result = Table3Result(baseline="bdd")
-    for name in names or large_names():
-        netlist = load_netlist(name)
-        note = ""
         try:
             manager, roots, _order = build_best_order(
                 netlist, candidates=2, node_limit=node_limit
@@ -220,14 +271,68 @@ def run_table3_bdd(
             baseline_rrams = None
             baseline_steps = 0
             note = f"BDD exceeded {node_limit} nodes"
-        result.rows[name] = BaselineRow(
-            baseline_rrams=baseline_rrams,
-            baseline_steps=baseline_steps,
-            mig_imp=_mig_pair(netlist, Realization.IMP, effort, verify),
-            mig_maj=_mig_pair(netlist, Realization.MAJ, effort, verify),
-            note=note,
-        )
+    elif baseline == "aig":
+        aig = aig_from_netlist(netlist)
+        costs = aig_rram_costs(aig)
+        baseline_rrams = costs.rrams
+        baseline_steps = costs.steps
+    else:
+        raise ValueError(f"unknown baseline {baseline!r}")
+    return BaselineRow(
+        baseline_rrams=baseline_rrams,
+        baseline_steps=baseline_steps,
+        mig_imp=_mig_pair(netlist, Realization.IMP, effort, verify),
+        mig_maj=_mig_pair(netlist, Realization.MAJ, effort, verify),
+        note=note,
+    )
+
+
+def _run_table3(
+    baseline: str,
+    names: Sequence[str],
+    effort: int,
+    verify: bool,
+    jobs: int,
+    opts: Optional[Dict[str, object]] = None,
+) -> Table3Result:
+    result = Table3Result(baseline=baseline)
+    payloads = [
+        (baseline, name, effort, verify, dict(opts or {})) for name in names
+    ]
+    for name, row in run_ordered(table3_task, payloads, jobs=jobs):
+        result.rows[name] = row
     return result
+
+
+def run_table3_bdd(
+    names: Optional[Sequence[str]] = None,
+    *,
+    effort: int = DEFAULT_EFFORT,
+    verify: bool = True,
+    node_limit: int = 600_000,
+    sift: bool = False,
+    sift_size_limit: int = 4000,
+    jobs: int = 1,
+) -> Table3Result:
+    """Table III (left): BDD baseline [11] vs the multi-objective flow.
+
+    ``sift=True`` additionally runs dynamic reordering on BDDs of up to
+    ``sift_size_limit`` nodes, giving the baseline the best variable
+    order we can find (the comparison is conservative either way: the
+    default best-of-N static order is what [11]-era flows used).
+    """
+    return _run_table3(
+        "bdd",
+        list(names or large_names()),
+        effort,
+        verify,
+        jobs,
+        {
+            "node_limit": node_limit,
+            "sift": sift,
+            "sift_size_limit": sift_size_limit,
+        },
+    )
 
 
 def run_table3_aig(
@@ -235,20 +340,12 @@ def run_table3_aig(
     *,
     effort: int = DEFAULT_EFFORT,
     verify: bool = True,
+    jobs: int = 1,
 ) -> Table3Result:
     """Table III (right): AIG baseline [12] vs the multi-objective flow."""
-    result = Table3Result(baseline="aig")
-    for name in names or small_names():
-        netlist = load_netlist(name)
-        aig = aig_from_netlist(netlist)
-        costs = aig_rram_costs(aig)
-        result.rows[name] = BaselineRow(
-            baseline_rrams=costs.rrams,
-            baseline_steps=costs.steps,
-            mig_imp=_mig_pair(netlist, Realization.IMP, effort, verify),
-            mig_maj=_mig_pair(netlist, Realization.MAJ, effort, verify),
-        )
-    return result
+    return _run_table3(
+        "aig", list(names or small_names()), effort, verify, jobs
+    )
 
 
 @dataclass

@@ -15,6 +15,15 @@ Two campaign modes share one time budget and one seed:
 Everything is deterministic in ``(seed, case index)``; the wall-clock
 budget only decides *how many* cases run, never what any case does, so
 every failure replays from the seed recorded in its bundle.
+
+With ``jobs > 1`` the per-case work (:func:`run_case`) fans out across
+worker processes in waves (:func:`repro.parallel.run_ordered_stream`);
+outcomes aggregate in case order, worker-side stage profiles are
+summed into the report instead of dying with the worker, and shrinking
+plus bundle writing stay in the parent so ``out_dir`` is written from
+one process only.  A case's verdict never depends on the job count —
+only how many cases fit the time budget does (exactly as wall-clock
+already did sequentially).
 """
 
 from __future__ import annotations
@@ -22,11 +31,13 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..benchmarks import fuzz_corpus_names, load_netlist
 from ..mig import Realization, mig_from_netlist
 from ..network import Netlist
+from ..parallel import merge_counters, run_ordered_stream
+from ..parallel.workers import fuzz_case_task
 from ..rram import (
     FAULT_CLASSES,
     FaultCampaignStats,
@@ -62,6 +73,8 @@ class FuzzConfig:
     min_detection: float = 0.95
     #: Include the bundled small-benchmark corpus in the fault sweep.
     use_benchmark_corpus: bool = True
+    #: Worker processes; 1 = run every case inline (no pool).
+    jobs: int = 1
 
     def case_seed(self, index: int) -> int:
         """The deterministic per-case seed (recorded in bundles)."""
@@ -138,35 +151,71 @@ def _shrink_and_bundle(
     report.bundles.append(bundle_dir)
 
 
-def _run_differential_case(
-    report: FuzzReport, kind: str, case_seed: int, case_id: str
-) -> None:
-    config = report.config
+def run_case(
+    config: FuzzConfig, index: int, corpus_names: Sequence[str]
+) -> Dict[str, object]:
+    """Run one campaign case — pure in ``(config, index, corpus_names)``.
+
+    This is the unit the parallel scheduler ships to pool workers; it
+    returns a picklable outcome (verdicts, stats, stage profile) and
+    performs no I/O.  Shrinking and bundle writing happen in the
+    parent, which regenerates the deterministic circuit from the
+    provenance recorded here.
+    """
+    case_seed = config.case_seed(index)
+    kind = GENERATOR_KINDS[index % len(GENERATOR_KINDS)]
+    case_id = f"seed{config.seed}_case{index:04d}_{kind}"
+    profile: Dict[str, float] = {}
+    if config.fault_classes:
+        rng = random.Random(case_seed)
+        realization = Realization.MAJ if index % 2 == 0 else Realization.IMP
+        if index < len(corpus_names):
+            name = corpus_names[index]
+            netlist = load_netlist(name)
+            case_id = f"seed{config.seed}_case{index:04d}_{name}"
+            provenance: Dict[str, object] = {"benchmark": name}
+        else:
+            start = time.perf_counter()
+            netlist, _ = case_circuit(kind, case_seed, small=True)
+            _charge(profile, "generate", start)
+            provenance = {"kind": kind, "seed": case_seed}
+        provenance["realization"] = realization.value
+        classes: Dict[str, FaultCampaignStats] = {}
+        for fault_class in config.fault_classes:
+            start = time.perf_counter()
+            classes[fault_class] = _campaign_stats(
+                netlist, fault_class, realization, rng, config.max_fault_sites
+            )
+            _charge(profile, "faults", start)
+        return {
+            "mode": "fault",
+            "index": index,
+            "case_id": case_id,
+            "kind_label": provenance.get("benchmark", kind),
+            "provenance": provenance,
+            "realization": realization.value,
+            "classes": classes,
+            "profile": profile,
+        }
     start = time.perf_counter()
     netlist, mig = case_circuit(kind, case_seed)
-    start = _charge(report.profile, "generate", start)
+    start = _charge(profile, "generate", start)
     failure = check_case(netlist, mig, effort=config.effort)
-    _charge(report.profile, "oracle", start)
-    if failure is None:
-        return
-    failure.case = {"kind": kind, "seed": case_seed, "case_id": case_id}
-    report.failures.append(failure.describe())
-
-    def same_check_fails(candidate: Netlist) -> bool:
-        return (
-            check_case(
-                candidate, effort=config.effort, checks=[failure.check]
-            )
-            is not None
-        )
-
-    _shrink_and_bundle(
-        report,
-        netlist,
-        same_check_fails,
-        case_id,
-        {"failure": failure.describe()},
-    )
+    _charge(profile, "oracle", start)
+    failure_info: Optional[Dict[str, object]] = None
+    if failure is not None:
+        failure.case = {"kind": kind, "seed": case_seed, "case_id": case_id}
+        failure_info = failure.describe()
+    return {
+        "mode": "diff",
+        "index": index,
+        "case_id": case_id,
+        "kind_label": kind,
+        "kind": kind,
+        "seed": case_seed,
+        "failure": failure_info,
+        "profile": profile,
+    }
 
 
 def _campaign_stats(
@@ -211,26 +260,58 @@ def _netlist_has_miss(
     return False
 
 
-def _run_fault_case(
-    report: FuzzReport,
-    netlist: Netlist,
-    realization: Realization,
-    rng: random.Random,
-    case_id: str,
-    provenance: Dict[str, object],
-) -> None:
+def _case_netlist_from_provenance(
+    provenance: Dict[str, object]
+) -> Netlist:
+    """Regenerate a case's circuit in the parent (determinism contract:
+    cases are pure in their recorded provenance)."""
+    if "benchmark" in provenance:
+        return load_netlist(str(provenance["benchmark"]))
+    return case_circuit(
+        str(provenance["kind"]), int(provenance["seed"]), small=True  # type: ignore[arg-type]
+    )[0]
+
+
+def _absorb_outcome(report: FuzzReport, outcome: Dict[str, object]) -> None:
+    """Fold one case outcome into the report, shrinking and bundling
+    any failure in the parent process."""
     config = report.config
-    for fault_class in config.fault_classes:
-        start = time.perf_counter()
-        stats = _campaign_stats(
-            netlist, fault_class, realization, rng, config.max_fault_sites
+    merge_counters(report.profile, outcome.get("profile"))  # type: ignore[arg-type]
+    label = str(outcome["kind_label"])
+    report.cases_by_kind[label] = report.cases_by_kind.get(label, 0) + 1
+    case_id = str(outcome["case_id"])
+
+    if outcome["mode"] == "diff":
+        failure = outcome["failure"]
+        if failure is None:
+            return
+        report.failures.append(failure)  # type: ignore[arg-type]
+        netlist, _ = case_circuit(
+            str(outcome["kind"]), int(outcome["seed"])  # type: ignore[arg-type]
         )
-        _charge(report.profile, "faults", start)
+        check = str(failure["check"])  # type: ignore[index]
+
+        def same_check_fails(candidate: Netlist) -> bool:
+            return (
+                check_case(candidate, effort=config.effort, checks=[check])
+                is not None
+            )
+
+        _shrink_and_bundle(
+            report, netlist, same_check_fails, case_id, {"failure": failure}
+        )
+        return
+
+    realization = Realization(str(outcome["realization"]))
+    provenance: Dict[str, object] = dict(outcome["provenance"])  # type: ignore[arg-type]
+    classes: Dict[str, FaultCampaignStats] = outcome["classes"]  # type: ignore[assignment]
+    for fault_class, stats in classes.items():
         report.fault_stats.setdefault(
             fault_class, FaultCampaignStats(fault_class)
         ).merge(stats)
         if not stats.misses:
             continue
+        netlist = _case_netlist_from_provenance(provenance)
         miss_labels = [v.model.label for v in stats.misses]
         _shrink_and_bundle(
             report,
@@ -258,7 +339,12 @@ def _run_fault_case(
 
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
-    """Run one campaign to its time budget; returns the full report."""
+    """Run one campaign to its time budget; returns the full report.
+
+    ``config.jobs > 1`` fans cases out across worker processes in
+    waves; each case's verdict is identical to a sequential run — the
+    budget (or ``max_cases``) only decides how many cases complete.
+    """
     for fault_class in config.fault_classes:
         if fault_class not in FAULT_CLASSES:
             raise ValueError(
@@ -269,49 +355,29 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     started = time.perf_counter()
     deadline = started + config.seconds
     fault_mode = bool(config.fault_classes)
+    corpus_names: List[str] = (
+        list(fuzz_corpus_names())
+        if fault_mode and config.use_benchmark_corpus
+        else []
+    )
 
-    corpus: List[Tuple[str, Netlist]] = []
-    if fault_mode and config.use_benchmark_corpus:
-        corpus = [
-            (name, load_netlist(name)) for name in fuzz_corpus_names()
-        ]
+    def payloads() -> Iterator[Tuple[FuzzConfig, int, List[str]]]:
+        index = 0
+        while config.max_cases is None or index < config.max_cases:
+            yield (config, index, corpus_names)
+            index += 1
 
-    index = 0
-    while True:
-        if config.max_cases is not None and index >= config.max_cases:
-            break
-        if index > 0 and time.perf_counter() >= deadline:
-            break
-        case_seed = config.case_seed(index)
-        kind = GENERATOR_KINDS[index % len(GENERATOR_KINDS)]
-        case_id = f"seed{config.seed}_case{index:04d}_{kind}"
-        if fault_mode:
-            rng = random.Random(case_seed)
-            realization = (
-                Realization.MAJ if index % 2 == 0 else Realization.IMP
-            )
-            if index < len(corpus):
-                name, netlist = corpus[index]
-                case_id = f"seed{config.seed}_case{index:04d}_{name}"
-                provenance = {"benchmark": name}
-            else:
-                start = time.perf_counter()
-                netlist, _ = case_circuit(kind, case_seed, small=True)
-                _charge(report.profile, "generate", start)
-                provenance = {"kind": kind, "seed": case_seed}
-            provenance["realization"] = realization.value
-            _run_fault_case(
-                report, netlist, realization, rng, case_id, provenance
-            )
-            report.cases_by_kind[provenance.get("benchmark", kind)] = (
-                report.cases_by_kind.get(provenance.get("benchmark", kind), 0)
-                + 1
-            )
-        else:
-            _run_differential_case(report, kind, case_seed, case_id)
-            report.cases_by_kind[kind] = report.cases_by_kind.get(kind, 0) + 1
+    def within_budget() -> bool:
+        return time.perf_counter() < deadline
+
+    for outcome in run_ordered_stream(
+        fuzz_case_task,
+        payloads(),
+        jobs=max(1, config.jobs),
+        should_continue=within_budget,
+    ):
+        _absorb_outcome(report, outcome)
         report.cases_run += 1
-        index += 1
 
     report.elapsed = time.perf_counter() - started
     return report

@@ -54,7 +54,13 @@ from ..mig.algorithms import (
     push_up,
 )
 from ..network import Netlist
-from ..rram import compile_mig, compile_plim, run_program, verify_compiled
+from ..rram import compile_mig, compile_plim, verify_compiled
+from ..sim import (
+    evaluate_bdd_slices,
+    execute_program_slices,
+    first_difference,
+    iter_assignment_chunks,
+)
 
 #: Check identifiers, in the order the oracle runs them.
 CHECKS: Tuple[str, ...] = (
@@ -111,11 +117,18 @@ def _check_representations(netlist: Netlist) -> Optional[OracleFailure]:
         manager, roots = build_bdd_from_netlist(netlist)
         order = dfs_variable_order(netlist)
         position = {name: i for i, name in enumerate(netlist.inputs)}
-        for assignment in range(1 << num_inputs):
-            bits = [bool((assignment >> i) & 1) for i in range(num_inputs)]
-            vec = [bits[position[name]] for name in order]
-            for root, table in zip(roots, reference):
-                if manager.evaluate(root, vec) != table.value_at(assignment):
+        for chunk in iter_assignment_chunks(num_inputs):
+            # chunk.slices pack the circuit inputs; the BDD kernel wants
+            # them in manager level order.
+            var_slices = [chunk.slices[position[name]] for name in order]
+            bdd_words = evaluate_bdd_slices(
+                manager, roots, var_slices, chunk.mask
+            )
+            for word, table in zip(bdd_words, reference):
+                expected = (table.bits >> chunk.start) & chunk.mask
+                mismatch = first_difference(word, expected)
+                if mismatch >= 0:
+                    assignment = chunk.start + mismatch
                     return OracleFailure(
                         "xrep-bdd",
                         f"BDD disagrees on assignment {assignment:0{num_inputs}b}",
@@ -280,15 +293,21 @@ def _check_plim(base: Mig, netlist: Netlist) -> Optional[OracleFailure]:
     mig = base.clone()
     plim = compile_plim(mig)
     num_inputs = mig.num_pis
-    for assignment in range(1 << num_inputs):
-        vector = [bool((assignment >> i) & 1) for i in range(num_inputs)]
-        words = [1 if bit else 0 for bit in vector]
-        expected = [bool(w & 1) for w in mig.simulate_words(words, 1)]
-        if run_program(plim.program, vector) != expected:
-            return OracleFailure(
-                "plim-exec",
-                f"PLiM stream wrong on assignment {assignment:0{num_inputs}b}",
-            )
+    plim.program.validate()
+    for chunk in iter_assignment_chunks(num_inputs):
+        expected = mig.simulate_words(chunk.slices, chunk.mask)
+        actual = execute_program_slices(
+            plim.program, chunk.slices, chunk.mask, validate=False
+        )
+        for expected_word, actual_word in zip(expected, actual):
+            mismatch = first_difference(expected_word, actual_word)
+            if mismatch >= 0:
+                assignment = chunk.start + mismatch
+                return OracleFailure(
+                    "plim-exec",
+                    f"PLiM stream wrong on assignment "
+                    f"{assignment:0{num_inputs}b}",
+                )
     return None
 
 

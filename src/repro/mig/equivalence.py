@@ -10,9 +10,9 @@ is axiom-derived and already function-preserving by construction).
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional, Sequence
 
+from ..sim import random_slices
 from ..truth import TruthTable
 from .graph import Mig
 
@@ -28,8 +28,9 @@ def mig_truth_tables(mig: Mig) -> List[TruthTable]:
 def _random_words(
     num_inputs: int, num_vectors: int, seed: int
 ) -> List[int]:
-    rng = random.Random(seed)
-    return [rng.getrandbits(num_vectors) for _ in range(num_inputs)]
+    # Shared packed-sampling primitive: byte-for-byte the historical
+    # getrandbits-per-input pattern, so recorded verdicts never shift.
+    return random_slices(num_inputs, num_vectors, seed)
 
 
 def migs_equivalent(

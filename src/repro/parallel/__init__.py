@@ -1,0 +1,30 @@
+"""Deterministic parallel execution layer.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor`-based scheduler
+with ordered result aggregation, derived per-task seeds, summed
+worker-side profiling counters, and graceful inline fallback at
+``jobs=1``.  Flows built on it (Table II/III, the fuzz campaign,
+packed verification) produce bit-identical results for any job count;
+only the wall-clock changes.  See ``docs/PERFORMANCE.md`` for the
+determinism contract.
+"""
+
+from .scheduler import (
+    SEED_STRIDE,
+    derive_seed,
+    merge_counters,
+    merged_counters,
+    resolve_jobs,
+    run_ordered,
+    run_ordered_stream,
+)
+
+__all__ = [
+    "SEED_STRIDE",
+    "derive_seed",
+    "merge_counters",
+    "merged_counters",
+    "resolve_jobs",
+    "run_ordered",
+    "run_ordered_stream",
+]

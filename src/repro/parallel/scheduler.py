@@ -1,0 +1,136 @@
+"""Deterministic multi-process task scheduler.
+
+The contract every flow built on this layer inherits:
+
+* **Ordered aggregation** — results come back in submission order, no
+  matter which worker finished first, so downstream tables and reports
+  are byte-identical for any job count.
+* **Derived seeds** — randomized tasks get their seed from
+  :func:`derive_seed`\\ ``(base, index)``, a pure function of the task
+  index; scheduling order can never leak into a task's behaviour.
+* **Inline fallback** — ``jobs <= 1`` (or a single task) runs in the
+  calling process with zero pool overhead, byte-identical to the
+  multi-process path.
+* **Merged counters** — worker-side profiling dicts are summed by
+  :func:`merge_counters` instead of being dropped with the worker.
+
+Workers must be module-level functions (the ``ProcessPoolExecutor``
+pickles them by reference); :mod:`repro.parallel.workers` hosts the
+ones the built-in flows use.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
+
+Payload = TypeVar("Payload")
+Result = TypeVar("Result")
+
+#: Per-task seed derivation multiplier — deliberately the same constant
+#: as :meth:`repro.fuzz.harness.FuzzConfig.case_seed`, so the parallel
+#: campaign replays the sequential campaign's cases bit-for-bit.
+SEED_STRIDE = 1_000_003
+
+
+def derive_seed(base: int, index: int) -> int:
+    """Deterministic per-task seed: pure in ``(base, index)``."""
+    return (base * SEED_STRIDE + index) & 0x7FFFFFFF
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` → all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def run_ordered(
+    worker: Callable[[Payload], Result],
+    payloads: Sequence[Payload],
+    *,
+    jobs: int = 1,
+) -> List[Result]:
+    """Run ``worker`` over every payload; results in payload order.
+
+    ``jobs <= 1`` executes inline.  Above that a process pool fans the
+    payloads out with ``chunksize=1`` (tasks here are coarse — whole
+    benchmarks or fuzz cases — so latency balance beats batching) and
+    ``Executor.map`` restores submission order on collection.
+    """
+    if jobs <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    workers = min(jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, payloads, chunksize=1))
+
+
+def run_ordered_stream(
+    worker: Callable[[Payload], Result],
+    payloads: Iterator[Payload],
+    *,
+    jobs: int = 1,
+    wave_size: Optional[int] = None,
+    should_continue: Optional[Callable[[], bool]] = None,
+) -> Iterator[Result]:
+    """Stream an unbounded payload iterator through the pool in waves.
+
+    Pulls ``wave_size`` payloads (default ``2 * jobs``), runs the wave
+    to completion, yields its results in order, then consults
+    ``should_continue`` before pulling the next wave.  Time-budgeted
+    campaigns use this: the budget decides how many *waves* run, never
+    what any task does, so every completed task is replayable.
+    """
+    jobs = max(1, jobs)
+    if wave_size is None:
+        wave_size = max(1, 2 * jobs)
+    if jobs == 1:
+        wave_size = 1
+    pool = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+    try:
+        exhausted = False
+        while not exhausted:
+            wave: List[Payload] = []
+            for payload in payloads:
+                wave.append(payload)
+                if len(wave) >= wave_size:
+                    break
+            else:
+                exhausted = True
+            if not wave:
+                break
+            if pool is None:
+                for payload in wave:
+                    yield worker(payload)
+            else:
+                for result in pool.map(worker, wave, chunksize=1):
+                    yield result
+            if should_continue is not None and not should_continue():
+                break
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def merge_counters(
+    target: Dict[str, float], source: Optional[Dict[str, float]]
+) -> Dict[str, float]:
+    """Sum a worker's numeric counters into ``target`` (in place)."""
+    if source:
+        for key, value in source.items():
+            if isinstance(value, (int, float)):
+                target[key] = target.get(key, 0) + value
+    return target
+
+
+def merged_counters(
+    sources: Sequence[Optional[Dict[str, float]]]
+) -> Dict[str, float]:
+    """Sum many counter dicts into a fresh one."""
+    total: Dict[str, float] = {}
+    for source in sources:
+        merge_counters(total, source)
+    return total

@@ -1,0 +1,50 @@
+"""Module-level worker functions for the built-in parallel flows.
+
+Each worker is a pure function of its payload (plus the deterministic
+on-disk benchmark data), so running it in-process or in a pool worker
+is indistinguishable — the property the jobs-count bit-identity tests
+pin down.  Heavy imports happen lazily inside the functions: this
+module is imported by the flow modules themselves, and in pool workers
+it is re-imported fresh, so lazy imports also keep child start-up
+cheap for flows that never need the whole stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def table2_task(payload: Tuple[str, str, int, bool]):
+    """One Table II cell: ``(benchmark, config, effort, verify)``."""
+    from ..flows.experiments import table2_cell
+
+    name, config, effort, verify = payload
+    return name, config, table2_cell(name, config, effort, verify)
+
+
+def table3_task(payload: Tuple[str, str, int, bool, Dict[str, object]]):
+    """One Table III row: ``(baseline, benchmark, effort, verify, opts)``."""
+    from ..flows.experiments import table3_row
+
+    baseline, name, effort, verify, opts = payload
+    return name, table3_row(baseline, name, effort, verify, **opts)
+
+
+def fuzz_case_task(payload):
+    """One fuzz-campaign case: ``(config, index, corpus_names)``."""
+    from ..fuzz.harness import run_case
+
+    config, index, corpus_names = payload
+    return run_case(config, index, corpus_names)
+
+
+def verify_chunk_task(payload):
+    """One packed verification window: ``(program, mig, start, count)``.
+
+    Returns the lowest mismatching assignment index in the window, or
+    ``-1`` when the program matches the MIG on every packed lane.
+    """
+    from ..rram.verify import verify_window
+
+    program, mig, start, count = payload
+    return verify_window(program, mig, start, count)

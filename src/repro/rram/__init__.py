@@ -31,11 +31,15 @@ from .compiler import CompilationError, CompilationReport, compile_mig
 from .plim import PlimReport, compile_plim
 from .energy import EnergyReport, measure_energy
 from .verify import (
+    EXHAUSTIVE_CAP,
+    VerificationCapError,
     clean_references,
+    find_first_mismatch,
     probe_fault,
     verification_vectors,
     verify_compiled,
     verify_compiled_or_raise,
+    verify_window,
 )
 
 __all__ = [
@@ -71,9 +75,13 @@ __all__ = [
     "compile_plim",
     "EnergyReport",
     "measure_energy",
+    "EXHAUSTIVE_CAP",
+    "VerificationCapError",
     "clean_references",
+    "find_first_mismatch",
     "probe_fault",
     "verification_vectors",
     "verify_compiled",
     "verify_compiled_or_raise",
+    "verify_window",
 ]

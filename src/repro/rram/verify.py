@@ -1,16 +1,27 @@
 """Functional verification of compiled RRAM programs.
 
-Replays a compiled micro-program on the device-level array simulator
-and checks every probed input assignment against the MIG's reference
-simulation.  This closes the loop between the synthesis layer and the
-hardware model: a program that passes computes the right function *by
-construction of the device physics*, not by trusting the compiler.
+Replays a compiled micro-program against the MIG's reference
+simulation and checks every probed input assignment.  This closes the
+loop between the synthesis layer and the hardware model: a program
+that passes computes the right function *by construction of the device
+physics*, not by trusting the compiler.
+
+Verification is **bit-packed**: thousands of assignments advance per
+bitwise operation through :func:`repro.sim.execute_program_slices`,
+and the exhaustive sweep streams the ``2**n`` space in bounded-memory
+chunks (:func:`repro.sim.iter_assignment_chunks`) instead of
+materializing the assignment list.  Chunk windows are independent, so
+:func:`find_first_mismatch` can shard them across worker processes
+(``jobs > 1``) with a verdict that is bit-identical to the inline run.
+Widths beyond :data:`EXHAUSTIVE_CAP` raise :class:`VerificationCapError`
+up front — a clear refusal instead of an open-ended hang.
 
 :func:`probe_fault` additionally measures the verifier as a *detector*:
 it replays the same vectors with a fault model attached and classifies
 the fault as detected, missed (exercised but masked at every output),
 or latent — the per-site primitive behind the fault-injection campaign
-of :mod:`repro.fuzz.harness`.
+of :mod:`repro.fuzz.harness`.  Faulty replays stay on the scalar
+device-level executor: faults live in the device model.
 """
 
 from __future__ import annotations
@@ -19,12 +30,43 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from ..mig import Mig
+from ..sim import (
+    DEFAULT_CHUNK_BITS,
+    execute_program_slices,
+    first_difference,
+    input_slices,
+    chunk_mask,
+    pack_vectors,
+)
 from .array import SenseTrace, run_program, run_program_traced
 from .compiler import CompilationReport
 from .faults import FaultModel, FaultVerdict
 
 EXHAUSTIVE_LIMIT = 10
 DEFAULT_SAMPLES = 64
+
+#: Widest interface the exhaustive sweep will attempt (2**24 = 16M
+#: assignments, ~4k chunks).  Beyond this the sweep would run for
+#: hours; callers get a :class:`VerificationCapError` immediately.
+EXHAUSTIVE_CAP = 24
+
+
+class VerificationCapError(ValueError):
+    """Exhaustive verification requested beyond :data:`EXHAUSTIVE_CAP`."""
+
+    def __init__(self, num_inputs: int, cap: int = EXHAUSTIVE_CAP) -> None:
+        super().__init__(
+            f"exhaustive verification over {num_inputs} inputs would probe "
+            f"2^{num_inputs} assignments; the supported cap is "
+            f"2^{cap} — use sampled vectors instead"
+        )
+        self.num_inputs = num_inputs
+        self.cap = cap
+
+
+def _check_cap(num_inputs: int) -> None:
+    if num_inputs > EXHAUSTIVE_CAP:
+        raise VerificationCapError(num_inputs)
 
 
 def verification_vectors(
@@ -37,6 +79,7 @@ def verification_vectors(
     """Input assignments to probe: exhaustive for small circuits,
     seeded random samples (plus all-0/all-1 corners) otherwise."""
     if num_inputs <= exhaustive_limit:
+        _check_cap(num_inputs)
         return [
             [bool((assignment >> i) & 1) for i in range(num_inputs)]
             for assignment in range(1 << num_inputs)
@@ -48,25 +91,142 @@ def verification_vectors(
     return vectors
 
 
+def verify_window(program, mig: Mig, start: int, count: int) -> int:
+    """Packed-compare one assignment window; first mismatch or ``-1``.
+
+    The unit of work :func:`find_first_mismatch` shards across
+    processes (:func:`repro.parallel.workers.verify_chunk_task`).
+    """
+    slices = input_slices(mig.num_pis, start, count)
+    mask = chunk_mask(count)
+    expected = mig.simulate_words(slices, mask)
+    actual = execute_program_slices(program, slices, mask, validate=False)
+    for expected_word, actual_word in zip(expected, actual):
+        position = first_difference(expected_word, actual_word)
+        if position >= 0:
+            return start + position
+    return -1
+
+
+def _mismatch_exhaustive(
+    program, mig: Mig, *, jobs: int = 1, chunk_bits: int = DEFAULT_CHUNK_BITS
+) -> int:
+    """Stream the full space in packed chunks; first mismatch or -1."""
+    num_inputs = mig.num_pis
+    _check_cap(num_inputs)
+    program.validate()
+    total = 1 << num_inputs
+    windows = [
+        (program, mig, start, min(chunk_bits, total - start))
+        for start in range(0, total, chunk_bits)
+    ]
+    if jobs > 1 and len(windows) > 1:
+        from ..parallel import run_ordered
+        from ..parallel.workers import verify_chunk_task
+
+        results = run_ordered(verify_chunk_task, windows, jobs=jobs)
+    else:
+        results = [verify_window(*window) for window in windows]
+    for result in results:
+        if result >= 0:
+            return result
+    return -1
+
+
+def _mismatch_vectors(
+    program, mig: Mig, vectors: Sequence[Sequence[bool]]
+) -> Optional[List[bool]]:
+    """Packed-compare an explicit vector batch; first bad vector or None."""
+    program.validate()
+    num_inputs = mig.num_pis
+    for base in range(0, len(vectors), DEFAULT_CHUNK_BITS):
+        batch = vectors[base : base + DEFAULT_CHUNK_BITS]
+        slices, mask, _count = pack_vectors(batch, num_inputs)
+        expected = mig.simulate_words(slices, mask)
+        actual = execute_program_slices(program, slices, mask, validate=False)
+        worst = -1
+        for expected_word, actual_word in zip(expected, actual):
+            position = first_difference(expected_word, actual_word)
+            if position >= 0 and (worst < 0 or position < worst):
+                worst = position
+        if worst >= 0:
+            return list(batch[worst])
+    return None
+
+
+def find_first_mismatch(
+    mig: Mig,
+    report: CompilationReport,
+    *,
+    vectors: Optional[Sequence[Sequence[bool]]] = None,
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = 0x52AA,
+    jobs: int = 1,
+    chunk_bits: int = DEFAULT_CHUNK_BITS,
+) -> Optional[List[bool]]:
+    """First input assignment where program and MIG disagree, or None.
+
+    Explicit ``vectors`` are probed as given; otherwise small
+    interfaces are swept exhaustively (streamed, shardable across
+    ``jobs`` workers) and larger ones probed with the seeded sample
+    set of :func:`verification_vectors`.
+    """
+    if vectors is not None:
+        return _mismatch_vectors(report.program, mig, vectors)
+    num_inputs = mig.num_pis
+    if num_inputs <= exhaustive_limit:
+        assignment = _mismatch_exhaustive(
+            report.program, mig, jobs=jobs, chunk_bits=chunk_bits
+        )
+        if assignment < 0:
+            return None
+        return [bool((assignment >> i) & 1) for i in range(num_inputs)]
+    sampled = verification_vectors(
+        num_inputs,
+        exhaustive_limit=exhaustive_limit,
+        samples=samples,
+        seed=seed,
+    )
+    return _mismatch_vectors(report.program, mig, sampled)
+
+
 def verify_compiled(
     mig: Mig,
     report: CompilationReport,
     *,
     vectors: Optional[Sequence[Sequence[bool]]] = None,
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+    jobs: int = 1,
 ) -> bool:
     """True iff the compiled program matches the MIG on every vector."""
-    if vectors is None:
-        vectors = verification_vectors(mig.num_pis)
-    for vector in vectors:
-        word = 0
-        inputs = [1 if bit else 0 for bit in vector]
-        expected_words = mig.simulate_words(inputs, 1)
-        expected = [bool(w & 1) for w in expected_words]
-        actual = run_program(report.program, list(vector))
-        if actual != expected:
-            return False
-        del word
-    return True
+    return (
+        find_first_mismatch(
+            mig,
+            report,
+            vectors=vectors,
+            exhaustive_limit=exhaustive_limit,
+            jobs=jobs,
+        )
+        is None
+    )
+
+
+def verify_compiled_or_raise(
+    mig: Mig, report: CompilationReport, *, jobs: int = 1
+) -> None:
+    """Raise ``AssertionError`` with context when verification fails."""
+    vector = find_first_mismatch(mig, report, jobs=jobs)
+    if vector is None:
+        return
+    inputs = [1 if bit else 0 for bit in vector]
+    expected = [bool(w & 1) for w in mig.simulate_words(inputs, 1)]
+    actual = run_program(report.program, list(vector))
+    raise AssertionError(
+        f"compiled {report.program.realization} program for "
+        f"{mig.name!r} disagrees with the MIG on input {vector}: "
+        f"expected {expected}, got {actual}"
+    )
 
 
 def clean_references(
@@ -107,18 +267,3 @@ def probe_fault(
         if trace != clean_trace:
             verdict.exercised = True
     return verdict
-
-
-def verify_compiled_or_raise(mig: Mig, report: CompilationReport) -> None:
-    """Raise ``AssertionError`` with context when verification fails."""
-    vectors = verification_vectors(mig.num_pis)
-    for vector in vectors:
-        inputs = [1 if bit else 0 for bit in vector]
-        expected = [bool(w & 1) for w in mig.simulate_words(inputs, 1)]
-        actual = run_program(report.program, list(vector))
-        if actual != expected:
-            raise AssertionError(
-                f"compiled {report.program.realization} program for "
-                f"{mig.name!r} disagrees with the MIG on input {vector}: "
-                f"expected {expected}, got {actual}"
-            )

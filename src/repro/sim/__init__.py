@@ -1,0 +1,57 @@
+"""Bit-packed batch simulation engine.
+
+Packs many input assignments into wide Python-int bit-slices (one
+integer per signal) so MIGs, netlists, BDDs, and compiled RRAM
+micro-programs advance thousands of simulations per bitwise operation,
+and streams the ``2**n`` assignment space in bounded-memory chunks.
+See :mod:`repro.sim.bitslice` for the encoding and
+:mod:`repro.sim.engine` for the per-representation kernels.
+"""
+
+from .bitslice import (
+    DEFAULT_CHUNK_BITS,
+    AssignmentChunk,
+    chunk_mask,
+    first_difference,
+    imp_word,
+    input_slices,
+    iter_assignment_chunks,
+    iter_ones,
+    maj_word,
+    mux_word,
+    pack_vectors,
+    popcount,
+    random_slices,
+    unpack_word,
+    variable_slice,
+)
+from .engine import (
+    evaluate_bdd_slices,
+    execute_program_slices,
+    simulate_aig_slices,
+    simulate_mig_slices,
+    simulate_netlist_slices,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_BITS",
+    "AssignmentChunk",
+    "chunk_mask",
+    "first_difference",
+    "imp_word",
+    "input_slices",
+    "iter_assignment_chunks",
+    "iter_ones",
+    "maj_word",
+    "mux_word",
+    "pack_vectors",
+    "popcount",
+    "random_slices",
+    "unpack_word",
+    "variable_slice",
+    "evaluate_bdd_slices",
+    "execute_program_slices",
+    "simulate_aig_slices",
+    "simulate_mig_slices",
+    "simulate_netlist_slices",
+]

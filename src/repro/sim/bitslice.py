@@ -1,0 +1,201 @@
+"""Bit-slice packing primitives for batch simulation.
+
+The whole library already encodes *one complete truth table* as a
+single big integer (:mod:`repro.truth.truth_table`).  This module
+generalizes the trick to an arbitrary **window of assignments**: a
+*slice* is an integer whose bit ``v`` is the value of some signal under
+assignment ``start + v``.  Packing ``count`` assignments into one slice
+means every bitwise operation on slices advances ``count`` simulations
+at once — the word-parallel kernel the packed engines in
+:mod:`repro.sim.engine` are built on.
+
+Two encodings are supported:
+
+* **assignment windows** (:func:`variable_slice`,
+  :func:`iter_assignment_chunks`) — consecutive assignment indices
+  ``start .. start + count - 1``, bit ``v`` ↔ assignment ``start + v``.
+  Chunked streaming over ``2**n`` assignments never materializes the
+  assignment list, so exhaustive sweeps are bounded by chunk size, not
+  by ``2**n``.
+* **explicit vector batches** (:func:`pack_vectors`,
+  :func:`unpack_word`) — any list of input vectors, bit ``v`` ↔
+  vector ``v``.  Used when the probe set is sampled rather than
+  exhaustive.
+
+Both agree with the single-assignment reference semantics of
+:meth:`repro.truth.TruthTable.evaluate`; the property tests in
+``tests/test_sim_bitslice.py`` pin that down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Sequence
+
+#: Default number of assignments packed per slice.  4096 keeps the
+#: big-int words at 512 bytes — large enough to amortize the Python
+#: interpreter loop, small enough that per-chunk allocations stay cheap.
+DEFAULT_CHUNK_BITS = 1 << 12
+
+try:  # Python >= 3.10
+    _popcount = int.bit_count  # type: ignore[attr-defined]
+
+    def popcount(word: int) -> int:
+        """Number of set bits in a slice."""
+        return word.bit_count()
+
+except AttributeError:  # pragma: no cover - py3.9 fallback
+
+    def popcount(word: int) -> int:
+        """Number of set bits in a slice."""
+        return bin(word).count("1")
+
+
+def chunk_mask(count: int) -> int:
+    """All-ones mask over ``count`` packed assignments."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return (1 << count) - 1
+
+
+def variable_slice(index: int, start: int, count: int) -> int:
+    """Packed values of input ``index`` over one assignment window.
+
+    Bit ``v`` of the result is ``((start + v) >> index) & 1`` — the
+    classic alternating block pattern of variable ``index``, windowed
+    to ``[start, start + count)``.  Built by doubling one period, so
+    the cost is ``O(log count)`` big-int operations.
+    """
+    if index < 0:
+        raise ValueError(f"variable index must be non-negative, got {index}")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    if count <= 0:
+        return 0
+    block = 1 << index
+    period = block << 1
+    phase = start & (period - 1)
+    width = phase + count
+    # One period: `block` zeros then `block` ones, doubled up to width.
+    pattern = ((1 << block) - 1) << block
+    span = period
+    while span < width:
+        pattern |= pattern << span
+        span <<= 1
+    return (pattern >> phase) & chunk_mask(count)
+
+
+def input_slices(num_inputs: int, start: int, count: int) -> List[int]:
+    """Per-input packed slices for one assignment window."""
+    return [variable_slice(i, start, count) for i in range(num_inputs)]
+
+
+class AssignmentChunk(NamedTuple):
+    """One streamed window of the assignment space."""
+
+    start: int
+    count: int
+    mask: int
+    #: ``slices[i]`` packs input ``i`` over the window.
+    slices: List[int]
+
+
+def iter_assignment_chunks(
+    num_inputs: int, chunk_bits: int = DEFAULT_CHUNK_BITS
+) -> Iterator[AssignmentChunk]:
+    """Stream the full ``2**num_inputs`` space in packed windows.
+
+    Memory is bounded by ``chunk_bits`` regardless of ``num_inputs``;
+    the caller decides how many chunks it can afford to consume.
+    """
+    if num_inputs < 0:
+        raise ValueError(f"num_inputs must be non-negative, got {num_inputs}")
+    if chunk_bits <= 0:
+        raise ValueError(f"chunk_bits must be positive, got {chunk_bits}")
+    total = 1 << num_inputs
+    start = 0
+    while start < total:
+        count = min(chunk_bits, total - start)
+        yield AssignmentChunk(
+            start, count, chunk_mask(count), input_slices(num_inputs, start, count)
+        )
+        start += count
+
+
+def pack_vectors(
+    vectors: Sequence[Sequence[bool]], num_inputs: int
+) -> tuple:
+    """Pack explicit input vectors into per-input slices.
+
+    Returns ``(slices, mask, count)`` where bit ``v`` of ``slices[i]``
+    is ``vectors[v][i]``.  The batch analogue of binding one vector.
+    """
+    slices = [0] * num_inputs
+    for v, vector in enumerate(vectors):
+        if len(vector) != num_inputs:
+            raise ValueError(
+                f"vector {v} has {len(vector)} bits, expected {num_inputs}"
+            )
+        bit = 1 << v
+        for i, value in enumerate(vector):
+            if value:
+                slices[i] |= bit
+    count = len(vectors)
+    return slices, chunk_mask(count), count
+
+
+def unpack_word(word: int, count: int) -> List[bool]:
+    """Expand a packed slice back into per-assignment booleans."""
+    return [bool((word >> v) & 1) for v in range(count)]
+
+
+def iter_ones(word: int) -> Iterator[int]:
+    """Yield the set-bit positions of a slice, lowest first.
+
+    ``O(popcount)`` via the isolate-lowest-bit trick — the fast path
+    behind :meth:`repro.truth.TruthTable.assignments_where`.
+    """
+    while word:
+        low = word & -word
+        yield low.bit_length() - 1
+        word ^= low
+
+
+def first_difference(a: int, b: int) -> int:
+    """Lowest bit position where two slices disagree (-1 if equal)."""
+    diff = a ^ b
+    if not diff:
+        return -1
+    return (diff & -diff).bit_length() - 1
+
+
+# ----------------------------------------------------------------------
+# Word-level logic primitives
+# ----------------------------------------------------------------------
+
+
+def maj_word(a: int, b: int, c: int) -> int:
+    """Bitwise ternary majority ``M(a, b, c)`` — the MIG primitive."""
+    return (a & b) | (a & c) | (b & c)
+
+
+def imp_word(p: int, q: int, mask: int) -> int:
+    """Bitwise material implication ``!p + q`` — the IMP primitive."""
+    return (p ^ mask) | q
+
+
+def mux_word(sel: int, then: int, other: int, mask: int) -> int:
+    """Bitwise ``sel ? then : other`` — the BDD/ITE primitive."""
+    return (sel & then) | ((sel ^ mask) & other)
+
+
+def random_slices(num_inputs: int, num_vectors: int, seed: int) -> List[int]:
+    """Seeded random per-input slices (the miter sampling pattern).
+
+    Byte-for-byte the sampling discipline of the pre-packed
+    :mod:`repro.mig.equivalence` helpers: one ``getrandbits`` word per
+    input from one :class:`random.Random` stream.
+    """
+    import random
+
+    rng = random.Random(seed)
+    return [rng.getrandbits(num_vectors) for _ in range(num_inputs)]

@@ -1,0 +1,128 @@
+"""Packed batch-evaluation kernels over every representation.
+
+Each kernel takes per-input *slices* (see :mod:`repro.sim.bitslice`)
+and advances all packed assignments through the structure with one
+bitwise operation per node/op.  Semantics are pinned to the scalar
+reference paths they replace:
+
+* :func:`simulate_mig_slices` / :func:`simulate_netlist_slices` —
+  thin fronts over the existing word-parallel simulators (the mask
+  trick was already latent there; the engine just makes it the one
+  shared entry point).
+* :func:`execute_program_slices` — a word-parallel interpreter of
+  compiled RRAM micro-programs.  It mirrors the fault-free semantics
+  of :class:`repro.rram.array.RramArray` exactly: all reads within a
+  step observe the pre-step state, writes are once-per-step, and the
+  intrinsic-majority pulse computes ``R' = M(P, !Q, R)`` per bit lane.
+  Fault injection and sense tracing stay on the scalar executor — the
+  device model is where faults live.
+* :func:`evaluate_bdd_slices` — bottom-up packed evaluation of BDD
+  roots (``word(node) = ITE(var, word(hi), word(lo))`` per node), the
+  batch analogue of :meth:`repro.bdd.bdd.Bdd.evaluate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .bitslice import maj_word, mux_word
+
+
+def simulate_mig_slices(mig, slices: Sequence[int], mask: int) -> List[int]:
+    """Packed MIG evaluation: one output slice per primary output."""
+    return mig.simulate_words(slices, mask)
+
+
+def simulate_aig_slices(aig, slices: Sequence[int], mask: int) -> List[int]:
+    """Packed AIG evaluation: one output slice per primary output."""
+    return aig.simulate_words(slices, mask)
+
+
+def simulate_netlist_slices(
+    netlist, slices: Sequence[int], mask: int
+) -> List[int]:
+    """Packed netlist evaluation, outputs in declaration order."""
+    out_words = netlist.simulate_words(
+        {name: word for name, word in zip(netlist.inputs, slices)}, mask
+    )
+    return [out_words[name] for name in netlist.outputs]
+
+
+def execute_program_slices(
+    program, slices: Sequence[int], mask: int, *, validate: bool = True
+) -> List[int]:
+    """Run a compiled RRAM micro-program over packed assignments.
+
+    ``slices[i]`` packs primary input ``i``; returns one slice per
+    primary output (ascending output index), bit-for-bit what the
+    scalar :func:`repro.rram.array.run_program` returns per lane.
+    """
+    # Import here: repro.rram imports repro.sim for packed verification.
+    from ..rram.isa import Imp, IntrinsicMaj, LoadInput, WriteCopy, WriteLiteral
+
+    if len(slices) != program.num_inputs:
+        raise ValueError(
+            f"program expects {program.num_inputs} inputs, got {len(slices)}"
+        )
+    if validate:
+        program.validate()
+    # All devices power up in HRS (logic 0), like RramArray.
+    state = [0] * program.num_devices
+    for step in program.steps:
+        # Write-once discipline means reads through `snapshot` and the
+        # read-modify-write ops (Imp/IntrinsicMaj) both observe the
+        # pre-step value of every device.
+        snapshot = list(state)
+        for op in step.ops:
+            if isinstance(op, WriteLiteral):
+                state[op.dst] = mask if op.value else 0
+            elif isinstance(op, LoadInput):
+                state[op.dst] = slices[op.pi_index] & mask
+            elif isinstance(op, WriteCopy):
+                word = snapshot[op.src]
+                state[op.dst] = (word ^ mask) if op.negate else word
+            elif isinstance(op, Imp):
+                # dst <- !src + dst (VSET when src senses 0, hold else).
+                state[op.dst] = snapshot[op.dst] | (snapshot[op.src] ^ mask)
+            elif isinstance(op, IntrinsicMaj):
+                # R' = M(P, !Q, R) — the device switching rule, per lane.
+                state[op.dst] = maj_word(
+                    snapshot[op.p], snapshot[op.q] ^ mask, snapshot[op.dst]
+                )
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise ValueError(f"unknown micro-op {op!r}")
+    return [
+        state[program.output_devices[po_index]]
+        for po_index in sorted(program.output_devices)
+    ]
+
+
+def evaluate_bdd_slices(
+    manager, roots: Sequence[int], var_slices: Sequence[int], mask: int
+) -> List[int]:
+    """Packed evaluation of BDD roots.
+
+    ``var_slices[level]`` packs the value of the variable tested at
+    BDD ``level`` (the manager's own variable order — callers translate
+    from circuit input order, exactly as they would for the scalar
+    :meth:`~repro.bdd.bdd.Bdd.evaluate` assignment vector).
+    """
+    words: Dict[int, int] = {0: 0, 1: mask}
+
+    def compute(root: int) -> int:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in words:
+                continue
+            lo, hi = manager.lo(node), manager.hi(node)
+            missing = [c for c in (lo, hi) if c not in words]
+            if missing:
+                stack.append(node)
+                stack.extend(missing)
+                continue
+            sel = var_slices[manager.level_of(node)]
+            words[node] = mux_word(sel, words[hi], words[lo], mask)
+        return words[root]
+
+    return [compute(root) for root in roots]

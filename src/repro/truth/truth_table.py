@@ -17,6 +17,15 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Sequence
 
+try:  # Python >= 3.10
+    def _popcount(bits: int) -> int:
+        return bits.bit_count()
+
+    _popcount(0)
+except AttributeError:  # pragma: no cover - py3.9 fallback
+    def _popcount(bits: int) -> int:
+        return bin(bits).count("1")
+
 
 def table_mask(num_vars: int) -> int:
     """Return the all-ones mask of a ``num_vars``-variable truth table."""
@@ -36,11 +45,15 @@ def variable_pattern(num_vars: int, index: int) -> int:
         raise ValueError(f"variable index {index} out of range for {num_vars} vars")
     block = 1 << index
     period = block << 1
-    # One period is `block` zeros then `block` ones (ones in the high half).
-    chunk = ((1 << block) - 1) << block
-    pattern = 0
-    for offset in range(0, 1 << num_vars, period):
-        pattern |= chunk << offset
+    total = 1 << num_vars
+    # One period is `block` zeros then `block` ones (ones in the high
+    # half), doubled up to the table width: O(num_vars) big-int ops
+    # instead of one shift-or per period.
+    pattern = ((1 << block) - 1) << block
+    span = period
+    while span < total:
+        pattern |= pattern << span
+        span <<= 1
     return pattern
 
 
@@ -161,7 +174,7 @@ class TruthTable:
 
     def count_ones(self) -> int:
         """Return the number of minterms (ON-set size)."""
-        return bin(self._bits).count("1")
+        return _popcount(self._bits)
 
     def is_constant(self) -> bool:
         """True iff the function is constant 0 or constant 1."""
@@ -245,11 +258,16 @@ class TruthTable:
         return TruthTable(num_vars, bits)
 
     def assignments_where(self, value: bool) -> Iterator[int]:
-        """Yield assignment indices where the function equals ``value``."""
+        """Yield assignment indices where the function equals ``value``.
+
+        Walks set bits via the isolate-lowest-bit trick, so the cost is
+        proportional to the answer, not to ``2**num_vars``.
+        """
         bits = self._bits if value else self._bits ^ table_mask(self._num_vars)
-        for assignment in range(self.num_entries):
-            if (bits >> assignment) & 1:
-                yield assignment
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
 
     # ------------------------------------------------------------------
     # Dunder plumbing

@@ -1,0 +1,118 @@
+"""CLI coverage for ``bench``, ``--jobs``, and the verification cap."""
+
+import json
+
+from repro.cli import main
+from repro.flows.bench import append_bench_entry
+
+
+def test_append_bench_entry_preserves_existing_keys(tmp_path):
+    path = tmp_path / "BENCH_runtime.json"
+    path.write_text(json.dumps({"historical": {"seconds": 1.0}}))
+    append_bench_entry({"kind": "table2", "seconds": 2.5}, str(path))
+    append_bench_entry({"kind": "fuzz-smoke", "speedup": 9.0}, str(path))
+    data = json.loads(path.read_text())
+    assert data["historical"] == {"seconds": 1.0}
+    assert [entry["kind"] for entry in data["entries"]] == [
+        "table2",
+        "fuzz-smoke",
+    ]
+
+
+def test_bench_subcommand_appends_table2_entry(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    code = main(
+        [
+            "bench",
+            "cm163a",
+            "--what",
+            "table2",
+            "--effort",
+            "2",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    data = json.loads(path.read_text())
+    (entry,) = data["entries"]
+    assert entry["kind"] == "table2"
+    assert entry["benchmarks"] == 1
+    assert entry["seconds"] > 0
+    assert "table2" in capsys.readouterr().out
+
+
+def test_bench_no_append_leaves_file_untouched(tmp_path, capsys):
+    path = tmp_path / "bench.json"
+    code = main(
+        [
+            "bench",
+            "cm163a",
+            "--what",
+            "table2",
+            "--effort",
+            "2",
+            "--output",
+            str(path),
+            "--no-append",
+        ]
+    )
+    assert code == 0
+    assert not path.exists()
+
+
+def test_table2_jobs_flag_accepted(capsys):
+    assert main(["table2", "cm163a", "--effort", "2", "--jobs", "2"]) == 0
+    assert "cm163a" in capsys.readouterr().out
+
+
+def test_fuzz_jobs_flag_accepted(tmp_path, capsys):
+    code = main(
+        [
+            "fuzz",
+            "--seconds",
+            "600",
+            "--max-cases",
+            "2",
+            "--effort",
+            "2",
+            "--jobs",
+            "2",
+            "--out-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_exhaustive_cap_error_exits_2(tmp_path, capsys):
+    # A 26-input AND chain: trivially compilable, far too wide for an
+    # exhaustive sweep when the limit is raised past the interface.
+    lines = ["# wide chain"]
+    inputs = [f"i{n}" for n in range(26)]
+    lines += [f"INPUT({name})" for name in inputs]
+    lines.append("OUTPUT(y0)")
+    previous = inputs[0]
+    for n, name in enumerate(inputs[1:], start=1):
+        gate = f"g{n}" if n < 25 else "y0"
+        lines.append(f"{gate} = AND({previous}, {name})")
+        previous = gate
+    path = tmp_path / "wide.bench"
+    path.write_text("\n".join(lines) + "\n")
+
+    code = main(
+        [
+            "synth",
+            str(path),
+            "--algorithm",
+            "none",
+            "--compile",
+            "--verify",
+            "--exhaustive-limit",
+            "30",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "2^26" in err and "cap is 2^24" in err

@@ -1,0 +1,182 @@
+"""Deterministic parallel execution layer.
+
+The contract under test: the job count NEVER changes a result — only
+how the work is scheduled.  Whole-set flows, fuzz campaigns, and
+verification sweeps must be bit-identical at any ``jobs`` value.
+"""
+
+import random
+
+import pytest
+
+from repro.flows import render_summary, render_table2, run_table2, summarize_table2
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.mig import Mig, Realization, signal_not
+from repro.parallel import (
+    SEED_STRIDE,
+    derive_seed,
+    merge_counters,
+    merged_counters,
+    resolve_jobs,
+    run_ordered,
+    run_ordered_stream,
+)
+from repro.rram import (
+    EXHAUSTIVE_CAP,
+    VerificationCapError,
+    compile_mig,
+    find_first_mismatch,
+    verification_vectors,
+)
+
+
+def square_task(payload):
+    """Module-level so the process pool can pickle it."""
+    index, value = payload
+    return (index, value * value)
+
+
+def test_derive_seed_matches_fuzz_case_seed():
+    config = FuzzConfig(seed=17)
+    for index in range(20):
+        assert derive_seed(17, index) == config.case_seed(index)
+    assert SEED_STRIDE == 1_000_003
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+
+
+def test_run_ordered_inline_and_pool_agree():
+    payloads = [(i, i + 3) for i in range(9)]
+    inline = run_ordered(square_task, payloads, jobs=1)
+    pooled = run_ordered(square_task, payloads, jobs=3)
+    assert inline == pooled
+    assert [index for index, _ in pooled] == list(range(9))
+
+
+def test_run_ordered_stream_orders_and_stops():
+    def payloads():
+        for i in range(1000):
+            yield (i, i)
+
+    seen = []
+    budget = {"left": 7}
+
+    def should_continue():
+        budget["left"] -= 1
+        return budget["left"] > 0
+
+    for result in run_ordered_stream(
+        square_task, payloads(), jobs=1, should_continue=should_continue
+    ):
+        seen.append(result)
+    # Bounded by the budget, ordered, and each verdict untouched.
+    assert seen == [(i, i * i) for i in range(len(seen))]
+    assert 0 < len(seen) < 1000
+
+
+def test_merge_counters_sums_numeric_values():
+    target = {"oracle": 1.5, "cases": 2}
+    merge_counters(target, {"oracle": 0.5, "generate": 1.0})
+    assert target == {"oracle": 2.0, "cases": 2, "generate": 1.0}
+    merged = merged_counters([{"a": 1}, {"a": 2, "b": 3}, None])
+    assert merged == {"a": 3, "b": 3}
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_table2_output_is_bit_identical_across_job_counts(jobs):
+    names = ["cm162a", "cm163a"]
+
+    def rendered(job_count):
+        result = run_table2(names, effort=2, verify=True, jobs=job_count)
+        return (
+            render_table2(result)
+            + "\n"
+            + render_summary(summarize_table2(result))
+        )
+
+    assert rendered(1) == rendered(jobs)
+
+
+def test_table2_merged_profile_survives_workers():
+    result = run_table2(["cm162a"], effort=2, verify=False, jobs=2)
+    merged = result.merged_profile()
+    assert merged.get("moves_tried", 0) > 0
+
+
+def test_fuzz_differential_identical_across_job_counts(tmp_path):
+    def report(job_count):
+        config = FuzzConfig(
+            seconds=600.0,
+            seed=5,
+            effort=2,
+            max_cases=4,
+            out_dir=str(tmp_path / f"j{job_count}"),
+            jobs=job_count,
+        )
+        return run_fuzz(config)
+
+    sequential = report(1)
+    parallel = report(3)
+    assert sequential.cases_run == parallel.cases_run == 4
+    assert sequential.failures == parallel.failures
+    assert sequential.cases_by_kind == parallel.cases_by_kind
+
+
+def test_fuzz_fault_campaign_identical_across_job_counts(tmp_path):
+    def summary(job_count):
+        config = FuzzConfig(
+            seconds=600.0,
+            seed=3,
+            max_cases=3,
+            fault_classes=("stuck-set",),
+            out_dir=str(tmp_path / f"f{job_count}"),
+            jobs=job_count,
+        )
+        report = run_fuzz(config)
+        return report.detection_summary(), report.cases_by_kind
+
+    assert summary(1) == summary(2)
+
+
+def _chain_mig(num_pis: int) -> Mig:
+    mig = Mig(f"chain{num_pis}")
+    pis = [mig.add_pi() for _ in range(num_pis)]
+    acc = pis[0]
+    for pi in pis[1:]:
+        acc = mig.make_maj(acc, pi, 0)  # AND chain via constant 0
+    mig.add_po(acc)
+    return mig
+
+
+def test_verify_sharding_is_bit_identical():
+    rng = random.Random(11)
+    mig = Mig("verify")
+    pis = [mig.add_pi() for _ in range(9)]
+    signals = list(pis)
+    for _ in range(8):
+        a, b, c = (rng.choice(signals) for _ in range(3))
+        signals.append(mig.make_maj(signal_not(a), b, c))
+    mig.add_po(signals[-1])
+    report = compile_mig(mig, Realization.MAJ)
+    inline = find_first_mismatch(mig, report, jobs=1, chunk_bits=64)
+    sharded = find_first_mismatch(mig, report, jobs=2, chunk_bits=64)
+    assert inline is None and sharded is None
+
+
+def test_exhaustive_verification_refuses_beyond_the_cap():
+    mig = _chain_mig(EXHAUSTIVE_CAP + 2)
+    report = compile_mig(mig, Realization.IMP)
+    with pytest.raises(VerificationCapError) as excinfo:
+        find_first_mismatch(mig, report, exhaustive_limit=EXHAUSTIVE_CAP + 10)
+    assert f"2^{EXHAUSTIVE_CAP}" in str(excinfo.value)
+    with pytest.raises(VerificationCapError):
+        verification_vectors(
+            EXHAUSTIVE_CAP + 2, exhaustive_limit=EXHAUSTIVE_CAP + 10
+        )
+    # Sampled verification of the same wide program still works.
+    assert find_first_mismatch(mig, report) is None
