@@ -1,0 +1,117 @@
+"""CI perf guard for the transactional mutation engine.
+
+Two assertions, both on the ``steps_imp`` small-corpus flow (the
+cheapest flow that exercises every transactional call site —
+``_drive``'s best-checkpoint, ``clear_complemented_levels``' reject
+path, and the ``optimize_steps`` tail):
+
+1. **Ledger guard** — wall-clock with transactions enabled must stay
+   under the pre-transaction clone-engine baseline recorded in
+   ``BENCH_runtime.json`` (``baseline_pre_transactions``), scaled by
+   ``--max-ratio`` to absorb machine differences between the reference
+   box and CI runners.
+2. **In-run engine comparison** — the same corpus timed under both
+   engines *in this process*: the transactional engine must not be
+   slower than the legacy engine by more than ``--engine-margin``.
+   This comparison is machine-independent, so it stays meaningful even
+   when the ledger ratio is slack.
+
+Both runs must also produce bit-identical graphs (gate totals compared
+per benchmark) — a cheap determinism tripwire ahead of the full
+oracle's tx-diff check.
+
+Run:  PYTHONPATH=src python benchmarks/perf_guard.py
+Not pytest-collected: plain script, exit code 1 on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+BENCH_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_runtime.json")
+)
+
+
+def _run_corpus(enabled: bool, effort: int):
+    from repro.benchmarks import load_mig, small_names
+    from repro.mig import Realization, optimize_steps, transaction_engine
+
+    sizes = []
+    with transaction_engine(enabled):
+        start = time.perf_counter()
+        for name in small_names():
+            mig = load_mig(name)
+            optimize_steps(mig, Realization.IMP, effort)
+            sizes.append((name, mig.num_gates()))
+        seconds = time.perf_counter() - start
+    return seconds, sizes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=3.0,
+        help="allowed multiple of the recorded baseline seconds "
+        "(absorbs reference-machine vs CI-runner speed differences)",
+    )
+    parser.add_argument(
+        "--engine-margin",
+        type=float,
+        default=1.25,
+        help="allowed tx/legacy wall-clock ratio measured in-process",
+    )
+    parser.add_argument("--effort", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    with open(BENCH_JSON, encoding="utf-8") as handle:
+        ledger = json.load(handle)
+    baseline = ledger.get("baseline_pre_transactions")
+    if not baseline:
+        print("perf_guard: no baseline_pre_transactions in ledger", flush=True)
+        return 1
+    baseline_seconds = float(baseline["steps_imp_small_seconds"])
+    effort = args.effort or int(baseline.get("effort", 10))
+
+    tx_seconds, tx_sizes = _run_corpus(True, effort)
+    legacy_seconds, legacy_sizes = _run_corpus(False, effort)
+
+    print(f"steps_imp small corpus, effort {effort}:")
+    print(f"  recorded clone-engine baseline : {baseline_seconds:.3f}s")
+    print(f"  transactional engine           : {tx_seconds:.3f}s")
+    print(f"  legacy engine (this machine)   : {legacy_seconds:.3f}s")
+
+    failed = False
+    if tx_sizes != legacy_sizes:
+        diverged = [
+            (name, a, b)
+            for (name, a), (_n, b) in zip(tx_sizes, legacy_sizes)
+            if a != b
+        ]
+        print(f"FAIL: engines diverge structurally: {diverged[:5]}")
+        failed = True
+    if tx_seconds > baseline_seconds * args.max_ratio:
+        print(
+            f"FAIL: {tx_seconds:.3f}s exceeds recorded baseline "
+            f"{baseline_seconds:.3f}s x {args.max_ratio}"
+        )
+        failed = True
+    if tx_seconds > legacy_seconds * args.engine_margin:
+        print(
+            f"FAIL: transactional engine {tx_seconds:.3f}s slower than "
+            f"legacy {legacy_seconds:.3f}s x {args.engine_margin}"
+        )
+        failed = True
+    if not failed:
+        print("perf guard PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

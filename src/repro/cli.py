@@ -107,7 +107,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         if profile is None:
             print("profile      : (no cost-view counters for this run)")
         else:
-            print("profile      : cost-view evaluation counters")
+            print("profile      : cost-view + transaction counters")
             for key in (
                 "full_recomputes",
                 "delta_updates",
@@ -116,6 +116,11 @@ def _cmd_synth(args: argparse.Namespace) -> int:
                 "moves_tried",
                 "moves_accepted",
                 "predicted_skips",
+                "tx_checkpoints",
+                "tx_rollbacks",
+                "tx_undo_replayed",
+                "strash_hits",
+                "strash_misses",
             ):
                 print(f"  {key:<18s}: {profile.get(key, 0)}")
 
@@ -338,7 +343,12 @@ def _cmd_bench_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .flows.bench import append_bench_entry, bench_fuzz_smoke, bench_table2
+    from .flows.bench import (
+        append_bench_entry,
+        bench_fuzz_smoke,
+        bench_table2,
+        bench_tx_engine,
+    )
 
     entries = []
     if args.what in ("table2", "all"):
@@ -353,12 +363,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("timing packed vs scalar verification on the fuzz smoke "
               "corpus ...")
         entries.append(bench_fuzz_smoke(jobs=args.jobs))
+    if args.what == "tx-engine":
+        print(f"timing proposed flows under both mutation engines "
+              f"(effort={args.effort}) ...")
+        entries.append(
+            bench_tx_engine(args.benchmarks or None, effort=args.effort)
+        )
     for entry in entries:
         if not args.no_append:
             append_bench_entry(entry, args.output)
         if entry["kind"] == "table2":
             print(f"table2       : {entry['seconds']}s over "
                   f"{entry['benchmarks']} benchmarks (jobs={entry['jobs']})")
+        elif entry["kind"] == "tx-engine":
+            for label, flow in entry["flows"].items():
+                speedup = flow.get("speedup_vs_clone_baseline")
+                suffix = f" = {speedup}x vs clone baseline" if speedup else ""
+                print(f"tx-engine    : {label} tx {flow['tx_seconds']}s / "
+                      f"legacy {flow['legacy_seconds']}s{suffix}")
         else:
             print(f"fuzz-smoke   : packed {entry['packed_seconds']}s vs "
                   f"scalar {entry['scalar_seconds']}s = "
@@ -482,8 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("benchmarks", nargs="*",
                        help="Table II subset for the table2 timing")
     bench.add_argument(
-        "--what", choices=["table2", "fuzz-smoke", "all"], default="all",
-        help="which measurement to run (default all)",
+        "--what", choices=["table2", "fuzz-smoke", "tx-engine", "all"],
+        default="all",
+        help="which measurement to run (default all; tx-engine — the "
+        "transactional vs clone-based engine comparison — only when "
+        "named explicitly)",
     )
     bench.add_argument("--effort", type=int, default=10,
                        help="optimizer effort for the table2 timing")

@@ -13,6 +13,12 @@ so historical records like ``baseline_pre_costview`` survive):
   and once through the per-assignment scalar device simulator
   (:func:`repro.rram.run_program`), asserting identical verdicts and
   recording the ratio.
+* **tx-engine** — the transactional-rollback claim: each proposed flow
+  (``rram``/``steps`` × ``imp``/``maj``) timed over the large set under
+  the undo-journal engine and under the legacy clone-based engine,
+  asserting identical per-benchmark gate totals (bit-identity) and
+  recording both wall-clocks plus the speedup against the recorded
+  ``baseline_pre_costview`` clone-based numbers.
 
 Entries are plain dicts so downstream tooling (CI trend checks,
 EXPERIMENTS.md tables) can consume them without importing this module.
@@ -131,6 +137,85 @@ def bench_fuzz_smoke(*, jobs: int = 1) -> Dict[str, object]:
         "jobs": jobs,
         **_machine_info(),
     }
+
+
+def bench_tx_engine(
+    names: Optional[Sequence[str]] = None, *, effort: int = 10
+) -> Dict[str, object]:
+    """Time the proposed flows under both mutation engines.
+
+    Runs ``optimize_rram``/``optimize_steps`` for both realizations
+    over the large set (or ``names``), once with the transactional
+    undo-journal engine and once with the legacy clone-based engine,
+    requiring identical per-benchmark gate totals.  The recorded
+    speedups are against ``baseline_pre_costview`` — the original
+    whole-graph-clone implementation this engine replaces.
+    """
+    from ..benchmarks import large_names, load_mig
+    from ..mig import (
+        Realization,
+        optimize_rram,
+        optimize_steps,
+        transaction_engine,
+    )
+
+    flows = {
+        "rram_imp": lambda mig: optimize_rram(mig, Realization.IMP, effort),
+        "rram_maj": lambda mig: optimize_rram(mig, Realization.MAJ, effort),
+        "steps_imp": lambda mig: optimize_steps(mig, Realization.IMP, effort),
+        "steps_maj": lambda mig: optimize_steps(mig, Realization.MAJ, effort),
+    }
+    corpus = list(names) if names else large_names()
+    entry: Dict[str, object] = {
+        "kind": "tx-engine",
+        "effort": effort,
+        "benchmarks": len(corpus),
+        "flows": {},
+        **_machine_info(),
+    }
+    baseline: Dict[str, float] = {}
+    if os.path.exists(DEFAULT_BENCH_PATH):
+        with open(DEFAULT_BENCH_PATH, "r", encoding="utf-8") as handle:
+            baseline = (
+                json.load(handle)
+                .get("baseline_pre_costview", {})
+                .get("whole_set_seconds", {})
+            )
+
+    for label, run in flows.items():
+        timings: Dict[str, float] = {}
+        totals: Dict[str, List] = {}
+        profile: Dict[str, int] = {}
+        for engine, enabled in (("tx", True), ("legacy", False)):
+            with transaction_engine(enabled):
+                start = time.perf_counter()
+                sizes = []
+                for name in corpus:
+                    mig = load_mig(name)
+                    result = run(mig)
+                    sizes.append(mig.num_gates())
+                    if enabled:
+                        for key, value in (result.profile or {}).items():
+                            profile[key] = profile.get(key, 0) + value
+                timings[engine] = round(time.perf_counter() - start, 3)
+                totals[engine] = sizes
+        if totals["tx"] != totals["legacy"]:
+            raise AssertionError(
+                f"{label}: transactional and clone-based engines diverge"
+            )
+        flow_entry: Dict[str, object] = {
+            "tx_seconds": timings["tx"],
+            "legacy_seconds": timings["legacy"],
+            "total_gates": sum(totals["tx"]),
+            "profile": profile,
+        }
+        recorded = baseline.get(label)
+        if recorded:
+            flow_entry["speedup_vs_clone_baseline"] = round(
+                recorded / timings["tx"], 2
+            )
+        entry["flows"][label] = flow_entry  # type: ignore[index]
+    return entry
 
 
 def append_bench_entry(

@@ -14,11 +14,16 @@ For one generated circuit the oracle asserts, in order:
    must produce identical outcomes (the PR-1 invalidation protocol's
    core claim, here checked on adversarial inputs instead of the
    benchmark set).
-4. **Compile cost triangle** — for both realizations, the analytic
+4. **Transaction differential** — every optimizer flow run twice on
+   identical clones, once under the transactional undo-journal engine
+   and once under the legacy clone-based rollback engine, must leave
+   *structurally identical* graphs (the bit-identity contract of the
+   checkpoint/rollback/commit journal, checked on adversarial inputs).
+5. **Compile cost triangle** — for both realizations, the analytic
    ``S = K_S·D + L`` equals the CostView's incremental answer equals
    the compiler's measured step count, and the compiled program
    replayed on the device-level array simulator matches the MIG.
-5. **PLiM backend** — the serial RM3 stream computes the same function.
+6. **PLiM backend** — the serial RM3 stream computes the same function.
 
 Any violation is returned as an :class:`OracleFailure` naming the check
 that tripped; ``None`` means the case is clean.  Checks run on clones,
@@ -46,6 +51,7 @@ from ..mig import (
     optimize_rram,
     optimize_steps,
     rram_costs,
+    transaction_engine,
 )
 from ..mig.algorithms import (
     clear_complemented_levels,
@@ -74,6 +80,7 @@ CHECKS: Tuple[str, ...] = (
     "flow-anneal",
     "flow-rewrite",
     "costview-diff",
+    "tx-diff",
     "compile-imp",
     "compile-maj",
     "plim-exec",
@@ -254,6 +261,42 @@ def _check_costview_differential(
     return None
 
 
+def _check_tx_differential(
+    base: Mig, netlist: Netlist, effort: int
+) -> Optional[OracleFailure]:
+    """Transactional vs clone-based rollback must be bit-identical.
+
+    Every optimizer flow runs twice on identical clones — once with the
+    undo-journal engine, once with the legacy whole-graph-clone engine
+    — and the resulting graphs must be *structurally* equal (same node
+    arrays, same output signals), not merely functionally equivalent.
+    """
+    for name, runner in _FLOWS:
+        tx_mig = base.clone()
+        legacy_mig = base.clone()
+        with transaction_engine(True):
+            runner(tx_mig, effort)
+        with transaction_engine(False):
+            runner(legacy_mig, effort)
+        if (
+            tx_mig._children != legacy_mig._children
+            or tx_mig._pos != legacy_mig._pos
+        ):
+            return OracleFailure(
+                "tx-diff",
+                f"flow {name}: transactional and clone-based engines "
+                f"produced structurally different graphs "
+                f"({tx_mig.num_gates()} vs {legacy_mig.num_gates()} gates)",
+            )
+        tx_mig.check_invariants()
+        if not mig_matches_netlist(tx_mig, netlist):
+            return OracleFailure(
+                "tx-diff",
+                f"flow {name} under transactions broke the function",
+            )
+    return None
+
+
 def _check_compile(
     base: Mig, netlist: Netlist, realization: Realization, effort: int
 ) -> Optional[OracleFailure]:
@@ -357,6 +400,14 @@ def check_case(
         failure = _guarded(
             "costview-diff",
             lambda: _check_costview_differential(base, netlist),
+        )
+        if failure is not None:
+            return failure
+
+    if on("tx-diff"):
+        failure = _guarded(
+            "tx-diff",
+            lambda: _check_tx_differential(base, netlist, effort),
         )
         if failure is not None:
             return failure

@@ -11,6 +11,8 @@ from .graph import (
     signal_is_complemented,
     signal_node,
     signal_not,
+    transaction_engine,
+    transactions_enabled,
 )
 from .views import (
     LevelStats,
@@ -61,6 +63,8 @@ __all__ = [
     "signal_is_complemented",
     "signal_node",
     "signal_not",
+    "transaction_engine",
+    "transactions_enabled",
     "CostView",
     "CostViewCounters",
     "LevelStats",

@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .costview import CostView
-from .graph import Mig, signal_is_complemented, signal_node
+from .graph import (
+    Mig,
+    signal_is_complemented,
+    signal_node,
+    transactions_enabled,
+)
 from .rewrite import (
     apply_associativity,
     apply_complementary_associativity,
@@ -470,7 +475,7 @@ def clear_complemented_levels(
         def reject_compact() -> None:
             nonlocal at_fixpoint
             if not at_fixpoint:
-                mig.copy_from(mig.clone())
+                mig.compact()
                 at_fixpoint = True
 
         for _count, level in candidates:
@@ -512,24 +517,46 @@ def clear_complemented_levels(
                     view.counters.predicted_skips += 1
                     reject_compact()
                     continue
-            snapshot = mig.clone()
+            # Measured trial.  The transactional engine replaces the
+            # whole-graph snapshot clone with an O(touched) undo
+            # journal; a rejected trial rolls back and compacts, which
+            # is bit-identical to the legacy ``copy_from(snapshot)``
+            # (both land on ``clone(clone(pre-trial state))``, and
+            # ``clone`` never reads the dicts whose insertion order a
+            # rollback scrambles).
+            if transactions_enabled():
+                token = mig.checkpoint()
+                snapshot = None
+            else:
+                token = None
+                snapshot = mig.clone()
             if level == -1:
                 ok = _try_clear_po_level(mig)
             else:
                 ok = _try_clear_level(mig, level, node_level_map)
             if not ok:
-                mig.copy_from(snapshot)
+                if token is not None:
+                    mig.rollback(token)
+                    mig.compact()
+                else:
+                    mig.copy_from(snapshot)
                 at_fixpoint = True
                 continue
             after_costs = _costs_of(mig, realization, view)
             after = (after_costs.steps, after_costs.rrams)
             if after < before:
+                if token is not None:
+                    mig.commit(token)
                 improved = True
                 changed_any = True
                 if view is not None:
                     view.counters.moves_accepted += 1
                 break
-            mig.copy_from(snapshot)
+            if token is not None:
+                mig.rollback(token)
+                mig.compact()
+            else:
+                mig.copy_from(snapshot)
             at_fixpoint = True
         if not improved:
             break
@@ -595,7 +622,18 @@ def _drive(
     """
     initial_size, initial_depth = _size_depth(mig, view)
     best_key = objective(mig)
-    best = mig.clone()
+    # Best-snapshot tracking: the transactional engine keeps a
+    # checkpoint open at the best state seen so far — improving cycles
+    # commit it and open a fresh one (O(1)), worse cycles accumulate
+    # undo records.  The legacy engine clones the whole graph at every
+    # improvement.  Both finish identically: restoring the best state
+    # renumbers via ``clone(clone(best))``, reproduced here by
+    # rollback + compact.
+    use_tx = transactions_enabled()
+    best: Optional[Mig] = None
+    token = mig.checkpoint() if use_tx else None
+    if not use_tx:
+        best = mig.clone()
     history: List[Tuple[int, int]] = []
     cycles = 0
     stale = 0
@@ -606,14 +644,24 @@ def _drive(
         key = objective(mig)
         if key < best_key:
             best_key = key
-            best = mig.clone()
+            if use_tx:
+                mig.commit(token)
+                token = mig.checkpoint()
+            else:
+                best = mig.clone()
             stale = 0
         else:
             stale += 1
         if not changed or stale >= 3:
             break
     if objective(mig) > best_key:
-        mig.copy_from(best)
+        if use_tx:
+            mig.rollback(token)
+            mig.compact()
+        else:
+            mig.copy_from(best)
+    elif use_tx:
+        mig.commit(token)
     final_size, final_depth = _size_depth(mig, view)
     return OptimizationResult(
         algorithm=algorithm,
@@ -623,7 +671,7 @@ def _drive(
         final_size=final_size,
         final_depth=final_depth,
         history=history,
-        profile=view.counters.as_dict() if view is not None else None,
+        profile=view.profile() if view is not None else None,
     )
 
 
@@ -649,7 +697,7 @@ def optimize_area(mig: Mig, effort: int = DEFAULT_EFFORT) -> OptimizationResult:
     eliminate(mig, view=view)
     size, depth = _size_depth(mig, view)
     result.final_size, result.final_depth = size, depth
-    result.profile = view.counters.as_dict()
+    result.profile = view.profile()
     return result
 
 
@@ -744,7 +792,7 @@ def optimize_rram(
     result.initial_depth = initial_depth
     size, depth = _size_depth(mig, view)
     result.final_size, result.final_depth = size, depth
-    result.profile = view.counters.as_dict()
+    result.profile = view.profile()
     if probe_result.profile:
         for key, value in probe_result.profile.items():
             result.profile[key] = result.profile.get(key, 0) + value
@@ -786,14 +834,23 @@ def optimize_steps(
         return (costs.steps, costs.rrams)
 
     result = _drive(mig, "steps", effort, body, objective, view)
-    snapshot = mig.clone()
     before = objective(mig)
-    push_up(mig, use_relevance=True, view=view)
-    if objective(mig) > before:
-        mig.copy_from(snapshot)
+    if transactions_enabled():
+        token = mig.checkpoint()
+        push_up(mig, use_relevance=True, view=view)
+        if objective(mig) > before:
+            mig.rollback(token)
+            mig.compact()
+        else:
+            mig.commit(token)
+    else:
+        snapshot = mig.clone()
+        push_up(mig, use_relevance=True, view=view)
+        if objective(mig) > before:
+            mig.copy_from(snapshot)
     size, depth = _size_depth(mig, view)
     result.final_size, result.final_depth = size, depth
-    result.profile = view.counters.as_dict()
+    result.profile = view.profile()
     return result
 
 

@@ -26,7 +26,12 @@ import math
 import random
 from typing import Dict, List, Optional, Tuple
 
-from .graph import Mig, signal_is_complemented, signal_node
+from .graph import (
+    Mig,
+    signal_is_complemented,
+    signal_node,
+    transactions_enabled,
+)
 from .rewrite import apply_inverter_propagation
 from .views import Realization, level_stats
 
@@ -186,7 +191,12 @@ def anneal_complements(
         before.step_count(realization),
         before.rram_count(realization),
     )
-    snapshot = mig.clone()
+    # Realize the best flip assignment under an undo scope: rejecting
+    # it rolls back and compacts, bit-identical to the legacy
+    # whole-graph ``copy_from(snapshot)`` restore.
+    use_tx = transactions_enabled()
+    token = mig.checkpoint() if use_tx else None
+    snapshot = None if use_tx else mig.clone()
     for node in to_flip:
         if mig.is_gate(node):
             apply_inverter_propagation(mig, node)
@@ -196,6 +206,12 @@ def anneal_complements(
         after.rram_count(realization),
     )
     if after_costs >= before_costs:
-        mig.copy_from(snapshot)
+        if token is not None:
+            mig.rollback(token)
+            mig.compact()
+        else:
+            mig.copy_from(snapshot)
         return False
+    if token is not None:
+        mig.commit(token)
     return True

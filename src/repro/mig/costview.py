@@ -96,6 +96,9 @@ class CostView:
     def __init__(self, mig: Mig) -> None:
         self.mig = mig
         self.counters = CostViewCounters()
+        # Baseline of the Mig's monotone transaction/strash counters:
+        # profile() reports the deltas accrued during this view's run.
+        self._mig_counter_base = self._mig_counters()
         self._cursor = mig.enable_event_log()
         # Per-generation lazy caches (invalidated by any mutation).
         self._order: Optional[List[int]] = None
@@ -198,6 +201,14 @@ class CostView:
         mig = self.mig
         children_arr = mig._children
         is_pi = mig._is_pi
+        # A transaction rollback pops nodes allocated inside the
+        # transaction, so events may reference ids past the end of the
+        # (final-state) arrays.  Such ids are always gates (PIs cannot
+        # be created inside a transaction) and their triples are always
+        # covered by the ``triple_now`` overlay (their ATTACH event
+        # precedes any reference to them), so they only need an
+        # in-range check before the ``is_pi`` lookup.
+        num_nodes = len(is_pi)
         levels = self._levels
         live_ref = self._live_ref
         in_comp = self._in_comp
@@ -249,7 +260,7 @@ class CostView:
             while stack:
                 for s in stack.pop():
                     child = s >> 1
-                    if child == 0 or is_pi[child]:
+                    if child == 0 or (child < num_nodes and is_pi[child]):
                         continue
                     refs = live_ref.get(child, 0)
                     live_ref[child] = refs + 1
@@ -264,7 +275,7 @@ class CostView:
             while stack:
                 for s in stack.pop():
                     child = s >> 1
-                    if child == 0 or is_pi[child]:
+                    if child == 0 or (child < num_nodes and is_pi[child]):
                         continue
                     refs = live_ref[child] - 1
                     if refs:
@@ -296,7 +307,7 @@ class CostView:
             else:  # EVENT_PO
                 old, new = event[2], event[3]
                 driver = new >> 1
-                if driver != 0 and not is_pi[driver]:
+                if driver != 0 and not (driver < num_nodes and is_pi[driver]):
                     refs = live_ref.get(driver, 0)
                     live_ref[driver] = refs + 1
                     if refs == 0:
@@ -306,7 +317,7 @@ class CostView:
                             gain_refs(children)
                 if old is not None:
                     driver = old >> 1
-                    if driver != 0 and not is_pi[driver]:
+                    if driver != 0 and not (driver < num_nodes and is_pi[driver]):
                         refs = live_ref[driver] - 1
                         if refs:
                             live_ref[driver] = refs
@@ -563,6 +574,31 @@ class CostView:
             if value > best:
                 best = value
         return (steps, best)
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+
+    def _mig_counters(self) -> Dict[str, int]:
+        mig = self.mig
+        return {
+            "tx_checkpoints": mig.tx_checkpoints,
+            "tx_rollbacks": mig.tx_rollbacks,
+            "tx_undo_replayed": mig.tx_undo_replayed,
+            "strash_hits": mig.strash_hits,
+            "strash_misses": mig.strash_misses,
+        }
+
+    def profile(self) -> Dict[str, int]:
+        """One flat counter dict for ``--profile``: the CostView's own
+        counters plus the graph's transaction/strash counters accrued
+        since this view was created.  Plain ints, so per-worker dicts
+        sum key-wise across ``--jobs`` shards."""
+        merged = self.counters.as_dict()
+        base = self._mig_counter_base
+        for key, value in self._mig_counters().items():
+            merged[key] = value - base[key]
+        return merged
 
     # ------------------------------------------------------------------
     # Validation

@@ -24,11 +24,31 @@ Invariants maintained at all times:
 Complement *placement* is deliberately **not** canonicalized: the
 optimization algorithms of the paper (Sec. III-C/D) explicitly move
 complements around with the Ω.I axiom, so the graph must faithfully
-keep them where the algorithms put them.
+keep them where the algorithms put them.  (This is also why the strash
+keys raw sorted triples rather than complement-normalized ones: a
+normalized table would silently merge ``M(x,y,z)`` with its Ω.I image
+and make the complement-placement algorithms no-ops.  NPN-level
+canonization lives one layer up, in the resynthesis recipe cache of
+:mod:`repro.mig.resynth`.)
+
+Transactions
+------------
+Every mutating primitive appends an inverse record to an undo journal
+while a transaction is open (:meth:`Mig.checkpoint`), so a rejected
+speculative edit is undone in O(touched nodes) by
+:meth:`Mig.rollback` instead of the O(graph) ``clone()``/``copy_from``
+snapshot dance.  Rollback replays inverse *events* through the normal
+event log as well, so an attached
+:class:`repro.mig.costview.CostView` rolls its cost state back in
+lockstep without a full recompute.  :meth:`Mig.commit` discards the
+journal suffix.  ``generation`` stays monotone across rollbacks (a
+restored state is a *new* version — caches keyed by generation must
+never alias across a rollback).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..truth import TruthTable, table_mask
@@ -43,6 +63,51 @@ EVENT_PO = 2  # (EVENT_PO, index, old_signal_or_None, new_signal)
 
 CONST0: Signal = 0
 CONST1: Signal = 1
+
+# ----------------------------------------------------------------------
+# Transaction-engine switch
+# ----------------------------------------------------------------------
+# The optimizers keep their historical clone()-based rollback paths for
+# differential testing (the fuzz oracle's "tx-diff" check, the CI
+# determinism smoke).  The transactional engine is the default;
+# ``REPRO_TX=0`` in the environment disables it process-wide (worker
+# processes inherit the variable, so ``--jobs`` runs stay consistent),
+# and :class:`transaction_engine` overrides it for one in-process block.
+
+_TX_DEFAULT = os.environ.get("REPRO_TX", "1") != "0"
+_TX_OVERRIDE: Optional[bool] = None
+
+
+def transactions_enabled() -> bool:
+    """True when optimizers should roll back via checkpoint/rollback
+    instead of clone()-based snapshots (the paths are result-identical;
+    see ``REPRO_TX`` and :class:`transaction_engine`)."""
+    return _TX_DEFAULT if _TX_OVERRIDE is None else _TX_OVERRIDE
+
+
+class transaction_engine:
+    """Context manager forcing the rollback-engine choice for a block.
+
+    ``with transaction_engine(False): ...`` runs the wrapped optimizer
+    calls on the legacy clone()-based paths regardless of ``REPRO_TX``;
+    ``transaction_engine(True)`` forces the transactional engine.
+    Nested uses restore the previous override on exit.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+        self._prev: Optional[bool] = None
+
+    def __enter__(self) -> "transaction_engine":
+        global _TX_OVERRIDE
+        self._prev = _TX_OVERRIDE
+        _TX_OVERRIDE = self._enabled
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        global _TX_OVERRIDE
+        _TX_OVERRIDE = self._prev
+        return False
 
 
 def make_signal(node: int, complement: bool = False) -> Signal:
@@ -111,6 +176,21 @@ class Mig:
         self._events: List[tuple] = []
         self._events_base = 0
         self._track_events = False
+        # Transactional undo journal: inverse records appended by the
+        # mutation primitives while a checkpoint is open.  Records (LIFO
+        # on rollback): ``("n", node)`` node allocation, ``("a", node,
+        # prev_strash_owner)`` attach, ``("d", node, triple, owned)``
+        # detach, ``("p", index, old_signal)`` PO write, and ``("w",
+        # arrays)`` wholesale array replacement (copy_from/compact).
+        # Nested checkpoints share the journal through a mark stack.
+        self._undo: List[tuple] = []
+        self._tx_stack: List[int] = []
+        # Monotone profiling counters (surfaced via CostView.profile()).
+        self.tx_checkpoints = 0
+        self.tx_rollbacks = 0
+        self.tx_undo_replayed = 0
+        self.strash_hits = 0
+        self.strash_misses = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -235,6 +315,8 @@ class Mig:
 
     def add_pi(self, name: Optional[str] = None) -> Signal:
         """Create a primary input; returns its (positive) signal."""
+        if self._tx_stack:
+            raise MigError("cannot add a primary input inside a transaction")
         node = self._new_node(None, is_pi=True)
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"x{len(self._pis) - 1}")
@@ -242,6 +324,8 @@ class Mig:
 
     def add_po(self, signal: Signal, name: Optional[str] = None) -> int:
         """Register a primary output; returns the output index."""
+        if self._tx_stack:
+            raise MigError("cannot add a primary output inside a transaction")
         self._check_signal(signal)
         node = signal_node(signal)
         self._pos.append(signal)
@@ -256,6 +340,8 @@ class Mig:
         """Redirect an existing primary output to a new signal."""
         self._check_signal(signal)
         old = self._pos[index]
+        if self._tx_stack:
+            self._undo.append(("p", index, old))
         self._pos[index] = signal
         self._generation += 1
         if self._track_events and old != signal:
@@ -275,7 +361,9 @@ class Mig:
             return reduced
         existing = self._strash.get(children)  # type: ignore[arg-type]
         if existing is not None:
+            self.strash_hits += 1
             return make_signal(existing)
+        self.strash_misses += 1
         node = self._new_node(children)  # type: ignore[arg-type]
         return make_signal(node)
 
@@ -345,6 +433,8 @@ class Mig:
             for i, po in enumerate(self._pos):
                 if signal_node(po) == old:
                     redirected = new ^ (po & 1)
+                    if self._tx_stack:
+                        self._undo.append(("p", i, po))
                     self._pos[i] = redirected
                     if self._track_events:
                         self._log_event((EVENT_PO, i, po, redirected))
@@ -636,6 +726,23 @@ class Mig:
         if other.num_pis != self.num_pis or other.num_pos != self.num_pos:
             raise MigError("copy_from requires matching interfaces")
         source = other.clone()
+        if self._tx_stack:
+            # Wholesale record: the replaced arrays are captured by
+            # reference (O(1)) — nothing mutates them once swapped out,
+            # and rollback swaps them straight back.
+            self._undo.append((
+                "w",
+                (
+                    self._children,
+                    self._is_pi,
+                    self._fanout,
+                    self._pis,
+                    self._pi_names,
+                    self._pos,
+                    self._po_names,
+                    self._strash,
+                ),
+            ))
         self._children = source._children
         self._is_pi = source._is_pi
         self._fanout = source._fanout
@@ -649,6 +756,142 @@ class Mig:
         # the event base past every live cursor so views full-recompute.
         self._events_base += len(self._events) + 1
         self._events.clear()
+
+    def compact(self) -> None:
+        """Renumber to the canonical clone-fixpoint id space, dropping
+        dead nodes.
+
+        Equivalent to the historical ``mig.copy_from(mig.clone())``
+        idiom: the result is ``clone(clone(self))``.  A single clone
+        would *not* do — renumbering re-sorts child triples, which
+        reorders the next PO-driven traversal — but the double image is
+        a fixpoint, so ``compact`` is idempotent on content.  The
+        optimizers call this after :meth:`rollback` wherever the legacy
+        clone-based engine renumbered state via ``copy_from``, keeping
+        the two engines bit-identical.
+        """
+        self.copy_from(self.clone())
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while at least one checkpoint is open."""
+        return bool(self._tx_stack)
+
+    def checkpoint(self) -> int:
+        """Open a transaction; returns a token for commit/rollback.
+
+        Transactions nest: each checkpoint marks a position in the
+        shared undo journal, and tokens must be resolved innermost
+        first.  While any transaction is open, ``add_pi``/``add_po``
+        raise (the optimizers never extend the interface mid-run, and
+        interface edits are not journaled).
+        """
+        self._tx_stack.append(len(self._undo))
+        self.tx_checkpoints += 1
+        return len(self._tx_stack) - 1
+
+    def commit(self, token: int) -> None:
+        """Close the innermost transaction, keeping its mutations."""
+        if token != len(self._tx_stack) - 1:
+            raise MigError(
+                f"commit token {token} is not the innermost transaction"
+            )
+        self._tx_stack.pop()
+        if not self._tx_stack:
+            self._undo.clear()
+
+    def rollback(self, token: int) -> None:
+        """Undo every mutation since the matching :meth:`checkpoint`.
+
+        Replays the journal suffix in reverse: each inverse operation
+        restores ``_children``/``_fanout``/``_strash``/``_pos`` exactly
+        and logs the inverse structural event, so attached views
+        delta-update instead of recomputing.  Dict *insertion order*
+        (fanout, strash) is not restored — only content — which is why
+        the optimizer call sites follow a rollback with
+        :meth:`compact` wherever the legacy engine renumbered state
+        (``clone`` never reads those dicts, so the compacted result is
+        bit-identical to the legacy one).  ``generation`` keeps rising.
+        """
+        if token != len(self._tx_stack) - 1:
+            raise MigError(
+                f"rollback token {token} is not the innermost transaction"
+            )
+        mark = self._tx_stack.pop()
+        undo = self._undo
+        children_arr = self._children
+        fanout = self._fanout
+        strash = self._strash
+        track = self._track_events
+        replayed = 0
+        for i in range(len(undo) - 1, mark - 1, -1):
+            record = undo[i]
+            kind = record[0]
+            if kind == "a":
+                _kind, node, prev = record
+                triple = children_arr[node]
+                children_arr[node] = None
+                if prev is None:
+                    del strash[triple]
+                else:
+                    strash[triple] = prev
+                for s in triple:  # type: ignore[union-attr]
+                    counts = fanout[s >> 1]
+                    counts[node] -= 1
+                    if not counts[node]:
+                        del counts[node]
+                if track:
+                    self._log_event((EVENT_DETACH, node, triple))
+            elif kind == "d":
+                _kind, node, triple, owned = record
+                children_arr[node] = triple
+                if owned:
+                    strash[triple] = node
+                for s in triple:
+                    counts = fanout[s >> 1]
+                    counts[node] = counts.get(node, 0) + 1
+                if track:
+                    self._log_event((EVENT_ATTACH, node, triple))
+            elif kind == "n":
+                node = record[1]
+                if node != len(children_arr) - 1 or children_arr[node] is not None:
+                    raise MigError("undo journal corrupt: bad node pop")
+                children_arr.pop()
+                self._is_pi.pop()
+                fanout.pop()
+            elif kind == "p":
+                _kind, index, old = record
+                current = self._pos[index]
+                self._pos[index] = old
+                if track and current != old:
+                    self._log_event((EVENT_PO, index, current, old))
+            else:  # "w" — wholesale array swap (copy_from/compact)
+                (
+                    self._children,
+                    self._is_pi,
+                    self._fanout,
+                    self._pis,
+                    self._pi_names,
+                    self._pos,
+                    self._po_names,
+                    self._strash,
+                ) = record[1]
+                children_arr = self._children
+                fanout = self._fanout
+                strash = self._strash
+                # Same contract as the forward wholesale op: no
+                # per-mutation events exist, force a full recompute.
+                self._events_base += len(self._events) + 1
+                self._events.clear()
+            replayed += 1
+        del undo[mark:]
+        self.tx_rollbacks += 1
+        self.tx_undo_replayed += replayed
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Internals
@@ -668,6 +911,8 @@ class Mig:
         self._children.append(None)
         self._is_pi.append(is_pi)
         self._fanout.append({})
+        if self._tx_stack:
+            self._undo.append(("n", node))
         if children is not None:
             self._attach(node, children)
         self._generation += 1
@@ -676,6 +921,10 @@ class Mig:
     def _attach(self, node: int, children: Tuple[Signal, Signal, Signal]) -> None:
         """Install a sorted child triple and register fanout + strash."""
         self._children[node] = children
+        if self._tx_stack:
+            # The previous strash owner (a dead duplicate gate, usually
+            # None) must be reinstated on rollback.
+            self._undo.append(("a", node, self._strash.get(children)))
         self._strash[children] = node
         for s in children:
             child = signal_node(s)
@@ -688,7 +937,10 @@ class Mig:
         triple = self._children[node]
         if triple is None:
             return
-        if self._strash.get(triple) == node:
+        owned = self._strash.get(triple) == node
+        if self._tx_stack:
+            self._undo.append(("d", node, triple, owned))
+        if owned:
             del self._strash[triple]
         for s in triple:
             child = signal_node(s)

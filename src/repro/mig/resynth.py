@@ -17,6 +17,14 @@ natively.  Decompositions are tried in order of strength:
 Functions whose support has at most three variables short-circuit to
 the *exact* synthesizer (:mod:`repro.mig.exact`), which guarantees the
 minimum node count for the residues every decomposition bottoms out in.
+Four-variable functions go through a process-wide NPN-canonical recipe
+cache: the decomposition engine runs once per NPN class on a scratch
+graph, the resulting structure is extracted as a graph-independent
+recipe (the same flat operand encoding :mod:`repro.mig.exact` uses),
+and every later occurrence replays the recipe through ``make_maj`` —
+where structural hashing dedupes it against the live graph.  Recipes
+reference nothing in any particular :class:`Mig`, so the cache needs no
+invalidation when the underlying graph mutates or rolls back.
 Results are memoized per call, so shared sub-functions are built once.
 This is the candidate generator for cut rewriting
 (:mod:`repro.mig.rewriting`) and a usable general synthesizer in its
@@ -29,7 +37,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..truth import TruthTable
-from .graph import CONST0, CONST1, Mig, Signal, signal_not
+from .graph import (
+    CONST0,
+    CONST1,
+    Mig,
+    Signal,
+    signal_is_complemented,
+    signal_node,
+    signal_not,
+)
+from .npn import apply_npn_to_signals, npn_canonize
 
 
 def synthesize_table(
@@ -90,6 +107,11 @@ def _synth_uncached(
 
         projected = _project(f, support)
         return synthesize_exact(
+            mig, projected, [leaves[index] for index in support]
+        )
+    if len(support) == 4 and not _BUILDING_RECIPE:
+        projected = _project(f, support)
+        return _synthesize_npn4(
             mig, projected, [leaves[index] for index in support]
         )
 
@@ -163,6 +185,111 @@ def _synth_uncached(
     hi = _synth(mig, one, leaves, memo)
     lo = _synth(mig, zero, leaves, memo)
     return mig.make_mux(x, hi, lo)
+
+
+# ----------------------------------------------------------------------
+# NPN-canonical recipe cache for 4-variable functions
+# ----------------------------------------------------------------------
+#
+# representative bits -> (recipe, root_negate).  A recipe is the flat
+# tuple-of-triples operand encoding of repro.mig.exact: each triple
+# builds one majority node from ("leaf", i, neg) / ("const", v) /
+# ("node", j, neg) operands, last node is the root.  Recipes come from
+# one scratch-graph run of the decomposition engine per NPN class and
+# carry no reference to any live graph, so they survive arbitrary
+# mutation/rollback of the graphs they are replayed into.
+
+_NPN4_RECIPES: Dict[int, Tuple[Tuple, bool]] = {}
+
+#: Reentrancy guard: while a representative is being decomposed on the
+#: scratch graph, the 4-support branch must not re-enter itself.
+_BUILDING_RECIPE = False
+
+
+def _npn4_recipe(representative: TruthTable) -> Tuple[Tuple, bool]:
+    cached = _NPN4_RECIPES.get(representative.bits)
+    if cached is not None:
+        return cached
+    global _BUILDING_RECIPE
+    scratch = Mig()
+    scratch_leaves = [scratch.add_pi(f"x{i}") for i in range(4)]
+    _BUILDING_RECIPE = True
+    try:
+        root = _synth(scratch, representative, scratch_leaves, {})
+    finally:
+        _BUILDING_RECIPE = False
+    recipe = _extract_recipe(scratch, scratch_leaves, root)
+    _NPN4_RECIPES[representative.bits] = recipe
+    return recipe
+
+
+def _extract_recipe(
+    scratch: Mig, scratch_leaves: List[Signal], root: Signal
+) -> Tuple[Tuple, bool]:
+    """Flatten the root cone of a scratch graph into a replayable
+    recipe (nodes in creation = id order, so replay respects
+    dependencies)."""
+    pi_index = {
+        signal_node(leaf): position
+        for position, leaf in enumerate(scratch_leaves)
+    }
+    cone = set()
+    stack = [signal_node(root)]
+    while stack:
+        node = stack.pop()
+        if node in cone or not scratch.is_gate(node):
+            continue
+        cone.add(node)
+        for child in scratch.children(node):
+            stack.append(signal_node(child))
+    order = sorted(cone)
+    index_of = {node: position for position, node in enumerate(order)}
+    recipe = []
+    for node in order:
+        triple = []
+        for s in scratch.children(node):
+            child = signal_node(s)
+            negate = bool(signal_is_complemented(s))
+            if child == 0:
+                triple.append(("const", negate))
+            elif child in pi_index:
+                triple.append(("leaf", pi_index[child], negate))
+            else:
+                triple.append(("node", index_of[child], negate))
+        recipe.append(tuple(triple))
+    return tuple(recipe), bool(signal_is_complemented(root))
+
+
+def _synthesize_npn4(
+    mig: Mig, projected: TruthTable, proj_leaves: List[Signal]
+) -> Signal:
+    """Replay the cached recipe of ``projected``'s NPN class over the
+    given leaves (``projected`` must have all four variables in its
+    support, so the class root is always a gate)."""
+    representative, transform = npn_canonize(projected)
+    recipe, root_negate = _npn4_recipe(representative)
+    rep_leaves, output_negation = apply_npn_to_signals(
+        transform, proj_leaves
+    )
+    built: List[Signal] = []
+    for triple in recipe:
+        operands = []
+        for op in triple:
+            if op[0] == "const":
+                operands.append(CONST1 if op[1] else CONST0)
+            elif op[0] == "leaf":
+                signal = rep_leaves[op[1]]
+                operands.append(signal_not(signal) if op[2] else signal)
+            else:
+                signal = built[op[1]]
+                operands.append(signal_not(signal) if op[2] else signal)
+        built.append(mig.make_maj(*operands))
+    result = built[-1]
+    if root_negate:
+        result = signal_not(result)
+    if output_negation:
+        result = signal_not(result)
+    return result
 
 
 def _project(f: TruthTable, support: Sequence[int]) -> TruthTable:

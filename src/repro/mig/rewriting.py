@@ -39,7 +39,7 @@ from .cuts import (
     enumerate_cuts,
     mffc_size,
 )
-from .graph import Mig, MigError, signal_node
+from .graph import Mig, MigError, signal_node, transactions_enabled
 from .resynth import synthesize_table
 
 
@@ -57,8 +57,15 @@ def cut_rewrite(
     as a diversification step before ``eliminate``).
     """
     changed_any = False
+    use_tx = transactions_enabled()
     for _round in range(max_rounds):
-        round_snapshot = mig.clone()
+        # Round-level undo scope: a tripped monotonicity guard rolls
+        # back and compacts (bit-identical to the legacy
+        # ``copy_from(round_snapshot)`` — both land on
+        # ``clone(clone(pre-round state))``); a surviving round commits
+        # for free instead of discarding a whole-graph clone.
+        token = mig.checkpoint() if use_tx else None
+        round_snapshot = None if use_tx else mig.clone()
         size_before = mig.num_gates()
         changed = False
         cuts = enumerate_cuts(mig, cut_size=cut_size)
@@ -74,8 +81,14 @@ def cut_rewrite(
         if mig.num_gates() > size_before:
             # Local gains did not compose (shared logic shifted under
             # later rewrites): monotonicity guard.
-            mig.copy_from(round_snapshot)
+            if token is not None:
+                mig.rollback(token)
+                mig.compact()
+            else:
+                mig.copy_from(round_snapshot)
             break
+        if token is not None:
+            mig.commit(token)
         if not changed:
             break
         changed_any = True

@@ -50,10 +50,12 @@ class TestCommands:
         ])
         out = capsys.readouterr().out
         assert code == 0
-        assert "profile      : cost-view evaluation counters" in out
+        assert "profile      : cost-view + transaction counters" in out
         for counter in (
             "full_recomputes", "delta_updates", "cache_hits",
             "moves_tried", "moves_accepted",
+            "tx_checkpoints", "tx_rollbacks", "tx_undo_replayed",
+            "strash_hits", "strash_misses",
         ):
             assert counter in out
 
