@@ -20,6 +20,13 @@ Both runs must also produce bit-identical graphs (gate totals compared
 per benchmark) — a cheap determinism tripwire ahead of the full
 oracle's tx-diff check.
 
+Timings are published through the telemetry registry
+(``perf_guard.tx_seconds`` / ``perf_guard.legacy_seconds`` /
+``perf_guard.baseline_seconds`` gauges) and appended to
+``BENCH_runtime.json`` as a machine-readable ``perf-guard`` entry so
+CI trend checks can consume the guard verdict without scraping stdout.
+``--no-append`` skips the ledger write; ``--output`` redirects it.
+
 Run:  PYTHONPATH=src python benchmarks/perf_guard.py
 Not pytest-collected: plain script, exit code 1 on violation.
 """
@@ -68,6 +75,16 @@ def main(argv=None) -> int:
         help="allowed tx/legacy wall-clock ratio measured in-process",
     )
     parser.add_argument("--effort", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        default=BENCH_JSON,
+        help="bench ledger to append the machine-readable entry to",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="skip appending the perf-guard entry to the ledger",
+    )
     args = parser.parse_args(argv)
 
     with open(BENCH_JSON, encoding="utf-8") as handle:
@@ -81,6 +98,13 @@ def main(argv=None) -> int:
 
     tx_seconds, tx_sizes = _run_corpus(True, effort)
     legacy_seconds, legacy_sizes = _run_corpus(False, effort)
+
+    from repro.telemetry import metrics
+
+    registry = metrics()
+    registry.gauge("perf_guard.tx_seconds").set(round(tx_seconds, 3))
+    registry.gauge("perf_guard.legacy_seconds").set(round(legacy_seconds, 3))
+    registry.gauge("perf_guard.baseline_seconds").set(baseline_seconds)
 
     print(f"steps_imp small corpus, effort {effort}:")
     print(f"  recorded clone-engine baseline : {baseline_seconds:.3f}s")
@@ -110,6 +134,23 @@ def main(argv=None) -> int:
         failed = True
     if not failed:
         print("perf guard PASS")
+
+    if not args.no_append:
+        from repro.flows.bench import append_bench_entry
+
+        entry = {
+            "kind": "perf-guard",
+            "passed": not failed,
+            "effort": effort,
+            "tx_seconds": round(tx_seconds, 3),
+            "legacy_seconds": round(legacy_seconds, 3),
+            "baseline_seconds": baseline_seconds,
+            "max_ratio": args.max_ratio,
+            "engine_margin": args.engine_margin,
+            "metrics": registry.snapshot(),
+        }
+        append_bench_entry(entry, path=args.output)
+        print(f"appended perf-guard entry to {args.output}")
     return 1 if failed else 0
 
 

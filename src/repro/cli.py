@@ -14,10 +14,18 @@ Subcommands
 ``fuzz``      Time-budgeted differential fuzzing / fault-injection
               campaign; failures are shrunk to repro bundles under
               ``results/fuzz/``.
+``trace-report``  Summarize a ``--trace`` JSONL file (per-pass time,
+              R/S trajectory timeline, top-N slowest spans).
 
 Whole-set subcommands accept ``--jobs N`` to shard independent units of
 work (benchmarks, fuzz cases, verification chunks) across worker
 processes; results are bit-identical to ``--jobs 1`` by construction.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``synth``/``table2``/
+``table3``/``fuzz``/``bench`` accept ``--trace FILE.jsonl`` (hierarchical
+span + trajectory + metrics records) and ``--metrics FILE.json`` (final
+registry snapshot); every ``--profile`` output renders through the one
+shared formatter in :mod:`repro.telemetry.report`.
 """
 
 from __future__ import annotations
@@ -49,6 +57,42 @@ from .mig import (
 )
 from .network import Netlist
 from .rram import compile_mig, compile_plim, verify_compiled
+from .telemetry import (
+    TelemetrySession,
+    TrajectoryRecorder,
+    render_profile,
+    trajectory_recording,
+)
+
+
+def _add_telemetry_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write a JSONL trace (spans, trajectory snapshots, final "
+        "metrics) to FILE; inspect with 'repro-synth trace-report'",
+    )
+    command.add_argument(
+        "--metrics", metavar="FILE.json", default=None,
+        help="write the final metrics-registry snapshot to FILE as JSON",
+    )
+
+
+def _telemetry_session(args: argparse.Namespace) -> TelemetrySession:
+    """Build the command's telemetry session (inert without --trace /
+    --metrics, so main() wraps every command unconditionally)."""
+    meta_args = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if not key.startswith("_")
+        and key not in ("func", "trace", "metrics")
+        and isinstance(value, (str, int, float, bool, type(None)))
+    }
+    return TelemetrySession(
+        args.command,
+        trace_path=getattr(args, "trace", None),
+        metrics_path=getattr(args, "metrics", None),
+        args=meta_args,
+    )
 
 
 def _load_circuit(source: str, minimize: bool = False) -> Netlist:
@@ -79,17 +123,33 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     realization = Realization(args.realization)
     guard = EquivalenceGuard(mig, num_vectors=512) if args.verify else None
 
+    session: Optional[TelemetrySession] = getattr(args, "_telemetry", None)
+    recorder: Optional[TrajectoryRecorder] = None
+    if session is not None and session.writer is not None:
+        recorder = TrajectoryRecorder(realization, sink=session.writer)
+
     initial = rram_costs(mig, realization)
     start = time.perf_counter()
     result = None
-    if args.algorithm != "none":
-        optimizer = ALGORITHMS[args.algorithm]
-        if args.algorithm in ("rram", "steps"):
-            result = optimizer(mig, realization, args.effort)
-        else:
-            result = optimizer(mig, args.effort)
+    with trajectory_recording(recorder):
+        if recorder is not None:
+            recorder.record_state(mig, None, rule="initial", accepted=True)
+        if args.algorithm != "none":
+            optimizer = ALGORITHMS[args.algorithm]
+            if args.algorithm in ("rram", "steps"):
+                result = optimizer(mig, realization, args.effort)
+            else:
+                result = optimizer(mig, args.effort)
+        if recorder is not None:
+            # The closing snapshot is computed from scratch, so its R/S
+            # are exactly the "optimized" numbers printed below.
+            recorder.record_final(mig)
     elapsed = time.perf_counter() - start
     final = rram_costs(mig, realization)
+    if result is not None:
+        from .telemetry import publish_profile
+
+        publish_profile(result.profile)
 
     print(f"circuit      : {netlist.name}")
     print(f"interface    : {netlist.inputs and len(netlist.inputs)} inputs, "
@@ -104,25 +164,11 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
     if args.profile:
         profile = result.profile if result is not None else None
-        if profile is None:
-            print("profile      : (no cost-view counters for this run)")
-        else:
-            print("profile      : cost-view + transaction counters")
-            for key in (
-                "full_recomputes",
-                "delta_updates",
-                "cache_hits",
-                "events_replayed",
-                "moves_tried",
-                "moves_accepted",
-                "predicted_skips",
-                "tx_checkpoints",
-                "tx_rollbacks",
-                "tx_undo_replayed",
-                "strash_hits",
-                "strash_misses",
-            ):
-                print(f"  {key:<18s}: {profile.get(key, 0)}")
+        print(
+            render_profile(
+                profile, title="cost-view + transaction counters"
+            )
+        )
 
     if guard is not None:
         ok = guard.verify()
@@ -187,14 +233,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     print()
     print(render_summary(summarize_table2(result), with_paper=not args.no_paper))
     if args.profile:
-        merged = result.merged_profile()
-        if not merged:
-            print("\nprofile      : (no cost-view counters recorded)")
-        else:
-            print("\nprofile      : cost-view counters summed over all "
-                  "cells (and workers)")
-            for key in sorted(merged):
-                print(f"  {key:<18s}: {merged[key]}")
+        print()
+        print(
+            render_profile(
+                result.merged_profile(),
+                title="cost-view counters summed over all cells "
+                "(and workers)",
+            )
+        )
     return 0
 
 
@@ -231,16 +277,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     os.makedirs(args.output, exist_ok=True)
     effort, verify = args.effort, args.verify
+    stage_seconds = {}
 
     print(f"running Table II (effort={effort}) ...")
+    start = time.perf_counter()
     table2 = run_table2(effort=effort, verify=verify)
+    stage_seconds["report.stage_seconds.table2"] = (
+        time.perf_counter() - start
+    )
     with open(os.path.join(args.output, "table2_full.txt"), "w") as handle:
         handle.write(render_table2(table2) + "\n\n")
         handle.write(render_summary(summarize_table2(table2)) + "\n")
     print("running Table III (AIG baseline) ...")
+    start = time.perf_counter()
     aig = run_table3_aig(effort=effort, verify=verify)
+    stage_seconds["report.stage_seconds.table3_aig"] = (
+        time.perf_counter() - start
+    )
     print("running Table III (BDD baseline) ...")
+    start = time.perf_counter()
     bdd = run_table3_bdd(effort=effort, verify=verify)
+    stage_seconds["report.stage_seconds.table3_bdd"] = (
+        time.perf_counter() - start
+    )
     with open(os.path.join(args.output, "table3_full.txt"), "w") as handle:
         handle.write(render_table3(aig) + "\n\n")
         handle.write(render_table3(bdd) + "\n")
@@ -249,6 +308,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"{largest_function_ratio(bdd):.1f}x (paper 26.5x)\n"
         )
     print(f"wrote {args.output}/table2_full.txt and table3_full.txt")
+    if args.profile:
+        print(
+            render_profile(
+                stage_seconds, title="seconds per stage", canonicalize=False
+            )
+        )
     return 0
 
 
@@ -321,9 +386,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     for bundle in report.bundles:
         print(f"bundle       : {bundle}")
     if args.profile:
-        print("profile      : seconds per stage")
-        for stage, seconds in sorted(report.profile.items()):
-            print(f"  {stage:<10s}: {seconds:.2f}")
+        print(render_profile(report.profile, title="seconds per stage"))
     print(f"verdict      : {'PASS' if report.ok else 'FAIL'}")
     return 0 if report.ok else 1
 
@@ -391,6 +454,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from .telemetry import load_trace, render_trace_report, validate_trace
+
+    try:
+        records = load_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"repro-synth: error: {error}", file=sys.stderr)
+        return 2
+    if args.validate:
+        errors = validate_trace(records)
+        if errors:
+            for error in errors:
+                print(f"trace-report: {error}", file=sys.stderr)
+            print(
+                f"trace-report: {args.trace_file}: "
+                f"{len(errors)} schema violation(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"schema       : OK ({len(records)} records)")
+    print(render_trace_report(records, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-synth`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -444,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sampling (default 10; hard cap 24 — beyond it verification "
         "refuses with a clear error)",
     )
+    _add_telemetry_args(synth)
     synth.set_defaults(func=_cmd_synth)
 
     table2 = sub.add_parser("table2", help="reproduce paper Table II")
@@ -461,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="report cost-view counters summed over all cells/workers",
     )
+    _add_telemetry_args(table2)
     table2.set_defaults(func=_cmd_table2)
 
     table3 = sub.add_parser("table3", help="reproduce paper Table III")
@@ -474,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (benchmark-sharded; output is "
         "bit-identical to --jobs 1)",
     )
+    _add_telemetry_args(table3)
     table3.set_defaults(func=_cmd_table3)
 
     report = sub.add_parser(
@@ -482,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="results")
     report.add_argument("--effort", type=int, default=40)
     report.add_argument("--verify", action="store_true")
+    report.add_argument(
+        "--profile", action="store_true",
+        help="report seconds spent per regeneration stage",
+    )
     report.set_defaults(func=_cmd_report)
 
     convert = sub.add_parser(
@@ -518,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench file to append to")
     bench.add_argument("--no-append", action="store_true",
                        help="measure and print without touching the file")
+    _add_telemetry_args(bench)
     bench.set_defaults(func=_cmd_bench)
 
     fuzz = sub.add_parser(
@@ -568,7 +663,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for case execution (case verdicts are "
         "independent of the job count)",
     )
+    _add_telemetry_args(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize a --trace JSONL file: per-pass time, R/S "
+        "trajectory timeline, slowest spans",
+    )
+    trace_report.add_argument("trace_file", help="trace file (JSONL)")
+    trace_report.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest spans to list (default 5)",
+    )
+    trace_report.add_argument(
+        "--validate", action="store_true",
+        help="validate every record against the documented schema and "
+        "the metric-name catalog first; exit 1 on any violation",
+    )
+    trace_report.set_defaults(func=_cmd_trace_report)
     return parser
 
 
@@ -585,7 +698,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _telemetry_session(args) as session:
+            args._telemetry = session
+            return args.func(args)
     except (
         BenchFormatError,
         BlifFormatError,

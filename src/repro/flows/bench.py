@@ -35,6 +35,13 @@ from typing import Dict, List, Optional, Sequence
 DEFAULT_BENCH_PATH = "BENCH_runtime.json"
 
 
+def _observe_flow_seconds(seconds: float) -> None:
+    """Feed a flow wall-clock into the telemetry histogram."""
+    from ..telemetry import metrics
+
+    metrics().histogram("bench.flow_seconds").observe(round(seconds, 4))
+
+
 def _machine_info() -> Dict[str, object]:
     return {
         "cpu_count": os.cpu_count(),
@@ -57,6 +64,7 @@ def bench_table2(
     result = run_table2(list(names) if names else None, effort=effort,
                         verify=verify, jobs=jobs)
     seconds = time.perf_counter() - start
+    _observe_flow_seconds(seconds)
     return {
         "kind": "table2",
         "seconds": round(seconds, 3),
@@ -126,6 +134,7 @@ def bench_fuzz_smoke(*, jobs: int = 1) -> Dict[str, object]:
         raise AssertionError(
             "packed and scalar verification disagree on the smoke corpus"
         )
+    _observe_flow_seconds(packed_seconds)
     speedup = scalar_seconds / packed_seconds if packed_seconds > 0 else 0.0
     return {
         "kind": "fuzz-smoke",
@@ -199,6 +208,8 @@ def bench_tx_engine(
                             profile[key] = profile.get(key, 0) + value
                 timings[engine] = round(time.perf_counter() - start, 3)
                 totals[engine] = sizes
+                if enabled:
+                    _observe_flow_seconds(timings[engine])
         if totals["tx"] != totals["legacy"]:
             raise AssertionError(
                 f"{label}: transactional and clone-based engines diverge"

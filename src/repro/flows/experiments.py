@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..parallel import merged_counters, run_ordered
 from ..parallel.workers import table2_task, table3_task
+from ..telemetry import metrics, publish_profile, span
 
 from ..aig import aig_from_netlist, aig_rram_costs
 from ..bdd import BddOverflowError, bdd_rram_costs, build_best_order
@@ -143,13 +144,15 @@ def table2_cell(
     mig = mig_from_netlist(netlist)
     guard = _verify_guard(mig) if verify else None
     start = time.perf_counter()
-    opt_result = optimizer(mig, effort)
+    with span("table2.cell", benchmark=name, config=config):
+        opt_result = optimizer(mig, effort)
     elapsed = time.perf_counter() - start
     verified = guard.verify() if guard is not None else None
     if verified is False:
         raise AssertionError(
             f"{name}/{config}: optimization changed the function"
         )
+    publish_profile(getattr(opt_result, "profile", None))
     costs = rram_costs(mig, realization)
     return ConfigResult(
         rrams=costs.rrams,
@@ -183,9 +186,11 @@ def run_table2(
         for name in selected_names
         for config in selected_configs
     ]
+    registry = metrics()
     cells = run_ordered(table2_task, payloads, jobs=jobs)
-    for name, config, cell in cells:
+    for name, config, cell, snapshot in cells:
         result.rows.setdefault(name, {})[config] = cell
+        registry.absorb(snapshot)
     return result
 
 
@@ -232,9 +237,10 @@ def _mig_pair(
 ) -> Tuple[int, int]:
     mig = mig_from_netlist(netlist)
     guard = _verify_guard(mig) if verify else None
-    optimize_rram(mig, realization, effort)
+    opt_result = optimize_rram(mig, realization, effort)
     if guard is not None and not guard.verify():
         raise AssertionError(f"{netlist.name}: optimization changed the function")
+    publish_profile(getattr(opt_result, "profile", None))
     costs = rram_costs(mig, realization)
     return costs.as_row()
 
@@ -299,8 +305,10 @@ def _run_table3(
     payloads = [
         (baseline, name, effort, verify, dict(opts or {})) for name in names
     ]
-    for name, row in run_ordered(table3_task, payloads, jobs=jobs):
+    registry = metrics()
+    for name, row, snapshot in run_ordered(table3_task, payloads, jobs=jobs):
         result.rows[name] = row
+        registry.absorb(snapshot)
     return result
 
 

@@ -47,6 +47,7 @@ from ..rram import (
     probe_fault,
     verification_vectors,
 )
+from ..telemetry import metrics, publish_profile, span
 from .generators import GENERATOR_KINDS, case_circuit
 from .oracle import OracleFailure, check_case
 from .shrink import shrink_netlist, write_bundle
@@ -165,6 +166,20 @@ def run_case(
     case_seed = config.case_seed(index)
     kind = GENERATOR_KINDS[index % len(GENERATOR_KINDS)]
     case_id = f"seed{config.seed}_case{index:04d}_{kind}"
+    with span("fuzz.case", case_id=case_id, seed=case_seed, kind=kind):
+        return _run_case_body(
+            config, index, corpus_names, case_seed, kind, case_id
+        )
+
+
+def _run_case_body(
+    config: FuzzConfig,
+    index: int,
+    corpus_names: Sequence[str],
+    case_seed: int,
+    kind: str,
+    case_id: str,
+) -> Dict[str, object]:
     profile: Dict[str, float] = {}
     if config.fault_classes:
         rng = random.Random(case_seed)
@@ -277,6 +292,9 @@ def _absorb_outcome(report: FuzzReport, outcome: Dict[str, object]) -> None:
     any failure in the parent process."""
     config = report.config
     merge_counters(report.profile, outcome.get("profile"))  # type: ignore[arg-type]
+    registry = metrics()
+    registry.counter("fuzz.cases").inc()
+    registry.absorb(outcome.get("telemetry"))  # type: ignore[arg-type]
     label = str(outcome["kind_label"])
     report.cases_by_kind[label] = report.cases_by_kind.get(label, 0) + 1
     case_id = str(outcome["case_id"])
@@ -380,4 +398,5 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         report.cases_run += 1
 
     report.elapsed = time.perf_counter() - started
+    publish_profile(report.profile)
     return report

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry import active_trajectory, span, traced
 from .costview import CostView
 from .graph import (
     Mig,
@@ -98,11 +99,21 @@ def _size_depth(
     return stats.size, stats.depth
 
 
+def _record_trial(
+    mig: Mig, view: Optional[CostView], *, rule: str, accepted: bool
+) -> None:
+    """Feed the active trajectory recorder (no-op when none installed)."""
+    recorder = active_trajectory()
+    if recorder is not None:
+        recorder.record_state(mig, view, rule=rule, accepted=accepted)
+
+
 # ----------------------------------------------------------------------
 # Building-block passes
 # ----------------------------------------------------------------------
 
 
+@traced("pass.eliminate")
 def eliminate(
     mig: Mig, *, max_rounds: int = 64, view: Optional[CostView] = None
 ) -> bool:
@@ -126,6 +137,7 @@ def eliminate(
     return changed_any
 
 
+@traced("pass.reshape")
 def reshape(
     mig: Mig, *, variant: int = 0, view: Optional[CostView] = None
 ) -> bool:
@@ -168,6 +180,7 @@ def _critical_nodes_from(
     return nodes
 
 
+@traced("pass.push_up")
 def push_up(
     mig: Mig,
     *,
@@ -239,6 +252,7 @@ def _apply_flip_tracked(
     return fresh
 
 
+@traced("pass.inverter_propagation")
 def inverter_propagation_pass(
     mig: Mig,
     realization: Realization,
@@ -417,6 +431,7 @@ def _try_clear_level(mig: Mig, level: int, levels: Dict[int, int]) -> bool:
     return True
 
 
+@traced("pass.clear_complemented_levels")
 def clear_complemented_levels(
     mig: Mig,
     realization: Realization,
@@ -513,9 +528,15 @@ def clear_complemented_levels(
                         view.counters.moves_accepted += 1
                         improved = True
                         changed_any = True
+                        _record_trial(
+                            mig, view, rule="clear_level", accepted=True
+                        )
                         break
                     view.counters.predicted_skips += 1
                     reject_compact()
+                    _record_trial(
+                        mig, view, rule="clear_level", accepted=False
+                    )
                     continue
             # Measured trial.  The transactional engine replaces the
             # whole-graph snapshot clone with an O(touched) undo
@@ -541,6 +562,7 @@ def clear_complemented_levels(
                 else:
                     mig.copy_from(snapshot)
                 at_fixpoint = True
+                _record_trial(mig, view, rule="clear_level", accepted=False)
                 continue
             after_costs = _costs_of(mig, realization, view)
             after = (after_costs.steps, after_costs.rrams)
@@ -551,6 +573,7 @@ def clear_complemented_levels(
                 changed_any = True
                 if view is not None:
                     view.counters.moves_accepted += 1
+                _record_trial(mig, view, rule="clear_level", accepted=True)
                 break
             if token is not None:
                 mig.rollback(token)
@@ -558,6 +581,7 @@ def clear_complemented_levels(
             else:
                 mig.copy_from(snapshot)
             at_fixpoint = True
+            _record_trial(mig, view, rule="clear_level", accepted=False)
         if not improved:
             break
     return changed_any
@@ -593,6 +617,7 @@ def _try_clear_po_level(mig: Mig) -> bool:
 # what makes the published "effort" loop well-behaved.
 
 
+@traced("pass.relevance_sweep")
 def _relevance_sweep(mig: Mig, view: Optional[CostView] = None) -> bool:
     """Apply Ψ.R across the critical paths (the middle step of Alg. 2)."""
     levels = _levels_of(mig, view)
@@ -637,31 +662,40 @@ def _drive(
     history: List[Tuple[int, int]] = []
     cycles = 0
     stale = 0
-    for cycle in range(effort):
-        cycles = cycle + 1
-        changed = cycle_body(mig, cycle)
-        history.append(_size_depth(mig, view))
-        key = objective(mig)
-        if key < best_key:
-            best_key = key
-            if use_tx:
-                mig.commit(token)
-                token = mig.checkpoint()
+    with span(f"optimize.{algorithm}", effort=effort):
+        for cycle in range(effort):
+            cycles = cycle + 1
+            with span(f"{algorithm}.cycle", cycle=cycle):
+                changed = cycle_body(mig, cycle)
+            history.append(_size_depth(mig, view))
+            key = objective(mig)
+            improved_cycle = key < best_key
+            _record_trial(
+                mig, view, rule=f"{algorithm}.cycle", accepted=improved_cycle
+            )
+            if improved_cycle:
+                best_key = key
+                if use_tx:
+                    mig.commit(token)
+                    token = mig.checkpoint()
+                else:
+                    best = mig.clone()
+                stale = 0
             else:
-                best = mig.clone()
-            stale = 0
-        else:
-            stale += 1
-        if not changed or stale >= 3:
-            break
-    if objective(mig) > best_key:
-        if use_tx:
-            mig.rollback(token)
-            mig.compact()
-        else:
-            mig.copy_from(best)
-    elif use_tx:
-        mig.commit(token)
+                stale += 1
+            if not changed or stale >= 3:
+                break
+        if objective(mig) > best_key:
+            if use_tx:
+                mig.rollback(token)
+                mig.compact()
+            else:
+                mig.copy_from(best)
+            _record_trial(
+                mig, view, rule=f"{algorithm}.restore_best", accepted=True
+            )
+        elif use_tx:
+            mig.commit(token)
     final_size, final_depth = _size_depth(mig, view)
     return OptimizationResult(
         algorithm=algorithm,

@@ -26,6 +26,7 @@ import math
 import random
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import active_trajectory, metrics, span
 from .graph import (
     Mig,
     signal_is_complemented,
@@ -151,6 +152,32 @@ def anneal_complements(
     nodes = view.reachable() if view is not None else mig.reachable_nodes()
     if not nodes:
         return False
+    with span("pass.anneal_complements", iterations=iterations, seed=seed):
+        return _anneal_complements(
+            mig,
+            realization,
+            nodes,
+            iterations=iterations,
+            seed=seed,
+            initial_temperature=initial_temperature,
+            steps_weight=steps_weight,
+            rram_weight=rram_weight,
+            view=view,
+        )
+
+
+def _anneal_complements(
+    mig: Mig,
+    realization: Realization,
+    nodes: List[int],
+    *,
+    iterations: int,
+    seed: int,
+    initial_temperature: float,
+    steps_weight: float,
+    rram_weight: float,
+    view,
+) -> bool:
     model = _ComplementModel(
         mig, realization, stats=view.stats() if view is not None else None
     )
@@ -205,13 +232,20 @@ def anneal_complements(
         after.step_count(realization),
         after.rram_count(realization),
     )
+    recorder = active_trajectory()
     if after_costs >= before_costs:
         if token is not None:
             mig.rollback(token)
             mig.compact()
         else:
             mig.copy_from(snapshot)
+        metrics().counter("anneal.rejected").inc()
+        if recorder is not None:
+            recorder.record_state(mig, view, rule="anneal", accepted=False)
         return False
     if token is not None:
         mig.commit(token)
+    metrics().counter("anneal.realized").inc()
+    if recorder is not None:
+        recorder.record_state(mig, view, rule="anneal", accepted=True)
     return True

@@ -207,9 +207,13 @@ _BUILDING_RECIPE = False
 
 
 def _npn4_recipe(representative: TruthTable) -> Tuple[Tuple, bool]:
+    from ..telemetry import metrics
+
     cached = _NPN4_RECIPES.get(representative.bits)
     if cached is not None:
+        metrics().counter("resynth.npn_cache_hits").inc()
         return cached
+    metrics().counter("resynth.npn_cache_misses").inc()
     global _BUILDING_RECIPE
     scratch = Mig()
     scratch_leaves = [scratch.add_pi(f"x{i}") for i in range(4)]

@@ -21,6 +21,7 @@ the paper's Alg. 1 only has `eliminate` + reshaping, so the pass is an
 
 from __future__ import annotations
 
+from ..telemetry import metrics, traced
 from .algorithms import (
     OptimizationResult,
     _drive,
@@ -43,6 +44,7 @@ from .graph import Mig, MigError, signal_node, transactions_enabled
 from .resynth import synthesize_table
 
 
+@traced("pass.cut_rewrite")
 def cut_rewrite(
     mig: Mig,
     *,
@@ -58,7 +60,11 @@ def cut_rewrite(
     """
     changed_any = False
     use_tx = transactions_enabled()
+    registry = metrics()
+    rounds = registry.counter("rewrite.rounds")
+    rollbacks = registry.counter("rewrite.rollbacks")
     for _round in range(max_rounds):
+        rounds.inc()
         # Round-level undo scope: a tripped monotonicity guard rolls
         # back and compacts (bit-identical to the legacy
         # ``copy_from(round_snapshot)`` — both land on
@@ -86,6 +92,7 @@ def cut_rewrite(
                 mig.compact()
             else:
                 mig.copy_from(round_snapshot)
+            rollbacks.inc()
             break
         if token is not None:
             mig.commit(token)
@@ -149,6 +156,7 @@ def _rewrite_node(
             mig.substitute(node, candidate)
         except MigError:
             continue
+        metrics().counter("rewrite.substitutions").inc()
         # Refresh the live set: the commit both revives the candidate
         # cone and kills the MFFC, and later gain estimates must see
         # the truth (a stale set lets zero-cost "reuse" of dead nodes

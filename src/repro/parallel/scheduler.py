@@ -61,11 +61,16 @@ def run_ordered(
     benchmarks or fuzz cases — so latency balance beats batching) and
     ``Executor.map`` restores submission order on collection.
     """
+    from ..telemetry import metrics
+
     if jobs <= 1 or len(payloads) <= 1:
-        return [worker(payload) for payload in payloads]
-    workers = min(jobs, len(payloads))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, payloads, chunksize=1))
+        results = [worker(payload) for payload in payloads]
+    else:
+        workers = min(jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(worker, payloads, chunksize=1))
+    metrics().counter("parallel.tasks_completed").inc(len(results))
+    return results
 
 
 def run_ordered_stream(
@@ -84,6 +89,9 @@ def run_ordered_stream(
     campaigns use this: the budget decides how many *waves* run, never
     what any task does, so every completed task is replayable.
     """
+    from ..telemetry import metrics
+
+    completed = metrics().counter("parallel.tasks_completed")
     jobs = max(1, jobs)
     if wave_size is None:
         wave_size = max(1, 2 * jobs)
@@ -104,9 +112,12 @@ def run_ordered_stream(
                 break
             if pool is None:
                 for payload in wave:
-                    yield worker(payload)
+                    result = worker(payload)
+                    completed.inc()
+                    yield result
             else:
                 for result in pool.map(worker, wave, chunksize=1):
+                    completed.inc()
                     yield result
             if should_continue is not None and not should_continue():
                 break

@@ -7,35 +7,62 @@ pin down.  Heavy imports happen lazily inside the functions: this
 module is imported by the flow modules themselves, and in pool workers
 it is re-imported fresh, so lazy imports also keep child start-up
 cheap for flows that never need the whole stack.
+
+Telemetry: every task body runs under
+:func:`repro.telemetry.isolated_registry` and ships the resulting
+metrics snapshot back with its result.  The parent absorbs snapshots in
+submission order, so metrics arrive via the identical commutative path
+whether the task ran inline (``jobs=1``) or in a pool worker — merged
+metrics are bit-identical for any job count.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from ..telemetry import isolated_registry
+
 
 def table2_task(payload: Tuple[str, str, int, bool]):
-    """One Table II cell: ``(benchmark, config, effort, verify)``."""
+    """One Table II cell: ``(benchmark, config, effort, verify)``.
+
+    Returns ``(benchmark, config, cell, metrics_snapshot)``.
+    """
     from ..flows.experiments import table2_cell
 
     name, config, effort, verify = payload
-    return name, config, table2_cell(name, config, effort, verify)
+    with isolated_registry() as registry:
+        cell = table2_cell(name, config, effort, verify)
+        snapshot = registry.snapshot()
+    return name, config, cell, snapshot
 
 
 def table3_task(payload: Tuple[str, str, int, bool, Dict[str, object]]):
-    """One Table III row: ``(baseline, benchmark, effort, verify, opts)``."""
+    """One Table III row: ``(baseline, benchmark, effort, verify, opts)``.
+
+    Returns ``(benchmark, row, metrics_snapshot)``.
+    """
     from ..flows.experiments import table3_row
 
     baseline, name, effort, verify, opts = payload
-    return name, table3_row(baseline, name, effort, verify, **opts)
+    with isolated_registry() as registry:
+        row = table3_row(baseline, name, effort, verify, **opts)
+        snapshot = registry.snapshot()
+    return name, row, snapshot
 
 
 def fuzz_case_task(payload):
-    """One fuzz-campaign case: ``(config, index, corpus_names)``."""
+    """One fuzz-campaign case: ``(config, index, corpus_names)``.
+
+    The outcome dict gains a ``"telemetry"`` metrics snapshot.
+    """
     from ..fuzz.harness import run_case
 
     config, index, corpus_names = payload
-    return run_case(config, index, corpus_names)
+    with isolated_registry() as registry:
+        outcome = run_case(config, index, corpus_names)
+        outcome["telemetry"] = registry.snapshot()
+    return outcome
 
 
 def verify_chunk_task(payload):

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 
 from ..mig import Mig, Realization, level_stats, rram_costs, signal_is_complemented, signal_node
 from ..mig.views import RramCosts
+from ..telemetry import metrics, traced
 from .gadgets import (
     IMP_GADGET_DEVICES,
     IMP_RESULT_SLOT,
@@ -96,6 +97,7 @@ class _Allocator:
         return self._next
 
 
+@traced("rram.compile")
 def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
     """Compile an MIG into an executable RRAM micro-program."""
     stats = level_stats(mig)
@@ -288,6 +290,14 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
         output_devices=output_devices,
     )
     program.validate()
+    registry = metrics()
+    registry.counter("rram.compile.programs").inc()
+    registry.histogram("rram.compile.measured_steps").observe(
+        program.num_steps
+    )
+    registry.histogram("rram.compile.measured_devices").observe(
+        program.num_devices
+    )
     return CompilationReport(
         program=program,
         analytic=rram_costs(mig, realization),

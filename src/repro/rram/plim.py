@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..mig import Mig, signal_is_complemented, signal_node
+from ..telemetry import metrics, traced
 from .isa import IntrinsicMaj, LoadInput, MicroOp, Program, Step, WriteLiteral
 
 
@@ -65,6 +66,7 @@ class _Allocator:
         return self._next
 
 
+@traced("rram.plim_compile")
 def compile_plim(mig: Mig, *, name: Optional[str] = None) -> PlimReport:
     """Compile an MIG into a serial RM3 instruction stream."""
     order = mig.reachable_nodes()
@@ -211,6 +213,10 @@ def compile_plim(mig: Mig, *, name: Optional[str] = None) -> PlimReport:
         output_devices=output_devices,
     )
     program.validate()
+    registry = metrics()
+    registry.counter("rram.plim.programs").inc()
+    registry.histogram("rram.plim.instructions").observe(program.num_steps)
+    registry.histogram("rram.plim.devices").observe(program.num_devices)
     return PlimReport(
         program=program,
         instructions=program.num_steps,

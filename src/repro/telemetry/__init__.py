@@ -1,0 +1,188 @@
+"""Unified telemetry: metrics registry, tracing spans, trajectories.
+
+Three cooperating layers (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.telemetry.registry` — process-wide named counters,
+  gauges, histograms, and timers with deterministic snapshot/absorb
+  merging (no-op when disabled);
+* :mod:`repro.telemetry.tracing` — hierarchical spans serialized to a
+  JSONL trace file;
+* :mod:`repro.telemetry.trajectory` — per-trial (iteration, rule,
+  accepted, R, S, depth, size, complemented edges) snapshots of an
+  optimization run;
+
+plus the contract (:mod:`repro.telemetry.schema`) and the renderers
+(:mod:`repro.telemetry.report`).  :class:`TelemetrySession` bundles
+the CLI wiring: open the trace, install the tracer, and on exit write
+the final metrics record, the ``--metrics`` JSON file, and close
+everything — in one ``with`` block.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from .registry import (
+    HISTOGRAM_SUFFIXES,
+    NAME_RE,
+    NOOP_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+    isolated_registry,
+    metrics,
+    set_registry,
+    use_registry,
+)
+from .report import (
+    load_trace,
+    render_profile,
+    render_trace_report,
+    validate_trace,
+)
+from .schema import (
+    KNOWN_HISTOGRAMS,
+    KNOWN_METRIC_PREFIXES,
+    KNOWN_METRICS,
+    LEGACY_PROFILE_NAMES,
+    SCHEMA_VERSION,
+    TRACE_RECORD_TYPES,
+    canonical_profile,
+    metric_name_known,
+    validate_metric_names,
+    validate_record,
+)
+from .tracing import (
+    NOOP_SPAN,
+    Tracer,
+    TraceWriter,
+    current_tracer,
+    install_tracer,
+    span,
+    traced,
+)
+from .trajectory import (
+    TrajectoryRecorder,
+    active_trajectory,
+    trajectory_recording,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_SUFFIXES",
+    "KNOWN_HISTOGRAMS",
+    "KNOWN_METRIC_PREFIXES",
+    "KNOWN_METRICS",
+    "LEGACY_PROFILE_NAMES",
+    "MetricsRegistry",
+    "NAME_RE",
+    "NOOP_METRIC",
+    "NOOP_SPAN",
+    "SCHEMA_VERSION",
+    "TRACE_RECORD_TYPES",
+    "TelemetryError",
+    "TelemetrySession",
+    "Tracer",
+    "TraceWriter",
+    "TrajectoryRecorder",
+    "active_trajectory",
+    "canonical_profile",
+    "current_tracer",
+    "install_tracer",
+    "isolated_registry",
+    "load_trace",
+    "metric_name_known",
+    "metrics",
+    "publish_profile",
+    "render_profile",
+    "render_trace_report",
+    "set_registry",
+    "span",
+    "traced",
+    "trajectory_recording",
+    "use_registry",
+    "validate_metric_names",
+    "validate_record",
+    "validate_trace",
+]
+
+
+def publish_profile(profile: Optional[Dict[str, Any]]) -> None:
+    """Fold one run's legacy profile dict into the current registry
+    under canonical names.
+
+    Call exactly once per consumed optimization/fuzz run (the profile
+    dicts themselves are per-run totals; publishing inside
+    ``CostView.profile()`` would double-count because optimizers call
+    it more than once).
+    """
+    if not profile:
+        return
+    metrics().absorb(canonical_profile(profile))
+
+
+class TelemetrySession:
+    """CLI wiring for ``--trace`` / ``--metrics`` on one command.
+
+    On entry: opens the JSONL trace (when requested), writes the
+    ``meta`` record, and installs the process tracer.  On exit: writes
+    a final ``metrics`` record with the registry snapshot into the
+    trace, dumps the same snapshot to the ``--metrics`` JSON file, and
+    restores the previous tracer.  With neither path set the session
+    is inert, so the CLI can wrap every command unconditionally.
+    """
+
+    def __init__(
+        self,
+        command: str,
+        *,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.command = command
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.args = args or {}
+        self.writer: Optional[TraceWriter] = None
+        self._previous_tracer: Optional[Tracer] = None
+        self._installed = False
+
+    def __enter__(self) -> "TelemetrySession":
+        if self.trace_path:
+            self.writer = TraceWriter.open(self.trace_path)
+            meta: Dict[str, Any] = {
+                "type": "meta",
+                "schema_version": SCHEMA_VERSION,
+                "command": self.command,
+            }
+            if self.args:
+                meta["args"] = self.args
+            self.writer.write(meta)
+            self._previous_tracer = install_tracer(Tracer(self.writer))
+            self._installed = True
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        snapshot = metrics().snapshot()
+        if self._installed:
+            install_tracer(self._previous_tracer)
+            self._installed = False
+        if self.writer is not None:
+            self.writer.write({"type": "metrics", "metrics": snapshot})
+            self.writer.close()
+            self.writer = None
+        if self.metrics_path:
+            with open(self.metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return False
+
+    def trajectory_sink(self) -> Optional[TraceWriter]:
+        """The trace writer, for attaching a trajectory recorder."""
+        return self.writer

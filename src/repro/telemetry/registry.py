@@ -1,0 +1,303 @@
+"""Process-wide metrics registry: counters, gauges, histograms, timers.
+
+One registry instance is "current" at any moment (:func:`metrics`); all
+instrumentation sites grab their metric objects from it by name.  The
+design goals, in order:
+
+1. **Pay-for-use** — a metric increment is a plain Python attribute
+   add on a tiny ``__slots__`` object, the same cost as the bespoke
+   counter dataclasses this registry replaces.  A *disabled* registry
+   hands out shared no-op singletons: nothing registers, nothing
+   allocates per call, and ``snapshot()`` is empty.
+2. **Deterministic aggregation** — :meth:`MetricsRegistry.snapshot`
+   returns a flat, sorted, JSON-ready dict, and
+   :meth:`MetricsRegistry.absorb` folds such snapshots back in with
+   commutative operations only (sum, min, max), so merging per-worker
+   snapshots in submission order is bit-identical for any job count.
+3. **Stable naming** — names are dot-separated lowercase segments
+   (``costview.cache_hits``); the catalog in
+   :mod:`repro.telemetry.schema` is the single source of truth and CI
+   fails on names that drift out of it.
+
+Histograms keep only ``count/total/min/max`` — enough for the
+per-stage breakdowns the flows need, cheap enough to update per
+observation, and mergeable without bucket-boundary coordination.
+
+``REPRO_TELEMETRY=0`` in the environment starts the process with the
+registry disabled.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+#: Metric names: dot-separated lowercase segments, e.g. ``mig.strash_hits``.
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: Snapshot-key suffixes a histogram expands into.
+HISTOGRAM_SUFFIXES = (".count", ".total", ".min", ".max")
+
+
+class TelemetryError(ValueError):
+    """Bad metric name or kind mismatch."""
+
+
+class Counter:
+    """Monotone counter.  ``inc`` is the hot path: one attribute add."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (merged across workers by *sum* — avoid
+    gauges in worker-side code; they are meant for parent-side facts
+    like configured job counts or measured wall-clocks)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """count/total/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class _Timer:
+    """Context manager observing elapsed seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class _NoopMetric:
+    """Shared do-nothing stand-in for every metric kind (disabled
+    registry).  One instance serves all names: no allocation per call
+    site, no state, no registration."""
+
+    __slots__ = ()
+    kind = "noop"
+    name = ""
+    value: Number = 0
+    count = 0
+    total: Number = 0
+    min: Optional[Number] = None
+    max: Optional[Number] = None
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopMetric":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+
+#: The process-wide no-op singleton (identity-checked by the tests).
+NOOP_METRIC = _NoopMetric()
+
+
+class MetricsRegistry:
+    """A named collection of metric objects with snapshot/absorb."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+        #: Keys absorbed from worker snapshots (no live metric object).
+        self._absorbed: Dict[str, Number] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def _get(self, name: str, factory, kind: str):
+        if not self.enabled:
+            return NOOP_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not NAME_RE.match(name):
+                raise TelemetryError(
+                    f"bad metric name {name!r}: use dot-separated "
+                    "lowercase segments like 'costview.cache_hits'"
+                )
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif metric.kind != kind:  # type: ignore[attr-defined]
+            raise TelemetryError(
+                f"metric {name!r} already registered as "
+                f"{metric.kind}, requested {kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram, "histogram")
+
+    def timer(self, name: str):
+        """Context manager timing into ``histogram(name)``."""
+        histogram = self.histogram(name)
+        if histogram is NOOP_METRIC:
+            return NOOP_METRIC
+        return _Timer(histogram)
+
+    # -- aggregation ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat ``{name: value}`` with sorted keys, JSON-ready.
+
+        Histograms expand to ``name.count/.total/.min/.max`` (omitted
+        entirely while empty); absorbed worker keys are included.
+        """
+        flat: Dict[str, Number] = dict(self._absorbed)
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                if metric.count == 0:
+                    continue
+                flat[name + ".count"] = flat.get(name + ".count", 0) + metric.count
+                flat[name + ".total"] = flat.get(name + ".total", 0) + metric.total
+                assert metric.min is not None and metric.max is not None
+                key = name + ".min"
+                flat[key] = min(flat[key], metric.min) if key in flat else metric.min
+                key = name + ".max"
+                flat[key] = max(flat[key], metric.max) if key in flat else metric.max
+            else:
+                value = metric.value  # type: ignore[attr-defined]
+                flat[name] = flat.get(name, 0) + value
+        return {name: flat[name] for name in sorted(flat)}
+
+    def absorb(self, source: Optional[Mapping[str, Number]]) -> None:
+        """Fold a snapshot (e.g. from a pool worker) into this registry.
+
+        Commutative per key — ``.min`` keys merge by min, ``.max`` keys
+        by max, everything else sums — so absorbing per-worker
+        snapshots in submission order is bit-identical to having run
+        the work inline.
+        """
+        if not source or not self.enabled:
+            return
+        absorbed = self._absorbed
+        for key in sorted(source):
+            value = source[key]
+            if not isinstance(value, (int, float)):
+                continue
+            if key.endswith(".min"):
+                absorbed[key] = (
+                    min(absorbed[key], value) if key in absorbed else value
+                )
+            elif key.endswith(".max"):
+                absorbed[key] = (
+                    max(absorbed[key], value) if key in absorbed else value
+                )
+            else:
+                absorbed[key] = absorbed.get(key, 0) + value
+
+    def reset(self) -> None:
+        self._metrics.clear()
+        self._absorbed.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-wide current registry
+# ----------------------------------------------------------------------
+
+_CURRENT = MetricsRegistry(
+    enabled=os.environ.get("REPRO_TELEMETRY", "1") != "0"
+)
+
+
+def metrics() -> MetricsRegistry:
+    """The current process-wide registry."""
+    return _CURRENT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as current; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the current one."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+@contextmanager
+def isolated_registry() -> Iterator[MetricsRegistry]:
+    """Run a task against a fresh registry and hand its snapshot back.
+
+    The parallel task wrappers use this so a task's metrics always
+    arrive at the parent as an explicit snapshot (inline and pooled
+    execution take the identical absorb path — the property behind the
+    jobs-count bit-identity guarantee for merged metrics).
+    """
+    fresh = MetricsRegistry(enabled=_CURRENT.enabled)
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

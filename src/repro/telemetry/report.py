@@ -1,0 +1,231 @@
+"""Rendering: the unified ``--profile`` formatter and ``trace-report``.
+
+Historically each CLI subcommand grew its own profile dump (`synth`
+printed a fixed key list, `table2` sorted a merged dict, `fuzz` printed
+seconds per stage with yet another alignment).  :func:`render_profile`
+replaces all of them: canonical catalog names, sorted, stable widths,
+so goldens diff cleanly across subcommands.
+
+:func:`render_trace_report` turns a ``--trace`` JSONL file into the
+human summary the ``trace-report`` subcommand prints: per-pass
+time breakdown, the R/S trajectory timeline per rule, and the top-N
+slowest spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .schema import canonical_profile, validate_metric_names, validate_record
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_profile(
+    profile: Optional[Mapping[str, Any]],
+    *,
+    title: str,
+    canonicalize: bool = True,
+) -> str:
+    """The one profile format: header plus sorted ``name : value`` rows.
+
+    ``canonicalize`` maps legacy per-run keys (``full_recomputes``)
+    onto catalog names (``costview.full_recomputes``); pass ``False``
+    when the caller already speaks canonical names.
+    """
+    if not profile:
+        return f"profile      : (no {title} recorded)"
+    flat = canonical_profile(profile) if canonicalize else dict(profile)
+    width = max(len(name) for name in flat)
+    lines = [f"profile      : {title}"]
+    for name in sorted(flat):
+        lines.append(f"  {name:<{width}s} : {_format_value(flat[name])}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trace loading / validation
+# ----------------------------------------------------------------------
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file; raises ``ValueError`` on bad JSON."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}")
+    return records
+
+
+def validate_trace(records: Iterable[Any]) -> List[str]:
+    """Validate every record; returns ``line N: ...`` error strings.
+
+    ``metrics`` records additionally have every snapshot key checked
+    against the catalog in :mod:`repro.telemetry.schema` — an unknown
+    metric name is a schema violation, so instrumentation drift fails
+    ``trace-report --validate`` (and CI) instead of passing silently.
+    """
+    errors = []
+    for index, record in enumerate(records, start=1):
+        record_errors = validate_record(record)
+        if (
+            not record_errors
+            and isinstance(record, dict)
+            and record.get("type") == "metrics"
+        ):
+            record_errors = validate_metric_names(record["metrics"])
+        for error in record_errors:
+            errors.append(f"record {index}: {error}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# trace-report rendering
+# ----------------------------------------------------------------------
+
+
+def summarize_spans(
+    records: Iterable[Mapping[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate span records by name → calls/total/max duration."""
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        entry = by_name.setdefault(
+            record["name"], {"calls": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["calls"] += 1
+        entry["total_s"] += record["dur_s"]
+        entry["max_s"] = max(entry["max_s"], record["dur_s"])
+    return by_name
+
+
+def summarize_trajectory(
+    records: Iterable[Mapping[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate trajectory records by rule → tried/accepted plus the
+    R/S values after the rule's last accepted snapshot."""
+    by_rule: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") != "trajectory":
+            continue
+        entry = by_rule.setdefault(
+            record["rule"],
+            {"tried": 0, "accepted": 0, "last_r": None, "last_s": None},
+        )
+        entry["tried"] += 1
+        if record["accepted"]:
+            entry["accepted"] += 1
+            entry["last_r"] = record["r"]
+            entry["last_s"] = record["s"]
+    return by_rule
+
+
+def render_trace_report(
+    records: List[Dict[str, Any]], *, top: int = 5
+) -> str:
+    """Human summary of one trace: counts, per-pass time, trajectory
+    timeline per rule, top-N slowest spans."""
+    spans = [r for r in records if r.get("type") == "span"]
+    trajectory = [r for r in records if r.get("type") == "trajectory"]
+    metrics = [r for r in records if r.get("type") == "metrics"]
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+
+    lines: List[str] = []
+    if meta is not None:
+        lines.append(f"command      : {meta.get('command', '?')}")
+    lines.append(
+        f"records      : {len(records)} "
+        f"(spans {len(spans)}, trajectory {len(trajectory)}, "
+        f"metrics {len(metrics)})"
+    )
+
+    if spans:
+        by_name = summarize_spans(spans)
+        width = max(len(name) for name in by_name)
+        lines.append("")
+        lines.append("per-pass time:")
+        lines.append(
+            f"  {'span':<{width}s}  {'calls':>6s}  {'total_s':>9s}  "
+            f"{'mean_s':>9s}  {'max_s':>9s}"
+        )
+        for name in sorted(
+            by_name, key=lambda n: (-by_name[n]["total_s"], n)
+        ):
+            entry = by_name[name]
+            mean = entry["total_s"] / entry["calls"]
+            lines.append(
+                f"  {name:<{width}s}  {entry['calls']:>6d}  "
+                f"{entry['total_s']:>9.4f}  {mean:>9.4f}  "
+                f"{entry['max_s']:>9.4f}"
+            )
+
+    if trajectory:
+        realization = trajectory[-1].get("realization", "?")
+        accepted = sum(1 for r in trajectory if r["accepted"])
+        lines.append("")
+        lines.append(
+            f"trajectory   : {len(trajectory)} snapshots, "
+            f"{accepted} accepted (realization={realization})"
+        )
+        by_rule = summarize_trajectory(trajectory)
+        width = max(len(rule) for rule in by_rule)
+        lines.append(
+            f"  {'rule':<{width}s}  {'tried':>6s}  {'accepted':>8s}  "
+            f"{'R_after':>8s}  {'S_after':>8s}"
+        )
+        for rule in sorted(by_rule):
+            entry = by_rule[rule]
+            r_after = "-" if entry["last_r"] is None else str(entry["last_r"])
+            s_after = "-" if entry["last_s"] is None else str(entry["last_s"])
+            lines.append(
+                f"  {rule:<{width}s}  {entry['tried']:>6d}  "
+                f"{entry['accepted']:>8d}  {r_after:>8s}  {s_after:>8s}"
+            )
+        first, last = trajectory[0], trajectory[-1]
+        lines.append(
+            f"  R {first['r']} -> {last['r']}, "
+            f"S {first['s']} -> {last['s']}, "
+            f"depth {first['depth']} -> {last['depth']}, "
+            f"size {first['size']} -> {last['size']}"
+        )
+
+    if spans and top > 0:
+        slowest: List[Tuple[float, Dict[str, Any]]] = sorted(
+            ((record["dur_s"], record) for record in spans),
+            key=lambda pair: (-pair[0], pair[1]["span_id"]),
+        )[:top]
+        lines.append("")
+        lines.append(f"top {len(slowest)} slowest spans:")
+        for rank, (dur, record) in enumerate(slowest, start=1):
+            lines.append(
+                f"  {rank}. {record['name']} "
+                f"(span {record['span_id']}) "
+                f"start={record['start_s']:.4f}s dur={dur:.4f}s"
+            )
+
+    if metrics:
+        lines.append("")
+        lines.append(
+            render_profile(
+                metrics[-1].get("metrics", {}),
+                title="final metrics snapshot",
+                canonicalize=False,
+            )
+        )
+
+    return "\n".join(lines)

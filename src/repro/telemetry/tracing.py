@@ -1,0 +1,186 @@
+"""Hierarchical tracing spans serialized as JSON lines.
+
+A *span* is one timed region of work — an optimizer cycle, a rewrite
+pass, a compilation — nested by a per-tracer stack so every record
+carries its parent's id.  Instrumentation sites call :func:`span` (or
+decorate with :func:`traced`); when no tracer is installed this returns
+a shared no-op context manager, so tracing costs one global read and
+one method call per *pass-granularity* region — nothing per move.
+
+Records are written on span **exit** (children before parents, like
+Chrome trace events), each as one JSON object per line with sorted
+keys:
+
+    ``{"attrs": {...}, "dur_s": 0.0123, "name": "pass.push_up",
+       "parent_id": 3, "span_id": 7, "start_s": 0.5, "type": "span"}``
+
+``start_s`` is relative to the writer's birth so traces are
+machine-relocatable; ids are small ints allocated in creation order,
+so span ordering is deterministic for a deterministic workload (only
+the timings vary run to run).
+
+The same :class:`TraceWriter` sink also carries the other record types
+of the trace schema (``meta``, ``trajectory``, ``metrics``) — see
+:mod:`repro.telemetry.schema` for the contract.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+
+class TraceWriter:
+    """A JSONL sink: one sorted-key JSON object per line."""
+
+    def __init__(self, handle: TextIO, *, close_handle: bool = True) -> None:
+        self._handle = handle
+        self._close_handle = close_handle
+        self.created = time.perf_counter()
+        self.records_written = 0
+
+    @classmethod
+    def open(cls, path: str) -> "TraceWriter":
+        return cls(open(path, "w", encoding="utf-8"))
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._close_handle:
+            self._handle.close()
+
+
+class _LiveSpan:
+    """An open span; closing it emits the record."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "attrs", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes after entry (e.g. measured outcomes)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._start = time.perf_counter()
+        self._tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        record: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": round(self._start - tracer.origin, 6),
+            "dur_s": round(end - self._start, 6),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        tracer.writer.write(record)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the no-tracer fast path."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id: Optional[int] = None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Allocates span ids and tracks the open-span stack."""
+
+    def __init__(self, writer: TraceWriter) -> None:
+        self.writer = writer
+        self.origin = writer.created
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else None
+        return _LiveSpan(self, name, span_id, parent_id, attrs)
+
+
+_TRACER: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def install_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or, with ``None``, remove) the process tracer; returns
+    the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """Open a span under the installed tracer, or a shared no-op."""
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def traced(name: str) -> Callable:
+    """Decorator wrapping a whole function call in :func:`span`.
+
+    Used for pass-granularity functions (``push_up``, ``compile_mig``)
+    whose bodies we do not want to reindent; with no tracer installed
+    the overhead is one extra frame per call.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any):
+            tracer = _TRACER
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(name):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return wrap

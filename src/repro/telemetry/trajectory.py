@@ -1,0 +1,152 @@
+"""Optimization-trajectory recording.
+
+Every optimizer in :mod:`repro.mig` runs a propose/measure/commit loop;
+the *trajectory* is the sequence of cost states it passed through.  A
+:class:`TrajectoryRecorder`, when active (see
+:func:`trajectory_recording`), receives one snapshot each time an
+optimizer commits or rolls back a trial and each time a drive cycle
+completes, capturing
+
+    ``(iteration, rule, accepted, R, S, depth, size,
+       complemented-edge count)``
+
+under the recorder's cost realization — exactly the quantities of the
+paper's cost model ``R = max_i(K_R·N_i + C_i)``, ``S = K_S·D + L``.
+Snapshots accumulate in memory and, when a trace sink is attached,
+stream into the JSONL trace as ``{"type": "trajectory", ...}`` records,
+so a run can be replayed as an R/S timeline (``repro-synth
+trace-report``).
+
+The final snapshot of a run (``rule="final"``, written by the CLI after
+the optimizer returns) is computed from a from-scratch
+:func:`repro.mig.views.level_stats`, so its R/S are exactly the numbers
+the CLI prints — the contract the telemetry tests pin down.
+
+Recording is pay-for-use: optimizers check :func:`active_trajectory`
+(one global read) and skip everything when no recorder is active.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from .tracing import TraceWriter
+
+
+class TrajectoryRecorder:
+    """Collects cost snapshots of one optimization run.
+
+    ``realization`` is a :class:`repro.mig.views.Realization` (held by
+    duck type — this module never imports :mod:`repro.mig` at module
+    level).  ``validate=True`` cross-checks every view-supplied
+    snapshot against the from-scratch statistics and raises on drift —
+    the telemetry tests run optimizers under this mode to prove the
+    recorder stays consistent with the CostView across rollbacks.
+    """
+
+    def __init__(
+        self,
+        realization: Any,
+        sink: Optional[TraceWriter] = None,
+        *,
+        validate: bool = False,
+    ) -> None:
+        self.realization = realization
+        self.sink = sink
+        self.validate = validate
+        self.snapshots: List[Dict[str, Any]] = []
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+
+    def _stats_of(self, mig: Any, view: Any):
+        if view is not None:
+            return view.stats()
+        from ..mig.views import level_stats  # lazy: no import cycle
+
+        return level_stats(mig)
+
+    def record_state(
+        self, mig: Any, view: Any = None, *, rule: str, accepted: bool
+    ) -> Dict[str, Any]:
+        """Snapshot the current graph state after a commit/rollback."""
+        stats = self._stats_of(mig, view)
+        realization = self.realization
+        snapshot: Dict[str, Any] = {
+            "type": "trajectory",
+            "iteration": self._iteration,
+            "rule": rule,
+            "accepted": bool(accepted),
+            "r": stats.rram_count(realization),
+            "s": stats.step_count(realization),
+            "depth": stats.depth,
+            "size": stats.size,
+            "complemented_edges": sum(stats.complements_per_level)
+            + stats.po_complements,
+            "realization": realization.value,
+        }
+        self._iteration += 1
+        if self.validate and view is not None:
+            self._cross_check(mig, snapshot)
+        self.snapshots.append(snapshot)
+        if self.sink is not None:
+            self.sink.write(snapshot)
+        return snapshot
+
+    def record_final(self, mig: Any) -> Dict[str, Any]:
+        """The run's closing snapshot — always from-scratch statistics,
+        so R/S match what the CLI reports for the optimized graph."""
+        return self.record_state(mig, None, rule="final", accepted=True)
+
+    def _cross_check(self, mig: Any, snapshot: Dict[str, Any]) -> None:
+        from ..mig.views import level_stats
+
+        reference = level_stats(mig)
+        realization = self.realization
+        expected = {
+            "r": reference.rram_count(realization),
+            "s": reference.step_count(realization),
+            "depth": reference.depth,
+            "size": reference.size,
+            "complemented_edges": sum(reference.complements_per_level)
+            + reference.po_complements,
+        }
+        for key, value in expected.items():
+            if snapshot[key] != value:
+                raise AssertionError(
+                    f"trajectory drift at iteration "
+                    f"{snapshot['iteration']} ({snapshot['rule']}): "
+                    f"{key} view={snapshot[key]} reference={value}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def final(self) -> Optional[Dict[str, Any]]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def accepted_count(self) -> int:
+        return sum(1 for s in self.snapshots if s["accepted"])
+
+
+_RECORDER: Optional[TrajectoryRecorder] = None
+
+
+def active_trajectory() -> Optional[TrajectoryRecorder]:
+    """The recorder optimizers should report to, or None."""
+    return _RECORDER
+
+
+@contextmanager
+def trajectory_recording(
+    recorder: Optional[TrajectoryRecorder],
+) -> Iterator[Optional[TrajectoryRecorder]]:
+    """Scope ``recorder`` (possibly None) as the active one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    try:
+        yield recorder
+    finally:
+        _RECORDER = previous

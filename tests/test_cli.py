@@ -65,7 +65,7 @@ class TestCommands:
         ])
         out = capsys.readouterr().out
         assert code == 0
-        assert "no cost-view counters" in out
+        assert "no cost-view + transaction counters recorded" in out
 
     def test_synth_file(self, tmp_path, capsys):
         path = tmp_path / "tiny.bench"
