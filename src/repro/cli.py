@@ -6,7 +6,13 @@ Subcommands
               named benchmark) with one of the paper's algorithms and
               report the RRAM cost model, optionally compiling and
               functionally verifying the micro-program.
-``table2``    Reproduce paper Table II (optionally a subset).
+``map``       Place a compiled program onto a W×H crossbar array and
+              reschedule it into row-parallel steps (never more than
+              the paper's sequential S); exit code 2 when the program
+              cannot be mapped onto the requested array.
+``table2``    Reproduce paper Table II (optionally a subset);
+              ``--crossbar WxH|auto`` appends the crossbar-mapping
+              report (array geometry, utilization, parallel steps).
 ``table3``    Reproduce paper Table III (``--baseline bdd|aig``).
 ``bench-list``  List the built-in benchmark suites.
 ``bench``     Time the whole-set flows / packed-kernel speedups and
@@ -222,6 +228,60 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_geometry(text: str):
+    """``WxH`` (e.g. ``32x32``) or ``auto`` → (width, height) pair."""
+    if text.strip().lower() == "auto":
+        return (None, None)
+    parts = text.lower().split("x")
+    try:
+        width, height = (int(part) for part in parts)
+        if width < 1 or height < 1:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad array geometry {text!r}; expected WxH (e.g. 32x32) "
+            "or 'auto'"
+        ) from None
+    return (width, height)
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .crossbar import map_program
+    from .flows import placed_identical
+
+    netlist = _load_circuit(args.circuit)
+    mig = mig_from_netlist(netlist)
+    realization = Realization(args.realization)
+    if args.algorithm != "none":
+        optimizer = ALGORITHMS[args.algorithm]
+        if args.algorithm in ("rram", "steps"):
+            optimizer(mig, realization, args.effort)
+        else:
+            optimizer(mig, args.effort)
+    report = compile_mig(mig, realization)
+    program = report.program
+    width, height = args.crossbar
+    placed = map_program(program, width, height, refine=args.refine)
+
+    rows_used = len({row for row, _col in placed.cells.values()})
+    print(f"circuit      : {netlist.name}")
+    print(f"realization  : {realization.value.upper()}")
+    print(f"devices      : {program.num_devices}")
+    print(f"array        : {placed.width}x{placed.height} "
+          f"({'requested' if width is not None else 'auto-fitted'})")
+    print(f"utilization  : {placed.utilization:.2f} "
+          f"({rows_used} wordlines occupied)")
+    print(f"sequential S : {program.num_steps}")
+    print(f"parallel     : {placed.num_parallel_steps} steps "
+          f"(ratio {placed.step_ratio:.2f})")
+    if args.verify:
+        ok = placed_identical(program, placed)
+        print(f"identity     : {'PASS' if ok else 'FAIL'}")
+        if not ok:
+            return 1
+    return 0
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .flows import render_summary, render_table2, run_table2, summarize_table2
 
@@ -232,6 +292,20 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     print(render_table2(result, with_paper=not args.no_paper))
     print()
     print(render_summary(summarize_table2(result), with_paper=not args.no_paper))
+    if args.crossbar is not None:
+        from .flows import render_crossbar, run_crossbar
+
+        width, height = args.crossbar
+        crossbar = run_crossbar(
+            names,
+            effort=args.effort,
+            verify=args.verify,
+            jobs=args.jobs,
+            width=width,
+            height=height,
+        )
+        print()
+        print(render_crossbar(crossbar))
     if args.profile:
         print()
         print(
@@ -408,6 +482,7 @@ def _cmd_bench_list(_args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .flows.bench import (
         append_bench_entry,
+        bench_crossbar,
         bench_fuzz_smoke,
         bench_table2,
         bench_tx_engine,
@@ -432,12 +507,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         entries.append(
             bench_tx_engine(args.benchmarks or None, effort=args.effort)
         )
+    if args.what == "crossbar":
+        print(f"timing crossbar mapping of the step-optimized flow "
+              f"(effort={args.effort}, jobs={args.jobs}) ...")
+        entries.append(
+            bench_crossbar(
+                args.benchmarks or None, effort=args.effort, jobs=args.jobs
+            )
+        )
     for entry in entries:
         if not args.no_append:
             append_bench_entry(entry, args.output)
         if entry["kind"] == "table2":
             print(f"table2       : {entry['seconds']}s over "
                   f"{entry['benchmarks']} benchmarks (jobs={entry['jobs']})")
+        elif entry["kind"] == "crossbar":
+            for realization, totals in sorted(entry["totals"].items()):
+                print(
+                    f"crossbar     : {realization} parallel "
+                    f"{totals['parallel_steps']} / sequential "
+                    f"{totals['sequential_steps']} steps = "
+                    f"{totals['parallel_over_s']}x over "
+                    f"{len(entry['benchmarks'])} benchmarks"
+                )
         elif entry["kind"] == "tx-engine":
             for label, flow in entry["flows"].items():
                 speedup = flow.get("speedup_vs_clone_baseline")
@@ -534,6 +626,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(synth)
     synth.set_defaults(func=_cmd_synth)
 
+    map_cmd = sub.add_parser(
+        "map",
+        help="place a compiled program onto a W×H crossbar and "
+        "reschedule it into row-parallel steps",
+    )
+    map_cmd.add_argument(
+        "circuit", help="benchmark name or .bench/.blif/.pla path"
+    )
+    map_cmd.add_argument(
+        "--crossbar", type=_parse_geometry, default=(None, None),
+        metavar="WxH",
+        help="array geometry, e.g. 32x32 (default: auto-fit; exit "
+        "code 2 when the program cannot be mapped onto the request)",
+    )
+    map_cmd.add_argument(
+        "--realization", choices=["imp", "maj"], default="maj",
+        help="RRAM realization to compile for (default maj)",
+    )
+    map_cmd.add_argument(
+        "--algorithm", choices=[*ALGORITHMS, "none"], default="none",
+        help="optional pre-mapping optimization (default none)",
+    )
+    map_cmd.add_argument("--effort", type=int, default=10,
+                         help="optimizer cycle budget")
+    refine = map_cmd.add_mutually_exclusive_group()
+    refine.add_argument(
+        "--refine", dest="refine", action="store_true", default=None,
+        help="force the force-directed placement refinement on",
+    )
+    refine.add_argument(
+        "--no-refine", dest="refine", action="store_false",
+        help="skip the force-directed refinement (default: auto)",
+    )
+    map_cmd.add_argument(
+        "--verify", action="store_true",
+        help="prove the row-parallel schedule bit-identical to the "
+        "sequential program through the packed kernels",
+    )
+    _add_telemetry_args(map_cmd)
+    map_cmd.set_defaults(func=_cmd_map)
+
     table2 = sub.add_parser("table2", help="reproduce paper Table II")
     table2.add_argument("benchmarks", nargs="*", help="subset (default: all 25)")
     table2.add_argument("--effort", type=int, default=40)
@@ -548,6 +681,12 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument(
         "--profile", action="store_true",
         help="report cost-view counters summed over all cells/workers",
+    )
+    table2.add_argument(
+        "--crossbar", type=_parse_geometry, default=None, metavar="WxH",
+        help="also map the step-optimized flow onto a crossbar array "
+        "(WxH, or 'auto' to fit per benchmark) and append the "
+        "geometry/utilization/parallel-steps report",
     )
     _add_telemetry_args(table2)
     table2.set_defaults(func=_cmd_table2)
@@ -598,11 +737,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("benchmarks", nargs="*",
                        help="Table II subset for the table2 timing")
     bench.add_argument(
-        "--what", choices=["table2", "fuzz-smoke", "tx-engine", "all"],
+        "--what",
+        choices=["table2", "fuzz-smoke", "tx-engine", "crossbar", "all"],
         default="all",
-        help="which measurement to run (default all; tx-engine — the "
-        "transactional vs clone-based engine comparison — only when "
-        "named explicitly)",
+        help="which measurement to run (default all; tx-engine and "
+        "crossbar only when named explicitly)",
     )
     bench.add_argument("--effort", type=int, default=10,
                        help="optimizer effort for the table2 timing")
@@ -693,6 +832,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         PlaFormatError,
         VerilogFormatError,
     )
+    from .crossbar import MappingError
     from .rram import VerificationCapError
 
     parser = build_parser()
@@ -707,6 +847,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         PlaFormatError,
         VerilogFormatError,
         VerificationCapError,
+        MappingError,
     ) as error:
         print(f"repro-synth: error: {error}", file=sys.stderr)
         return 2

@@ -1,0 +1,44 @@
+"""Crossbar-constrained mapping: geometry for the paper's cost model.
+
+Places a compiled RRAM micro-program onto a W×H 1T1R array and
+reschedules it into row-parallel cycles that never exceed — and
+typically beat — the paper's sequential step count S.  See
+``docs/MAPPING.md`` for the model, the sense-path conflict rule, and
+the placement/legalization loop.
+"""
+
+from .force import (
+    MAX_REFINE_BLOCKS,
+    fruchterman_reingold,
+    refine_placement,
+)
+from .mapping import fit_array, map_program
+from .model import (
+    CrossbarModel,
+    MappingError,
+    check_placed,
+    check_placement,
+    row_rule_ok,
+    step_row_violation,
+    wirelength,
+)
+from .place import place_greedy, sense_sites
+from .schedule import schedule_rows
+
+__all__ = [
+    "CrossbarModel",
+    "MappingError",
+    "MAX_REFINE_BLOCKS",
+    "check_placed",
+    "check_placement",
+    "fit_array",
+    "fruchterman_reingold",
+    "map_program",
+    "place_greedy",
+    "refine_placement",
+    "row_rule_ok",
+    "schedule_rows",
+    "sense_sites",
+    "step_row_violation",
+    "wirelength",
+]

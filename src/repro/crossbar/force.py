@@ -1,0 +1,185 @@
+"""Force-directed placement refinement (Fruchterman–Reingold).
+
+The greedy placer is oblivious to *which* blocks talk to each other:
+it packs the compiler's emission order.  This pass treats each layout
+block as a node of a communication graph — an edge for every op whose
+sensed device and written device live in different blocks, weighted by
+how often the pair communicates — and runs a deterministic
+Fruchterman–Reingold spring embedding (attraction ``d²/k`` along
+edges, repulsion ``k²/d`` between all pairs, linearly cooling
+displacement cap).  The resulting coordinates are *not* a legal
+placement; legalization re-runs the greedy placer with the blocks
+re-sorted by their refined ``(y, x)`` positions, so communicating
+blocks land on nearby rows.
+
+Everything is deterministic: initial positions come from the greedy
+placement's block centroids, coincident nodes are separated by an
+index-based epsilon, and there is no randomness anywhere — repeated
+runs give byte-identical placements.
+
+The refinement is advisory: :func:`repro.crossbar.mapping.map_program`
+keeps whichever placement (greedy or refined) schedules to fewer
+parallel cycles, breaking ties on wirelength.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..rram.isa import LayoutBlock, Program, op_sensed
+from .model import CrossbarModel, MappingError
+from .place import place_greedy
+
+#: Beyond this many blocks the O(n²) repulsion sweep is not worth it.
+MAX_REFINE_BLOCKS = 600
+
+#: Cooling schedule length; enough for the small graphs we refine.
+ITERATIONS = 60
+
+
+def _block_of_device(blocks: Sequence[LayoutBlock]) -> Dict[int, int]:
+    """First block claiming each device (recycling → first wins)."""
+    owner: Dict[int, int] = {}
+    for block_index, block in enumerate(blocks):
+        for device in block.devices:
+            owner.setdefault(device, block_index)
+    return owner
+
+
+def _communication_edges(
+    program: Program, owner: Mapping[int, int]
+) -> Dict[Tuple[int, int], int]:
+    """Inter-block edge weights: one count per op crossing blocks."""
+    edges: Dict[Tuple[int, int], int] = {}
+    for step in program.steps:
+        for op in step.ops:
+            dst_block = owner.get(op.dst)
+            if dst_block is None:
+                continue
+            for device in op_sensed(op):
+                src_block = owner.get(device)
+                if src_block is None or src_block == dst_block:
+                    continue
+                key = (min(src_block, dst_block), max(src_block, dst_block))
+                edges[key] = edges.get(key, 0) + 1
+    return edges
+
+
+def _centroids(
+    blocks: Sequence[LayoutBlock],
+    cells: Mapping[int, Tuple[int, int]],
+    owner: Mapping[int, int],
+) -> List[Tuple[float, float]]:
+    """Initial node positions: centroid of each block's placed cells."""
+    positions: List[Tuple[float, float]] = []
+    for block_index, block in enumerate(blocks):
+        rows: List[int] = []
+        cols: List[int] = []
+        for device in block.devices:
+            if owner.get(device) != block_index:
+                continue
+            row, col = cells[device]
+            rows.append(row)
+            cols.append(col)
+        if rows:
+            positions.append(
+                (sum(rows) / len(rows), sum(cols) / len(cols))
+            )
+        else:  # every device recycled from an earlier block
+            positions.append((float(block_index), 0.0))
+    return positions
+
+
+def fruchterman_reingold(
+    positions: List[Tuple[float, float]],
+    edges: Mapping[Tuple[int, int], int],
+    width: float,
+    height: float,
+    iterations: int = ITERATIONS,
+) -> List[Tuple[float, float]]:
+    """Deterministic FR layout in a ``width × height`` frame."""
+    count = len(positions)
+    if count <= 1:
+        return list(positions)
+    area = max(width * height, 1.0)
+    k = math.sqrt(area / count)
+    pos = [list(p) for p in positions]
+    temperature = max(width, height) / 8.0
+    cooling = temperature / (iterations + 1)
+    for _ in range(iterations):
+        disp = [[0.0, 0.0] for _ in range(count)]
+        for i in range(count):
+            yi, xi = pos[i]
+            for j in range(i + 1, count):
+                dy = yi - pos[j][0]
+                dx = xi - pos[j][1]
+                dist = math.hypot(dy, dx)
+                if dist < 1e-9:
+                    # Deterministic separation of coincident nodes.
+                    dy, dx = 1e-3 * (i - j), 1e-3
+                    dist = math.hypot(dy, dx)
+                force = (k * k) / dist
+                disp[i][0] += (dy / dist) * force
+                disp[i][1] += (dx / dist) * force
+                disp[j][0] -= (dy / dist) * force
+                disp[j][1] -= (dx / dist) * force
+        for (i, j), weight in sorted(edges.items()):
+            dy = pos[i][0] - pos[j][0]
+            dx = pos[i][1] - pos[j][1]
+            dist = math.hypot(dy, dx)
+            if dist < 1e-9:
+                continue
+            force = weight * dist * dist / k
+            disp[i][0] -= (dy / dist) * force
+            disp[i][1] -= (dx / dist) * force
+            disp[j][0] += (dy / dist) * force
+            disp[j][1] += (dx / dist) * force
+        for i in range(count):
+            dy, dx = disp[i]
+            magnitude = math.hypot(dy, dx)
+            if magnitude > 1e-9:
+                step = min(magnitude, temperature)
+                pos[i][0] += (dy / magnitude) * step
+                pos[i][1] += (dx / magnitude) * step
+            pos[i][0] = min(max(pos[i][0], 0.0), height - 1.0)
+            pos[i][1] = min(max(pos[i][1], 0.0), width - 1.0)
+        temperature = max(temperature - cooling, 1e-3)
+    return [(y, x) for y, x in pos]
+
+
+def refine_placement(
+    program: Program,
+    model: CrossbarModel,
+    cells: Mapping[int, Tuple[int, int]],
+) -> Optional[Dict[int, Tuple[int, int]]]:
+    """One refine-and-legalize pass; ``None`` when skipped or illegal.
+
+    Embeds the block graph with :func:`fruchterman_reingold`, re-sorts
+    the blocks by refined position, and legalizes by re-running the
+    greedy placer on the new order.  The caller decides whether the
+    result actually improves on the input placement.
+    """
+    blocks = list(program.blocks)
+    if not blocks or len(blocks) > MAX_REFINE_BLOCKS:
+        return None
+    owner = _block_of_device(blocks)
+    edges = _communication_edges(program, owner)
+    if not edges:
+        return None
+    refined = fruchterman_reingold(
+        _centroids(blocks, cells, owner),
+        edges,
+        float(model.width),
+        float(model.height),
+    )
+    reordered = [
+        block
+        for _, block in sorted(
+            zip(refined, blocks), key=lambda pair: (pair[0], pair[1].label)
+        )
+    ]
+    try:
+        return place_greedy(program, model, reordered)
+    except MappingError:
+        return None

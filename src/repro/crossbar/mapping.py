@@ -1,0 +1,139 @@
+"""The crossbar mapping facade: place, refine, schedule, audit.
+
+:func:`map_program` is the one entry point the CLI, flows, fuzz
+oracle, and tests use.  It turns a compiled sequential
+:class:`~repro.rram.isa.Program` into a fully audited
+:class:`~repro.rram.isa.PlacedProgram`:
+
+1. **fit** — with explicit ``width``/``height`` the array is fixed
+   (and :class:`~repro.crossbar.model.MappingError` propagates when the
+   program does not fit); otherwise a near-square array is auto-fitted,
+   growing the wordline count geometrically until placement succeeds
+   (``height == num_devices`` is a guaranteed terminal: one device per
+   wordline trivially satisfies the sense-path rule);
+2. **place** — greedy level-packing (:mod:`repro.crossbar.place`);
+3. **refine** — optional deterministic force-directed pass
+   (:mod:`repro.crossbar.force`), kept only when it schedules to
+   strictly fewer parallel cycles, or equal cycles with lower
+   wirelength;
+4. **schedule** — bundle ASAP regrouping (:mod:`repro.crossbar.schedule`);
+5. **audit** — :func:`repro.crossbar.model.check_placed` re-verifies
+   placement, provenance, and sense-path legality from scratch before
+   the result is released.
+
+Telemetry: spans ``crossbar.map`` / ``crossbar.place`` /
+``crossbar.refine`` / ``crossbar.schedule``; counter
+``crossbar.mapped_programs``; histograms ``crossbar.parallel_steps``,
+``crossbar.step_ratio``, ``crossbar.utilization``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from ..rram.isa import PlacedProgram, Program
+from ..telemetry import metrics, span, traced
+from .force import MAX_REFINE_BLOCKS, refine_placement
+from .model import CrossbarModel, MappingError, check_placed, wirelength
+from .place import place_greedy
+from .schedule import schedule_rows
+
+
+def fit_array(program: Program) -> CrossbarModel:
+    """A near-square starting array for auto-fit.
+
+    Wide enough for the widest layout block (so gadgets can stay on
+    one wordline) and for a square-ish aspect ratio.
+    """
+    count = max(1, program.num_devices)
+    widest_block = max(
+        (len(set(block.devices)) for block in program.blocks), default=1
+    )
+    width = max(widest_block, math.ceil(math.sqrt(count)), 1)
+    height = max(1, math.ceil(count / width))
+    return CrossbarModel(width, height)
+
+
+@traced("crossbar.map")
+def map_program(
+    program: Program,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    *,
+    refine: Optional[bool] = None,
+) -> PlacedProgram:
+    """Map a compiled program onto a crossbar; see the module docstring.
+
+    ``refine=None`` (auto) refines exactly when the force-directed
+    pass is tractable (≤ :data:`~repro.crossbar.force.MAX_REFINE_BLOCKS`
+    blocks); ``True``/``False`` force it on or off.
+    """
+    if (width is None) != (height is None):
+        raise MappingError(
+            "specify both width and height, or neither for auto-fit"
+        )
+    fixed = width is not None and height is not None
+
+    if fixed:
+        model = CrossbarModel(width, height)
+        with span("crossbar.place", array=str(model)):
+            cells = place_greedy(program, model)
+    else:
+        model = fit_array(program)
+        cells = None
+        while cells is None:
+            try:
+                with span("crossbar.place", array=str(model)):
+                    cells = place_greedy(program, model)
+            except MappingError:
+                if model.height >= program.num_devices:
+                    raise  # pragma: no cover - one-device-per-row is legal
+                grown = min(
+                    max(math.ceil(model.height * 1.3), model.height + 1),
+                    max(1, program.num_devices),
+                )
+                model = CrossbarModel(model.width, grown)
+
+    do_refine = refine if refine is not None else (
+        len(program.blocks) <= MAX_REFINE_BLOCKS
+    )
+    with span("crossbar.schedule", array=str(model)):
+        steps, op_map, sense_map = schedule_rows(program, cells)
+    if do_refine:
+        with span("crossbar.refine", array=str(model)):
+            refined_cells = refine_placement(program, model, cells)
+            if refined_cells is not None:
+                refined_schedule = schedule_rows(program, refined_cells)
+                better = len(refined_schedule[0]) < len(steps) or (
+                    len(refined_schedule[0]) == len(steps)
+                    and wirelength(program, refined_cells)
+                    < wirelength(program, cells)
+                )
+                if better:
+                    cells = refined_cells
+                    steps, op_map, sense_map = refined_schedule
+
+    placed = PlacedProgram(
+        program=program,
+        width=model.width,
+        height=model.height,
+        cells=dict(cells),
+        steps=steps,
+        op_map=op_map,
+        sense_map=sense_map,
+    )
+    check_placed(placed)
+
+    registry = metrics()
+    registry.counter("crossbar.mapped_programs").inc()
+    registry.histogram("crossbar.parallel_steps").observe(
+        placed.num_parallel_steps
+    )
+    registry.histogram("crossbar.step_ratio").observe(
+        round(placed.step_ratio, 4)
+    )
+    registry.histogram("crossbar.utilization").observe(
+        round(placed.utilization, 4)
+    )
+    return placed

@@ -1,0 +1,175 @@
+"""W×H 1T1R crossbar array model and the sense-path conflict rule.
+
+The paper's cost model treats the RRAM fabric as a bag of R devices;
+this module pins it to geometry: a ``width × height`` 1T1R array where
+each device occupies one ``(row, col)`` cell, rows share a wordline,
+and columns share a bitline.  Execution is still step-wise simultaneous
+(see :class:`repro.rram.isa.Step`), but a *parallel* step now has a
+physical constraint:
+
+**Sense-path rule.**  Each wordline has a single sense path.  Within
+one step, for every row ``r``, let ``S`` be the ops sensing at least
+one device placed on ``r`` and ``D`` the set of devices on ``r`` they
+sense.  The step is legal on ``r`` iff ``|S| ≤ 1`` or ``|D| == 1``:
+either one op owns the row's sense path (it may sense several of the
+row's devices — a multi-bitline read), or all sensing ops observe the
+same single device (a broadcast of one sensed value).  Writes never
+conflict on rows — every cell has its own access transistor — so only
+sensing is constrained.
+
+Note the rule is over *sensed* devices (:func:`repro.rram.isa.op_sensed`),
+not data dependencies: ``Imp``/``IntrinsicMaj`` read-modify-write their
+``dst`` through the device's own switching physics, which does not
+occupy the wordline sense path.
+
+The rule is monotone under op subsets (any subset of a legal step is
+legal), which is what lets the scheduler regroup a row-legal sequential
+program without ever exceeding its step count — see
+``docs/MAPPING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rram.isa import MicroOp, PlacedProgram, Program, op_sensed
+
+
+class MappingError(RuntimeError):
+    """Raised when a program cannot be mapped onto the given array."""
+
+
+@dataclass(frozen=True)
+class CrossbarModel:
+    """A ``width × height`` 1T1R array (columns × wordlines)."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise MappingError(
+                f"array dimensions must be positive, got "
+                f"{self.width}x{self.height}"
+            )
+
+    @property
+    def num_cells(self) -> int:
+        return self.width * self.height
+
+    def fits(self, num_devices: int) -> bool:
+        """Capacity check only; legality needs a placement attempt."""
+        return num_devices <= self.num_cells
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.width}x{self.height}"
+
+
+def row_rule_ok(num_sensing_ops: int, num_sensed_devices: int) -> bool:
+    """The sense-path rule for one (row, step) pair."""
+    return num_sensing_ops <= 1 or num_sensed_devices == 1
+
+
+def step_row_violation(
+    ops: Sequence[MicroOp], row_of: Mapping[int, int]
+) -> Optional[str]:
+    """First sense-path violation of one step, or ``None`` if legal."""
+    per_row: Dict[int, Tuple[Set[int], Set[int]]] = {}
+    for op_index, op in enumerate(ops):
+        for device in op_sensed(op):
+            row = row_of[device]
+            claim = per_row.setdefault(row, (set(), set()))
+            claim[0].add(op_index)
+            claim[1].add(device)
+    for row in sorted(per_row):
+        sensing_ops, devices = per_row[row]
+        if not row_rule_ok(len(sensing_ops), len(devices)):
+            return (
+                f"row {row}: {len(sensing_ops)} ops contend for the "
+                f"sense path over devices {sorted(devices)}"
+            )
+    return None
+
+
+def check_placement(
+    program: Program,
+    model: CrossbarModel,
+    cells: Mapping[int, Tuple[int, int]],
+) -> None:
+    """Validate a placement of ``program`` onto ``model`` from scratch.
+
+    Checks in-bounds injective cells for every device and the
+    sense-path rule on every *sequential* step — the invariant the
+    scheduler's ≤-S guarantee rests on.  Raises :class:`MappingError`.
+    """
+    if len(cells) != program.num_devices:
+        raise MappingError(
+            f"placement covers {len(cells)} of {program.num_devices} "
+            "devices"
+        )
+    occupied: Dict[Tuple[int, int], int] = {}
+    for device, (row, col) in cells.items():
+        if not (0 <= row < model.height and 0 <= col < model.width):
+            raise MappingError(
+                f"device {device} at ({row}, {col}) is outside the "
+                f"{model} array"
+            )
+        if (row, col) in occupied:
+            raise MappingError(
+                f"devices {occupied[(row, col)]} and {device} share "
+                f"cell ({row}, {col})"
+            )
+        occupied[(row, col)] = device
+    row_of = {device: cell[0] for device, cell in cells.items()}
+    for step_index, step in enumerate(program.steps):
+        violation = step_row_violation(step.ops, row_of)
+        if violation is not None:
+            raise MappingError(
+                f"sequential step {step_index} ({step.label!r}) is not "
+                f"row-legal under this placement: {violation}"
+            )
+
+
+def check_placed(placed: PlacedProgram) -> None:
+    """Full legality audit of a mapped program.
+
+    Combines the structural checks of
+    :meth:`repro.rram.isa.PlacedProgram.validate` (placement shape,
+    write-once, provenance bijection) with the crossbar-specific
+    sense-path rule on every parallel step *and* on the source
+    sequential steps.  Raises :class:`MappingError` on any violation.
+    """
+    model = CrossbarModel(placed.width, placed.height)
+    try:
+        placed.validate()
+    except ValueError as exc:
+        raise MappingError(str(exc)) from exc
+    check_placement(placed.program, model, placed.cells)
+    row_of = {device: cell[0] for device, cell in placed.cells.items()}
+    for step_index, step in enumerate(placed.steps):
+        violation = step_row_violation(step.ops, row_of)
+        if violation is not None:
+            raise MappingError(
+                f"parallel step {step_index} violates the sense-path "
+                f"rule: {violation}"
+            )
+
+
+def wirelength(
+    program: Program, cells: Mapping[int, Tuple[int, int]]
+) -> int:
+    """Total Manhattan distance between sensed and written cells.
+
+    A proxy for drive energy / IR drop: every op contributes the
+    distance from each device it senses to the device it writes.  Used
+    to compare placements of equal step count.
+    """
+    total = 0
+    for step in program.steps:
+        for op in step.ops:
+            dst_row, dst_col = cells[op.dst]
+            for device in op_sensed(op):
+                src_row, src_col = cells[device]
+                total += abs(dst_row - src_row) + abs(dst_col - src_col)
+    return total

@@ -1,0 +1,203 @@
+"""Greedy level-packing placement of a compiled program onto an array.
+
+The placer walks the compiler's :class:`~repro.rram.isa.LayoutBlock`
+stream in order (primary inputs, constants, PO-inversion registers,
+then gadgets level by level) and packs each block onto a single row
+when it can — gadget slots that live on one wordline give the merged
+level steps their row locality — falling back to scattering a block's
+devices across rows when no single row accepts it whole.
+
+Legality is maintained incrementally: for every ``(row, sequential
+step)`` pair the placer tracks which ops sense on that row and which
+devices they sense, so a candidate row can be accepted or rejected in
+time proportional to the candidate devices' sense sites rather than by
+re-checking whole steps.  The invariant established here — **every
+sequential step is row-legal under the final placement** — is exactly
+what lets the scheduler guarantee the parallel step count never
+exceeds the paper's sequential ``S`` (see ``docs/MAPPING.md``).
+
+Device recycling in the compiler means one device index can appear in
+several blocks; the placer honours the first block that mentions a
+device and skips it afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..rram.isa import LayoutBlock, Program, op_sensed
+from .model import CrossbarModel, MappingError, row_rule_ok
+
+#: device → list of (sequential step index, op uid) pairs sensing it.
+SenseSites = Dict[int, List[Tuple[int, Tuple[int, int]]]]
+
+#: (row, step) claim: (op uids sensing on the row, devices they sense).
+_Claim = Tuple[Set[Tuple[int, int]], Set[int]]
+
+
+def sense_sites(program: Program) -> SenseSites:
+    """Index every sensed device by the ops that sense it, per step."""
+    sites: SenseSites = {}
+    for step_index, step in enumerate(program.steps):
+        for op_index, op in enumerate(step.ops):
+            uid = (step_index, op_index)
+            for device in op_sensed(op):
+                sites.setdefault(device, []).append((step_index, uid))
+    return sites
+
+
+class _RowLedger:
+    """Incremental per-(row, step) sense-path claims."""
+
+    def __init__(self) -> None:
+        self._claims: Dict[Tuple[int, int], _Claim] = {}
+
+    def trial(
+        self,
+        row: int,
+        devices: Sequence[int],
+        sites: SenseSites,
+    ) -> Optional[Dict[Tuple[int, int], _Claim]]:
+        """Claims after placing ``devices`` on ``row``, or ``None``.
+
+        Returns only the touched ``(row, step)`` entries (as fresh
+        sets) when every one of them stays legal; the caller commits
+        them via :meth:`commit`.
+        """
+        staged: Dict[Tuple[int, int], _Claim] = {}
+        for device in devices:
+            for step_index, uid in sites.get(device, ()):
+                key = (row, step_index)
+                claim = staged.get(key)
+                if claim is None:
+                    existing = self._claims.get(key)
+                    claim = (
+                        (set(existing[0]), set(existing[1]))
+                        if existing is not None
+                        else (set(), set())
+                    )
+                    staged[key] = claim
+                claim[0].add(uid)
+                claim[1].add(device)
+        for ops, devs in staged.values():
+            if not row_rule_ok(len(ops), len(devs)):
+                return None
+        return staged
+
+    def commit(self, staged: Dict[Tuple[int, int], _Claim]) -> None:
+        self._claims.update(staged)
+
+
+def _unique_unplaced(
+    devices: Sequence[int], cells: Mapping[int, Tuple[int, int]]
+) -> List[int]:
+    seen: Set[int] = set()
+    fresh: List[int] = []
+    for device in devices:
+        if device in cells or device in seen:
+            continue
+        seen.add(device)
+        fresh.append(device)
+    return fresh
+
+
+def place_greedy(
+    program: Program,
+    model: CrossbarModel,
+    blocks: Optional[Sequence[LayoutBlock]] = None,
+) -> Dict[int, Tuple[int, int]]:
+    """Assign every device a unique in-bounds ``(row, col)`` cell.
+
+    ``blocks`` overrides the program's own block order (the
+    force-directed refiner re-enters here with a spatially re-sorted
+    stream).  Raises :class:`MappingError` when the array cannot hold
+    a legal placement under this greedy strategy.
+    """
+    if not model.fits(program.num_devices):
+        raise MappingError(
+            f"program needs {program.num_devices} devices but the "
+            f"{model} array has only {model.num_cells} cells"
+        )
+    sites = sense_sites(program)
+    ledger = _RowLedger()
+    cells: Dict[int, Tuple[int, int]] = {}
+    cols_used = [0] * model.height
+
+    order = list(blocks) if blocks is not None else list(program.blocks)
+    covered = {device for block in order for device in block.devices}
+    orphans = [
+        device
+        for device in range(program.num_devices)
+        if device not in covered
+    ]
+    if orphans:
+        order.append(LayoutBlock("orphans", tuple(orphans)))
+
+    hint_row = 0
+    for block in order:
+        devices = _unique_unplaced(block.devices, cells)
+        if not devices:
+            continue
+        placed_row = _place_block_on_one_row(
+            devices, model, ledger, sites, cells, cols_used, hint_row
+        )
+        if placed_row is None:
+            _scatter_block(
+                block, devices, model, ledger, sites, cells, cols_used
+            )
+        else:
+            hint_row = (placed_row + 1) % model.height
+    return cells
+
+
+def _place_block_on_one_row(
+    devices: List[int],
+    model: CrossbarModel,
+    ledger: _RowLedger,
+    sites: SenseSites,
+    cells: Dict[int, Tuple[int, int]],
+    cols_used: List[int],
+    hint_row: int,
+) -> Optional[int]:
+    """Try every row starting at the hint; returns the row or ``None``."""
+    for offset in range(model.height):
+        row = (hint_row + offset) % model.height
+        if cols_used[row] + len(devices) > model.width:
+            continue
+        staged = ledger.trial(row, devices, sites)
+        if staged is None:
+            continue
+        ledger.commit(staged)
+        for device in devices:
+            cells[device] = (row, cols_used[row])
+            cols_used[row] += 1
+        return row
+    return None
+
+
+def _scatter_block(
+    block: LayoutBlock,
+    devices: List[int],
+    model: CrossbarModel,
+    ledger: _RowLedger,
+    sites: SenseSites,
+    cells: Dict[int, Tuple[int, int]],
+    cols_used: List[int],
+) -> None:
+    """Fallback: place the block's devices one by one, anywhere legal."""
+    for device in devices:
+        for row in range(model.height):
+            if cols_used[row] >= model.width:
+                continue
+            staged = ledger.trial(row, (device,), sites)
+            if staged is None:
+                continue
+            ledger.commit(staged)
+            cells[device] = (row, cols_used[row])
+            cols_used[row] += 1
+            break
+        else:
+            raise MappingError(
+                f"no legal cell for device {device} of block "
+                f"{block.label!r} on the {model} array"
+            )

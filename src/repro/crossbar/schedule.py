@@ -1,0 +1,235 @@
+"""Row-parallel rescheduling of a placed sequential program.
+
+Regroups a :class:`~repro.rram.isa.Program`'s sequential steps into
+:class:`~repro.rram.isa.ParallelStep` cycles (HIPE-MAGIC-style): ops
+from different sequential steps execute in the same crossbar cycle
+whenever data dependencies and the wordline sense-path rule allow.
+
+Algorithm — bundle-based ASAP list scheduling:
+
+1. Within each sequential step, ops are unioned into **bundles**: two
+   ops join when they sense a common device (so one sense-flip fault
+   site stays a single parallel-step site) or when one senses a device
+   the other writes (so the pre-step-snapshot semantics of the original
+   step are preserved without cross-bundle ordering constraints).
+2. Bundles are visited in sequential order and dropped at the earliest
+   parallel cycle that satisfies (a) reads-after-writes strictly later,
+   writes-after-reads same-cycle-or-later, writes-after-writes strictly
+   later; (b) write-once per cycle; (c) exclusive sensed-device
+   ownership — no two bundles ever sense the same device in one cycle,
+   which keeps fault remapping exact; (d) the sense-path row rule,
+   checked incrementally.
+3. Empty cycles are compacted away.
+
+**Never worse than S** (given a placement under which every sequential
+step is row-legal — the placer's invariant): by induction, the bundle
+of sequential step ``si`` lands at cycle index ≤ ``si``.  All its
+dependencies come from steps < ``si``, hence (inductively) from cycles
+≤ ``si − 1``, so its ready cycle is ≤ ``si``; and cycle ``si`` can
+only hold bundles of step ``si`` itself, whose ops are co-legal by
+construction (the row rule is monotone under subsets, bundles of one
+step share no sensed devices, and write-once held sequentially).  So
+the scan always succeeds by cycle ``si``, and compaction only shrinks
+the count further.  Typically it *beats* S: literal/input loads have
+no dependencies and float to the earliest cycles, complement-inversion
+steps overlap neighbouring levels' compute cycles, and the emptied
+cycles vanish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..rram.isa import (
+    MicroOp,
+    ParallelStep,
+    Program,
+    Step,
+    op_depends,
+    op_sensed,
+)
+from .model import row_rule_ok
+
+#: (sequential step index, op index) — an op's identity in the source.
+OpSite = Tuple[int, int]
+
+
+class _Cycle:
+    """Mutable state of one parallel cycle under construction."""
+
+    __slots__ = ("ops", "sources", "written", "sense_owner", "row_claims")
+
+    def __init__(self) -> None:
+        self.ops: List[MicroOp] = []
+        self.sources: List[OpSite] = []
+        self.written: Set[int] = set()
+        #: sensed device → owning bundle uid (exclusive per cycle).
+        self.sense_owner: Dict[int, int] = {}
+        #: row → (sensing op uids, sensed devices) for the row rule.
+        self.row_claims: Dict[int, Tuple[Set[OpSite], Set[int]]] = {}
+
+
+def _step_bundles(step: Step) -> List[List[int]]:
+    """Partition a step's op indices into scheduling bundles."""
+    count = len(step.ops)
+    parent = list(range(count))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    def union(first: int, second: int) -> None:
+        root_a, root_b = find(first), find(second)
+        if root_a != root_b:
+            parent[max(root_a, root_b)] = min(root_a, root_b)
+
+    writer: Dict[int, int] = {
+        op.dst: op_index for op_index, op in enumerate(step.ops)
+    }
+    first_senser: Dict[int, int] = {}
+    for op_index, op in enumerate(step.ops):
+        for device in op_sensed(op):
+            if device in first_senser:
+                union(op_index, first_senser[device])
+            else:
+                first_senser[device] = op_index
+            if device in writer:
+                union(op_index, writer[device])
+
+    grouped: Dict[int, List[int]] = {}
+    for op_index in range(count):
+        grouped.setdefault(find(op_index), []).append(op_index)
+    return [grouped[root] for root in sorted(grouped)]
+
+
+def _bundle_fits(
+    cycle: _Cycle,
+    ops: List[MicroOp],
+    uids: List[OpSite],
+    sensed: Set[int],
+    row_of: Mapping[int, int],
+) -> bool:
+    if any(op.dst in cycle.written for op in ops):
+        return False
+    if any(device in cycle.sense_owner for device in sensed):
+        return False
+    staged: Dict[int, Tuple[Set[OpSite], Set[int]]] = {}
+    for op, uid in zip(ops, uids):
+        for device in op_sensed(op):
+            row = row_of[device]
+            claim = staged.get(row)
+            if claim is None:
+                existing = cycle.row_claims.get(row)
+                claim = (
+                    (set(existing[0]), set(existing[1]))
+                    if existing is not None
+                    else (set(), set())
+                )
+                staged[row] = claim
+            claim[0].add(uid)
+            claim[1].add(device)
+    for claim_ops, claim_devices in staged.values():
+        if not row_rule_ok(len(claim_ops), len(claim_devices)):
+            return False
+    return True
+
+
+def schedule_rows(
+    program: Program, cells: Mapping[int, Tuple[int, int]]
+) -> Tuple[
+    List[ParallelStep],
+    Dict[OpSite, OpSite],
+    Dict[Tuple[int, int], int],
+]:
+    """Build the row-parallel schedule for a placed program.
+
+    Returns ``(steps, op_map, sense_map)`` — the provenance maps a
+    :class:`~repro.rram.isa.PlacedProgram` carries (see its docstring).
+    The sequential program must be row-legal under ``cells``; the
+    internal bound assertion trips otherwise.
+    """
+    row_of = {device: cell[0] for device, cell in cells.items()}
+    cycles: List[_Cycle] = [_Cycle() for _ in program.steps]
+    last_write: Dict[int, int] = {}
+    last_read: Dict[int, int] = {}
+    op_map_raw: Dict[OpSite, Tuple[int, int]] = {}
+    sense_map_raw: Dict[Tuple[int, int], int] = {}
+    bundle_uid = 0
+
+    for seq_index, step in enumerate(program.steps):
+        for bundle in _step_bundles(step):
+            ops = [step.ops[op_index] for op_index in bundle]
+            uids = [(seq_index, op_index) for op_index in bundle]
+            sensed: Set[int] = set()
+            ready = 0
+            for op in ops:
+                for device in op_depends(op):
+                    ready = max(ready, last_write.get(device, -1) + 1)
+                sensed.update(op_sensed(op))
+                ready = max(
+                    ready,
+                    last_write.get(op.dst, -1) + 1,
+                    last_read.get(op.dst, -1),
+                )
+            target: Optional[int] = None
+            for cycle_index in range(ready, seq_index + 1):
+                if _bundle_fits(
+                    cycles[cycle_index], ops, uids, sensed, row_of
+                ):
+                    target = cycle_index
+                    break
+            if target is None:  # pragma: no cover - contradicts the proof
+                raise AssertionError(
+                    f"scheduler exceeded the sequential bound at step "
+                    f"{seq_index}; is the placement row-legal?"
+                )
+            cycle = cycles[target]
+            for op, uid in zip(ops, uids):
+                op_map_raw[uid] = (target, len(cycle.ops))
+                cycle.ops.append(op)
+                cycle.sources.append(uid)
+                cycle.written.add(op.dst)
+                last_write[op.dst] = max(
+                    last_write.get(op.dst, -1), target
+                )
+                for device in op_depends(op):
+                    last_read[device] = max(
+                        last_read.get(device, -1), target
+                    )
+                for device in op_sensed(op):
+                    row = row_of[device]
+                    claim = cycle.row_claims.setdefault(
+                        row, (set(), set())
+                    )
+                    claim[0].add(uid)
+                    claim[1].add(device)
+            for device in sensed:
+                cycle.sense_owner[device] = bundle_uid
+                sense_map_raw[(seq_index, device)] = target
+            bundle_uid += 1
+
+    # Compact empty cycles and renumber the provenance maps.
+    remap: Dict[int, int] = {}
+    steps: List[ParallelStep] = []
+    for cycle_index, cycle in enumerate(cycles):
+        if not cycle.ops:
+            continue
+        remap[cycle_index] = len(steps)
+        steps.append(
+            ParallelStep(
+                ops=cycle.ops,
+                label=f"par-{len(steps)}",
+                sources=cycle.sources,
+            )
+        )
+    op_map = {
+        site: (remap[cycle_index], op_index)
+        for site, (cycle_index, op_index) in op_map_raw.items()
+    }
+    sense_map = {
+        site: remap[cycle_index]
+        for site, cycle_index in sense_map_raw.items()
+    }
+    return steps, op_map, sense_map

@@ -13,6 +13,11 @@ so historical records like ``baseline_pre_costview`` survive):
   and once through the per-assignment scalar device simulator
   (:func:`repro.rram.run_program`), asserting identical verdicts and
   recording the ratio.
+* **crossbar** — the crossbar mapping claim: the step-optimized flow
+  mapped onto auto-fitted arrays (:func:`repro.flows.experiments.run_crossbar`),
+  recording per-benchmark array geometry, utilization, and the
+  parallel-steps/S ratio, with every cell asserted bit-identical to
+  its sequential program.
 * **tx-engine** — the transactional-rollback claim: each proposed flow
   (``rram``/``steps`` × ``imp``/``maj``) timed over the large set under
   the undo-journal engine and under the legacy clone-based engine,
@@ -227,6 +232,62 @@ def bench_tx_engine(
             )
         entry["flows"][label] = flow_entry  # type: ignore[index]
     return entry
+
+
+def bench_crossbar(
+    names: Optional[Sequence[str]] = None,
+    *,
+    effort: int = 10,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    """Measure crossbar mapping over the Table II set; one bench entry.
+
+    Records, per benchmark and realization, the array geometry, cell
+    utilization, and parallel-steps/S ratio, asserting on every cell
+    that the row-parallel schedule never exceeds the sequential step
+    count and is bit-identical to the sequential program under the
+    packed kernels (``verify=True`` in the flow).
+    """
+    from .experiments import run_crossbar
+
+    start = time.perf_counter()
+    result = run_crossbar(
+        list(names) if names else None, effort=effort, verify=True,
+        jobs=jobs,
+    )
+    seconds = time.perf_counter() - start
+    _observe_flow_seconds(seconds)
+    benchmarks: Dict[str, object] = {}
+    for name, row in result.rows.items():
+        benchmarks[name] = {
+            realization: {
+                "array": f"{cell.width}x{cell.height}",
+                "utilization": round(cell.utilization, 4),
+                "sequential_steps": cell.sequential_steps,
+                "parallel_steps": cell.parallel_steps,
+                "parallel_over_s": round(cell.step_ratio, 4),
+                "identical": cell.identical,
+            }
+            for realization, cell in row.items()
+        }
+    totals = result.totals()
+    aggregate = {
+        realization: {
+            "sequential_steps": seq_total,
+            "parallel_steps": par_total,
+            "parallel_over_s": round(par_total / max(1, seq_total), 4),
+        }
+        for realization, (seq_total, par_total) in totals.items()
+    }
+    return {
+        "kind": "crossbar",
+        "seconds": round(seconds, 3),
+        "effort": effort,
+        "jobs": jobs,
+        "benchmarks": benchmarks,
+        "totals": aggregate,
+        **_machine_info(),
+    }
 
 
 def append_bench_entry(

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..parallel import merged_counters, run_ordered
-from ..parallel.workers import table2_task, table3_task
+from ..parallel.workers import crossbar_task, table2_task, table3_task
 from ..telemetry import metrics, publish_profile, span
 
 from ..aig import aig_from_netlist, aig_rram_costs
@@ -391,6 +391,167 @@ def summarize_table2(result: Table2Result) -> SummaryStatistics:
         rram_maj_rrams_vs_step=1 - rram_maj_rrams / max(1, step_maj_rrams),
         rram_maj_steps_penalty_vs_step=rram_maj_steps / max(1, step_maj_steps) - 1,
     )
+
+
+@dataclass
+class CrossbarCell:
+    """One benchmark × realization mapped onto a crossbar array."""
+
+    devices: int
+    sequential_steps: int
+    parallel_steps: int
+    width: int
+    height: int
+    utilization: float
+    step_ratio: float
+    runtime_seconds: float
+    #: Packed-kernel bit-identity of the mapped vs sequential schedule
+    #: (``None`` when the cell ran without verification).
+    identical: Optional[bool] = None
+
+
+@dataclass
+class CrossbarResult:
+    """Crossbar mapping of the step-optimized flow over a benchmark set."""
+
+    rows: Dict[str, Dict[str, CrossbarCell]] = field(default_factory=dict)
+    effort: int = DEFAULT_EFFORT
+    width: Optional[int] = None
+    height: Optional[int] = None
+
+    def benchmark_names(self) -> List[str]:
+        return list(self.rows)
+
+    def totals(self) -> Dict[str, Tuple[int, int]]:
+        """Per realization, (Σ sequential, Σ parallel) step counts."""
+        sums: Dict[str, Tuple[int, int]] = {}
+        for realization in ("imp", "maj"):
+            cells = [
+                row[realization]
+                for row in self.rows.values()
+                if realization in row
+            ]
+            sums[realization] = (
+                sum(cell.sequential_steps for cell in cells),
+                sum(cell.parallel_steps for cell in cells),
+            )
+        return sums
+
+
+def placed_identical(program, placed, *, seed: int = 7) -> bool:
+    """Packed-kernel bit-identity of a placed schedule vs its source.
+
+    Exhaustive over narrow interfaces, seeded 512-vector sampling over
+    wide ones — both through :func:`repro.sim.execute_program_slices`,
+    which executes the parallel schedule via
+    :meth:`~repro.rram.isa.PlacedProgram.as_program` with the identical
+    step semantics as the sequential program.
+    """
+    from ..sim import (
+        execute_program_slices,
+        iter_assignment_chunks,
+        random_slices,
+    )
+
+    parallel = placed.as_program()
+    num_inputs = program.num_inputs
+    if num_inputs <= 10:
+        for chunk in iter_assignment_chunks(num_inputs):
+            seq = execute_program_slices(program, chunk.slices, chunk.mask)
+            par = execute_program_slices(parallel, chunk.slices, chunk.mask)
+            if seq != par:
+                return False
+        return True
+    num_vectors = 512
+    slices = random_slices(num_inputs, num_vectors, seed)
+    mask = (1 << num_vectors) - 1
+    seq = execute_program_slices(program, slices, mask)
+    par = execute_program_slices(parallel, slices, mask)
+    return seq == par
+
+
+def crossbar_cell(
+    name: str,
+    realization_name: str,
+    effort: int,
+    verify: bool,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> CrossbarCell:
+    """Map one benchmark under one realization — pure in its arguments.
+
+    Runs the paper's step-optimized flow, compiles, maps onto the
+    crossbar (auto-fitted unless ``width``/``height`` pin the array),
+    and optionally proves the row-parallel schedule bit-identical to
+    the sequential program through the packed kernels.
+    """
+    from ..crossbar import map_program
+    from ..rram import compile_mig
+
+    netlist = load_netlist(name)
+    realization = Realization(realization_name)
+    mig = mig_from_netlist(netlist)
+    optimize_steps(mig, realization, effort)
+    report = compile_mig(mig, realization)
+    program = report.program
+    start = time.perf_counter()
+    with span("crossbar.cell", benchmark=name, realization=realization_name):
+        placed = map_program(program, width, height)
+    elapsed = time.perf_counter() - start
+    if placed.num_parallel_steps > program.num_steps:
+        raise AssertionError(
+            f"{name}/{realization_name}: parallel schedule "
+            f"({placed.num_parallel_steps}) exceeds sequential "
+            f"({program.num_steps})"
+        )
+    identical = placed_identical(program, placed) if verify else None
+    if identical is False:
+        raise AssertionError(
+            f"{name}/{realization_name}: mapped execution diverges from "
+            "the sequential program"
+        )
+    return CrossbarCell(
+        devices=program.num_devices,
+        sequential_steps=program.num_steps,
+        parallel_steps=placed.num_parallel_steps,
+        width=placed.width,
+        height=placed.height,
+        utilization=placed.utilization,
+        step_ratio=placed.step_ratio,
+        runtime_seconds=elapsed,
+        identical=identical,
+    )
+
+
+def run_crossbar(
+    names: Optional[Sequence[str]] = None,
+    *,
+    effort: int = DEFAULT_EFFORT,
+    verify: bool = True,
+    jobs: int = 1,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> CrossbarResult:
+    """Crossbar-map the step-optimized flow over ``names``.
+
+    ``jobs > 1`` shards (benchmark × realization) cells across worker
+    processes; results aggregate in submission order, so the rendered
+    report is bit-identical for any job count.
+    """
+    result = CrossbarResult(effort=effort, width=width, height=height)
+    selected_names = list(names or large_names())
+    payloads = [
+        (name, realization, effort, verify, width, height)
+        for name in selected_names
+        for realization in ("imp", "maj")
+    ]
+    registry = metrics()
+    for name, realization, cell, snapshot in run_ordered(
+        crossbar_task, payloads, jobs=jobs
+    ):
+        result.rows.setdefault(name, {})[realization] = cell
+        registry.absorb(snapshot)
+    return result
 
 
 def largest_function_ratio(result: Table3Result, names: Sequence[str] = ("apex6", "x3")) -> float:

@@ -11,6 +11,7 @@ from typing import List, Optional, Tuple
 
 from ..benchmarks import benchmark, paperdata
 from .experiments import (
+    CrossbarResult,
     SummaryStatistics,
     Table2Result,
     Table3Result,
@@ -140,6 +141,58 @@ def _paper_table3_row(baseline: str, name: str) -> Optional[str]:
         f"{'-':>9s} {steps:>6d}"
         f" | {imp[0]:>9d} {imp[1]:>5d} | {maj[0]:>9d} {maj[1]:>5d}"
     )
+
+
+def render_crossbar(result: CrossbarResult) -> str:
+    """Render a crossbar mapping run: the geometry columns the scalar
+    cost model cannot express (array, utilization, parallel steps)."""
+    lines: List[str] = []
+    header = f"{'benchmark':<11s}"
+    for title in ("IMP", "MAJ"):
+        header += (
+            f" | {title + ' array':>10s} {'util':>5s}"
+            f" {'S':>5s} {'par':>5s} {'ratio':>5s}"
+        )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in result.rows.items():
+        line = f"{name:<11s}"
+        for realization in ("imp", "maj"):
+            cell = row.get(realization)
+            if cell is None:
+                line += f" | {'-':>10s} {'-':>5s} {'-':>5s} {'-':>5s} {'-':>5s}"
+                continue
+            array = f"{cell.width}x{cell.height}"
+            line += (
+                f" | {array:>10s} {cell.utilization:>5.2f}"
+                f" {cell.sequential_steps:>5d} {cell.parallel_steps:>5d}"
+                f" {cell.step_ratio:>5.2f}"
+            )
+        lines.append(line)
+    totals = result.totals()
+    lines.append("-" * len(header))
+    total_line = f"{'SUM':<11s}"
+    for realization in ("imp", "maj"):
+        seq_total, par_total = totals[realization]
+        ratio = par_total / max(1, seq_total)
+        total_line += (
+            f" | {'':>10s} {'':>5s} {seq_total:>5d} {par_total:>5d}"
+            f" {ratio:>5.2f}"
+        )
+    lines.append(total_line)
+    verified = [
+        cell.identical
+        for row in result.rows.values()
+        for cell in row.values()
+        if cell.identical is not None
+    ]
+    if verified:
+        status = "PASS" if all(verified) else "FAIL"
+        lines.append(
+            f"mapped-vs-sequential bit identity: {status} "
+            f"({len(verified)} cells)"
+        )
+    return "\n".join(lines)
 
 
 def render_summary(stats: SummaryStatistics, *, with_paper: bool = True) -> str:

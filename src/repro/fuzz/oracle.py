@@ -24,6 +24,11 @@ For one generated circuit the oracle asserts, in order:
    the compiler's measured step count, and the compiled program
    replayed on the device-level array simulator matches the MIG.
 6. **PLiM backend** — the serial RM3 stream computes the same function.
+7. **Crossbar mapping** — both realizations placed onto an auto-fitted
+   W×H array and rescheduled into row-parallel steps must stay within
+   the sequential step count, survive the full legality audit, and be
+   bit-identical to the sequential program over the whole assignment
+   space (sequential-vs-placed differential).
 
 Any violation is returned as an :class:`OracleFailure` naming the check
 that tripped; ``None`` means the case is clean.  Checks run on clones,
@@ -84,6 +89,8 @@ CHECKS: Tuple[str, ...] = (
     "compile-imp",
     "compile-maj",
     "plim-exec",
+    "crossbar-imp",
+    "crossbar-maj",
 )
 
 
@@ -354,6 +361,55 @@ def _check_plim(base: Mig, netlist: Netlist) -> Optional[OracleFailure]:
     return None
 
 
+def _check_crossbar(
+    base: Mig, realization: Realization
+) -> Optional[OracleFailure]:
+    """Sequential-vs-placed differential for one realization."""
+    from ..crossbar import MappingError, check_placed, map_program
+
+    check = f"crossbar-{realization.value}"
+    mig = base.clone()
+    report = compile_mig(mig, realization)
+    program = report.program
+    try:
+        placed = map_program(program)
+    except MappingError as error:
+        return OracleFailure(
+            check, f"auto-fit mapping refused a compilable program: {error}"
+        )
+    if placed.num_parallel_steps > program.num_steps:
+        return OracleFailure(
+            check,
+            f"parallel schedule ({placed.num_parallel_steps} steps) "
+            f"exceeds sequential S={program.num_steps}",
+        )
+    try:
+        check_placed(placed)
+    except MappingError as error:
+        return OracleFailure(check, f"legality audit failed: {error}")
+    parallel = placed.as_program()
+    num_inputs = program.num_inputs
+    for chunk in iter_assignment_chunks(num_inputs):
+        sequential_words = execute_program_slices(
+            program, chunk.slices, chunk.mask, validate=False
+        )
+        parallel_words = execute_program_slices(
+            parallel, chunk.slices, chunk.mask, validate=False
+        )
+        for sequential_word, parallel_word in zip(
+            sequential_words, parallel_words
+        ):
+            mismatch = first_difference(sequential_word, parallel_word)
+            if mismatch >= 0:
+                assignment = chunk.start + mismatch
+                return OracleFailure(
+                    check,
+                    f"placed schedule diverges on assignment "
+                    f"{assignment:0{num_inputs}b}",
+                )
+    return None
+
+
 def check_case(
     netlist: Netlist,
     mig: Optional[Mig] = None,
@@ -427,5 +483,16 @@ def check_case(
         failure = _guarded("plim-exec", lambda: _check_plim(base, netlist))
         if failure is not None:
             return failure
+
+    if len(netlist.inputs) <= 8:
+        for realization in (Realization.IMP, Realization.MAJ):
+            check = f"crossbar-{realization.value}"
+            if not on(check):
+                continue
+            failure = _guarded(
+                check, lambda: _check_crossbar(base, realization)
+            )
+            if failure is not None:
+                return failure
 
     return None

@@ -51,6 +51,21 @@ def table3_task(payload: Tuple[str, str, int, bool, Dict[str, object]]):
     return name, row, snapshot
 
 
+def crossbar_task(payload):
+    """One crossbar mapping cell:
+    ``(benchmark, realization, effort, verify, width, height)``.
+
+    Returns ``(benchmark, realization, cell, metrics_snapshot)``.
+    """
+    from ..flows.experiments import crossbar_cell
+
+    name, realization, effort, verify, width, height = payload
+    with isolated_registry() as registry:
+        cell = crossbar_cell(name, realization, effort, verify, width, height)
+        snapshot = registry.snapshot()
+    return name, realization, cell, snapshot
+
+
 def fuzz_case_task(payload):
     """One fuzz-campaign case: ``(config, index, corpus_names)``.
 

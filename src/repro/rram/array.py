@@ -28,6 +28,7 @@ from .isa import (
     IntrinsicMaj,
     LoadInput,
     MicroOp,
+    PlacedProgram,
     Program,
     Step,
     WriteCopy,
@@ -179,6 +180,60 @@ def run_program_traced(
     )
     inputs = [bool(v) for v in input_values]
     for step in program.steps:
+        array.execute_step(step, inputs)
+    outputs = [
+        array.state(program.output_devices[po_index])
+        for po_index in sorted(program.output_devices)
+    ]
+    return outputs, array.trace
+
+
+def run_placed_program(
+    placed: PlacedProgram,
+    input_values: Sequence[bool],
+    *,
+    fault_model: Optional[FaultModel] = None,
+) -> List[bool]:
+    """Execute a placed (row-parallel) schedule; returns PO values.
+
+    ``fault_model``, when given, must already be in *placed*
+    coordinates — translate a sequential-coordinate model first with
+    :meth:`PlacedProgram.remap_fault_model`.
+    """
+    outputs, _ = run_placed_program_traced(
+        placed, input_values, fault_model=fault_model, record_trace=False
+    )
+    return outputs
+
+
+def run_placed_program_traced(
+    placed: PlacedProgram,
+    input_values: Sequence[bool],
+    *,
+    fault_model: Optional[FaultModel] = None,
+    record_trace: bool = True,
+) -> Tuple[List[bool], SenseTrace]:
+    """Execute a placed schedule and also return its sense trace.
+
+    A :class:`~repro.rram.isa.ParallelStep` *is a* :class:`Step`, so
+    each parallel step runs through the identical simultaneity
+    machinery (:meth:`RramArray.execute_step`) as the sequential path:
+    one pre-step snapshot, all senses before any switching, write-once
+    enforcement.  Only the grouping of ops into steps differs.
+    """
+    program = placed.program
+    if len(input_values) != program.num_inputs:
+        raise ExecutionError(
+            f"program expects {program.num_inputs} inputs, "
+            f"got {len(input_values)}"
+        )
+    array = RramArray(
+        program.num_devices,
+        fault_model=fault_model,
+        record_trace=record_trace,
+    )
+    inputs = [bool(v) for v in input_values]
+    for step in placed.steps:
         array.execute_step(step, inputs)
     outputs = [
         array.state(program.output_devices[po_index])

@@ -45,7 +45,16 @@ from .gadgets import (
     imp_gadget_compute_ops,
     maj_gadget_compute_ops,
 )
-from .isa import Imp, LoadInput, MicroOp, Program, Step, WriteCopy, WriteLiteral
+from .isa import (
+    Imp,
+    LayoutBlock,
+    LoadInput,
+    MicroOp,
+    Program,
+    Step,
+    WriteCopy,
+    WriteLiteral,
+)
 
 
 class CompilationError(RuntimeError):
@@ -134,6 +143,11 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
     allocator = _Allocator()
     steps: List[Step] = []
     registers: Dict[int, int] = {}  # live value node -> device
+    # Placement metadata: cohorts of devices a crossbar placer should
+    # keep together (gadgets) or may scatter (singletons).  Recycling
+    # means a device index can recur across blocks; placers honour the
+    # first block that mentions a device.
+    layout_blocks: List[LayoutBlock] = []
 
     # Primary-input registers live for the whole program: any level may
     # read a PI (directly or through a complemented edge).
@@ -142,10 +156,14 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
         node for node in mig.pis if node in last_use or node in po_driver_levels
     ]
     initial_load_ops: List[MicroOp] = []
-    for node in used_pis:
-        device = allocator.allocate()
-        registers[node] = device
-        initial_load_ops.append(LoadInput(device, pi_indices[node]))
+    if used_pis:
+        pi_devices = []
+        for node in used_pis:
+            device = allocator.allocate()
+            registers[node] = device
+            initial_load_ops.append(LoadInput(device, pi_indices[node]))
+            pi_devices.append(device)
+        layout_blocks.append(LayoutBlock("pi", tuple(pi_devices)))
 
     # Constant registers only if some PO reads the constant node.
     const_zero_device: Optional[int] = None
@@ -156,9 +174,11 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
         if signal_is_complemented(po) and const_one_device is None:
             const_one_device = allocator.allocate()
             initial_load_ops.append(WriteLiteral(const_one_device, True))
+            layout_blocks.append(LayoutBlock("const", (const_one_device,)))
         elif not signal_is_complemented(po) and const_zero_device is None:
             const_zero_device = allocator.allocate()
             initial_load_ops.append(WriteLiteral(const_zero_device, False))
+            layout_blocks.append(LayoutBlock("const", (const_zero_device,)))
 
     # Devices for complemented POs, cleared up front, written at the end.
     po_invert_devices: Dict[int, int] = {}
@@ -167,6 +187,9 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
             device = allocator.allocate()
             po_invert_devices[po_index] = device
             initial_load_ops.append(WriteLiteral(device, False))
+            layout_blocks.append(
+                LayoutBlock(f"po-invert-{po_index}", (device,))
+            )
 
     def source_register(child: int) -> int:
         try:
@@ -211,6 +234,9 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
             for slot_role in working_slots:
                 load_ops.append(WriteLiteral(base_map[slot_role], False))
             blocks[gate] = base_map
+            layout_blocks.append(
+                LayoutBlock(f"L{level}-g{gate}", tuple(slots))
+            )
 
         steps.append(Step(ops=load_ops, label=f"L{level}-load"))
         if invert_ops:
@@ -288,6 +314,7 @@ def compile_mig(mig: Mig, realization: Realization) -> CompilationReport:
         steps=steps,
         num_inputs=mig.num_pis,
         output_devices=output_devices,
+        blocks=layout_blocks,
     )
     program.validate()
     registry = metrics()

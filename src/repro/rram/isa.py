@@ -31,7 +31,7 @@ Operations
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,38 @@ class IntrinsicMaj:
 MicroOp = Union[WriteLiteral, LoadInput, WriteCopy, Imp, IntrinsicMaj]
 
 
+def op_sensed(op: MicroOp) -> Tuple[int, ...]:
+    """Devices whose value ``op`` observes through the sense path.
+
+    This is the *sense-amplifier* footprint: the devices whose stored
+    value must travel through a wordline's shared sense path during the
+    step.  The read-modify-write destinations of ``Imp`` and
+    ``IntrinsicMaj`` are deliberately excluded — the destination's own
+    state participates through the device physics of the applied pulse,
+    not through the periphery (see :func:`op_depends` for the full data
+    dependency set).
+    """
+    if isinstance(op, (WriteCopy, Imp)):
+        return (op.src,)
+    if isinstance(op, IntrinsicMaj):
+        return (op.p, op.q)
+    return ()
+
+
+def op_depends(op: MicroOp) -> Tuple[int, ...]:
+    """Devices whose *pre-step* value the op's outcome depends on.
+
+    A superset of :func:`op_sensed`: the conditional pulses ``Imp`` and
+    ``IntrinsicMaj`` are read-modify-write on their destination, so the
+    destination's prior state is a data dependency even though it never
+    crosses the sense path.  Schedulers must order against this set,
+    not the sensed set.
+    """
+    if isinstance(op, (Imp, IntrinsicMaj)):
+        return op_sensed(op) + (op.dst,)
+    return op_sensed(op)
+
+
 @dataclass
 class Step:
     """One simultaneous voltage-application cycle."""
@@ -112,13 +144,30 @@ class Step:
         return reads
 
 
+@dataclass(frozen=True)
+class LayoutBlock:
+    """A cohort of devices a placer should keep together.
+
+    The compiler emits one block per gadget (the gate's slot devices in
+    role order) plus singleton blocks for primary-input, constant, and
+    output-inversion registers.  Device recycling means a reused device
+    index can appear in more than one block; placers treat blocks as
+    locality *preferences* over first placement, never as a partition.
+    """
+
+    label: str
+    devices: Tuple[int, ...]
+
+
 @dataclass
 class Program:
     """A compiled RRAM micro-program.
 
     ``num_inputs`` is the arity the executor binds ``LoadInput`` ops
     against; ``output_devices`` maps primary-output index → the device
-    holding the result after the last step.
+    holding the result after the last step.  ``blocks`` is optional
+    placement metadata (see :class:`LayoutBlock`) consumed by
+    :mod:`repro.crossbar`.
     """
 
     name: str
@@ -127,6 +176,7 @@ class Program:
     steps: List[Step] = field(default_factory=list)
     num_inputs: int = 0
     output_devices: Dict[int, int] = field(default_factory=dict)
+    blocks: List[LayoutBlock] = field(default_factory=list)
 
     @property
     def num_steps(self) -> int:
@@ -150,3 +200,192 @@ class Program:
                     raise ValueError(
                         f"step {index} loads unknown input {op.pi_index}"
                     )
+        for block in self.blocks:
+            for device in block.devices:
+                if not 0 <= device < self.num_devices:
+                    raise ValueError(
+                        f"layout block {block.label!r} references device "
+                        f"{device} outside 0..{self.num_devices - 1}"
+                    )
+
+
+@dataclass
+class ParallelStep(Step):
+    """One crossbar voltage-application cycle of a placed schedule.
+
+    Identical simultaneity semantics to :class:`Step` (the executor
+    treats it as one), plus per-op provenance: ``sources[i]`` is the
+    ``(sequential step index, op index)`` the op at position ``i`` came
+    from in the source :class:`Program`.
+    """
+
+    sources: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class PlacedProgram:
+    """A compiled program mapped onto a W×H crossbar.
+
+    ``cells`` maps each device index to its ``(row, col)`` cell
+    (wordline, bitline); ``steps`` is the row-parallel schedule, a
+    regrouping of the source program's micro-ops that the scheduler
+    guarantees is execution-equivalent and never longer.  The two
+    provenance maps make single-fault models transferable between the
+    sequential and placed schedules (see :meth:`remap_fault_model`):
+
+    ``op_map``
+        sequential ``(step, op index)`` → placed ``(step, op index)``.
+    ``sense_map``
+        sequential ``(step, sensed device)`` → placed step index; the
+        scheduler keeps each sequential step's senses of one device in
+        a single parallel step that no other sequential step's senses
+        of that device share, so the mapping is exact.
+    """
+
+    program: Program
+    width: int
+    height: int
+    cells: Dict[int, Tuple[int, int]]
+    steps: List[ParallelStep] = field(default_factory=list)
+    op_map: Dict[Tuple[int, int], Tuple[int, int]] = field(default_factory=dict)
+    sense_map: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def num_parallel_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_sequential_steps(self) -> int:
+        return self.program.num_steps
+
+    @property
+    def step_ratio(self) -> float:
+        """Parallel / sequential step count (≤ 1.0 by construction)."""
+        if not self.program.steps:
+            return 1.0
+        return len(self.steps) / len(self.program.steps)
+
+    @property
+    def utilization(self) -> float:
+        """Occupied fraction of the array's cells."""
+        return self.program.num_devices / max(1, self.width * self.height)
+
+    def cell(self, device: int) -> Tuple[int, int]:
+        """The ``(row, col)`` a device is placed at."""
+        return self.cells[device]
+
+    def as_program(self) -> Program:
+        """The parallel schedule as a plain :class:`Program`.
+
+        Step objects are shared (ParallelStep *is a* Step), so the
+        result executes on every existing backend — notably the packed
+        kernels of :mod:`repro.sim` — without conversion cost.
+        """
+        return Program(
+            name=f"{self.program.name}@{self.width}x{self.height}",
+            realization=self.program.realization,
+            num_devices=self.program.num_devices,
+            steps=list(self.steps),
+            num_inputs=self.program.num_inputs,
+            output_devices=dict(self.program.output_devices),
+            blocks=list(self.program.blocks),
+        )
+
+    def remap_fault_model(self, model):
+        """Translate a sequential-coordinate fault model to this schedule.
+
+        Stuck faults are device-indexed and pass through; dropped
+        writes follow ``op_map``; sense flips follow ``sense_map``.
+        Executing the placed schedule under the remapped model is
+        bit-identical to executing the sequential program under the
+        original model.
+        """
+        from .faults import FaultModel  # isa is imported by faults
+
+        dropped = frozenset(
+            self.op_map[site] for site in model.dropped_writes
+        )
+        flips = frozenset(
+            (self.sense_map[(step, device)], device)
+            for step, device in model.sense_flips
+        )
+        return FaultModel(
+            stuck=model.stuck,
+            dropped_writes=dropped,
+            sense_flips=flips,
+            label=f"{model.label}@placed" if model.label else "placed",
+        )
+
+    def validate(self) -> None:
+        """Structural checks: placement shape and schedule provenance.
+
+        The crossbar-specific legality rules (sense-path conflicts) are
+        checked by :func:`repro.crossbar.check_placed`; this method
+        covers everything expressible without the conflict model:
+        in-bounds injective placement of every device, per-step
+        write-once discipline, and provenance that is a bijection onto
+        the source program's ops with identical op payloads.
+        """
+        if len(self.cells) != self.program.num_devices:
+            raise ValueError(
+                f"placement covers {len(self.cells)} devices, program "
+                f"has {self.program.num_devices}"
+            )
+        seen_cells: Dict[Tuple[int, int], int] = {}
+        for device, (row, col) in self.cells.items():
+            if not (0 <= row < self.height and 0 <= col < self.width):
+                raise ValueError(
+                    f"device {device} placed at ({row}, {col}) outside "
+                    f"the {self.width}x{self.height} array"
+                )
+            if (row, col) in seen_cells:
+                raise ValueError(
+                    f"devices {seen_cells[(row, col)]} and {device} "
+                    f"share cell ({row}, {col})"
+                )
+            seen_cells[(row, col)] = device
+        expected_sites = {
+            (step_index, op_index)
+            for step_index, step in enumerate(self.program.steps)
+            for op_index in range(len(step.ops))
+        }
+        covered: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for par_index, step in enumerate(self.steps):
+            written = step.written_devices()
+            if len(written) != len(set(written)):
+                raise ValueError(
+                    f"parallel step {par_index} writes a device twice"
+                )
+            if len(step.sources) != len(step.ops):
+                raise ValueError(
+                    f"parallel step {par_index} has {len(step.ops)} ops "
+                    f"but {len(step.sources)} provenance entries"
+                )
+            for op_index, (op, source) in enumerate(
+                zip(step.ops, step.sources)
+            ):
+                if source in covered:
+                    raise ValueError(
+                        f"sequential op {source} scheduled twice"
+                    )
+                covered[source] = (par_index, op_index)
+                seq_step, seq_op = source
+                if (
+                    source not in expected_sites
+                    or self.program.steps[seq_step].ops[seq_op] != op
+                ):
+                    raise ValueError(
+                        f"parallel step {par_index} op {op_index} does "
+                        f"not match sequential op {source}"
+                    )
+        if set(covered) != expected_sites:
+            missing = sorted(expected_sites - set(covered))[:3]
+            raise ValueError(
+                f"schedule drops sequential ops (first missing: {missing})"
+            )
+        for source, site in self.op_map.items():
+            if covered.get(source) != site:
+                raise ValueError(
+                    f"op_map entry {source} -> {site} disagrees with "
+                    f"the schedule's provenance"
+                )

@@ -76,6 +76,8 @@ KNOWN_METRICS = frozenset(
         # RRAM backends.
         "rram.compile.programs",
         "rram.plim.programs",
+        # Crossbar mapping.
+        "crossbar.mapped_programs",
         # Perf-guard wall-clocks (gauges, seconds).
         "perf_guard.tx_seconds",
         "perf_guard.legacy_seconds",
@@ -90,6 +92,9 @@ KNOWN_HISTOGRAMS = frozenset(
         "rram.compile.measured_devices",
         "rram.plim.instructions",
         "rram.plim.devices",
+        "crossbar.parallel_steps",
+        "crossbar.step_ratio",
+        "crossbar.utilization",
         "bench.flow_seconds",
     }
 )

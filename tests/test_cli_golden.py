@@ -95,6 +95,55 @@ class TestMalformedInputs:
             main(["synth", "not-a-benchmark"])
 
 
+class TestMap:
+    def test_golden_map_output(self, capsys):
+        assert main(["map", "xor5_d"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == "circuit      : xor5_d"
+        assert lines[1] == "realization  : MAJ"
+        assert re.match(r"^devices      : \d+$", lines[2])
+        assert re.match(r"^array        : \d+x\d+ \(auto-fitted\)$", lines[3])
+        assert re.match(
+            r"^utilization  : 0\.\d\d \(\d+ wordlines occupied\)$", lines[4]
+        )
+        assert re.match(r"^sequential S : \d+$", lines[5])
+        assert re.match(
+            r"^parallel     : \d+ steps \(ratio [01]\.\d\d\)$", lines[6]
+        )
+
+    def test_map_verify_prints_pass(self, capsys):
+        assert main(["map", "con1f1", "--realization", "imp", "--verify"]) == 0
+        assert "identity     : PASS" in capsys.readouterr().out
+
+    def test_map_parallel_never_exceeds_sequential(self, capsys):
+        main(["map", "rd53f2"])
+        out = capsys.readouterr().out
+        sequential = int(re.search(r"sequential S : (\d+)", out).group(1))
+        parallel = int(re.search(r"parallel     : (\d+) steps", out).group(1))
+        assert parallel <= sequential
+
+    def test_requested_geometry_is_echoed(self, capsys):
+        assert main(["map", "xor5_d", "--crossbar", "32x32"]) == 0
+        assert "array        : 32x32 (requested)" in capsys.readouterr().out
+
+    def test_map_is_deterministic(self, capsys):
+        main(["map", "misex1", "--algorithm", "steps", "--effort", "4"])
+        first = capsys.readouterr().out
+        main(["map", "misex1", "--algorithm", "steps", "--effort", "4"])
+        assert capsys.readouterr().out == first
+
+    def test_infeasible_geometry_exit_code(self, capsys):
+        assert main(["map", "xor5_d", "--crossbar", "2x2"]) == 2
+        assert "repro-synth: error:" in capsys.readouterr().err
+
+    def test_malformed_geometry_exit_code(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["map", "xor5_d", "--crossbar", "not-a-size"])
+        assert exc.value.code == 2
+        assert "bad array geometry" in capsys.readouterr().err
+
+
 class TestReport:
     def test_golden_report_files(self, tmp_path, monkeypatch, capsys):
         import repro.flows.experiments as experiments

@@ -1,0 +1,110 @@
+"""Bit-identity regression tests for crossbar-mapped programs.
+
+Every program mapped onto an array must compute exactly what the
+sequential program computes — on the clean array, under every fault
+class after exact fault remapping, and through both executors (the
+scalar device simulator in :mod:`repro.rram.array` and the bit-packed
+kernels in :mod:`repro.sim`).  The small fuzz corpus keeps the sweep
+exhaustive where the input count allows.
+"""
+
+import pytest
+
+from repro.benchmarks import fuzz_corpus_names, load_netlist
+from repro.crossbar import map_program
+from repro.flows import placed_identical
+from repro.mig import Realization, mig_from_netlist
+from repro.rram import (
+    FAULT_CLASSES,
+    compile_mig,
+    enumerate_fault_models,
+    run_placed_program,
+    run_program,
+)
+
+# A slice of the fuzz corpus that keeps the exhaustive sweeps quick while
+# still covering PI counts from 5 to 8 and both shallow and deep programs.
+CORPUS = ("con1f1", "rd53f2", "xor5_d", "rd73f1", "misex1")
+
+
+def _compile(name, realization):
+    netlist = load_netlist(name)
+    mig = mig_from_netlist(netlist)
+    return mig, compile_mig(mig, realization).program
+
+
+def _vectors(num_inputs, limit=64):
+    """Exhaustive assignments when small, a strided sample otherwise."""
+    total = 1 << num_inputs
+    stride = max(1, total // limit)
+    for assignment in range(0, total, stride):
+        yield [bool((assignment >> i) & 1) for i in range(num_inputs)]
+
+
+@pytest.mark.parametrize("name", CORPUS)
+@pytest.mark.parametrize("realization", list(Realization))
+def test_packed_identity_on_clean_array(name, realization):
+    mig, program = _compile(name, realization)
+    placed = map_program(program)
+    assert placed.num_parallel_steps <= program.num_steps
+    assert placed_identical(program, placed)
+
+
+@pytest.mark.parametrize("name", CORPUS[:3])
+@pytest.mark.parametrize("realization", list(Realization))
+def test_scalar_identity_on_clean_array(name, realization):
+    mig, program = _compile(name, realization)
+    placed = map_program(program)
+    for vector in _vectors(mig.num_pis):
+        assert run_placed_program(placed, vector) == run_program(
+            program, vector
+        )
+
+
+@pytest.mark.parametrize("fault_class", FAULT_CLASSES)
+def test_fault_models_survive_remapping(fault_class):
+    """Remapped faults reproduce the sequential faulty outputs exactly."""
+    mig, program = _compile("rd53f2", Realization.MAJ)
+    placed = map_program(program)
+    models = enumerate_fault_models(program, fault_class)
+    assert models, fault_class
+    vectors = list(_vectors(mig.num_pis, limit=8))
+    checked = 0
+    for model in models[:: max(1, len(models) // 12)]:
+        remapped = placed.remap_fault_model(model)
+        for vector in vectors:
+            assert run_placed_program(
+                placed, vector, fault_model=remapped
+            ) == run_program(program, vector, fault_model=model), model.label
+        checked += 1
+    assert checked >= 2
+
+
+@pytest.mark.parametrize("realization", list(Realization))
+def test_fault_remapping_imp_and_maj_spot(realization):
+    """One sampled model per class, both realizations, second benchmark."""
+    mig, program = _compile("con1f1", realization)
+    placed = map_program(program)
+    vectors = list(_vectors(mig.num_pis, limit=16))
+    for fault_class in FAULT_CLASSES:
+        models = enumerate_fault_models(program, fault_class)
+        if not models:
+            continue
+        model = models[len(models) // 2]
+        remapped = placed.remap_fault_model(model)
+        for vector in vectors:
+            assert run_placed_program(
+                placed, vector, fault_model=remapped
+            ) == run_program(program, vector, fault_model=model)
+
+
+def test_identity_holds_on_explicit_geometry():
+    """An explicitly requested array still computes identically."""
+    mig, program = _compile("xor5_d", Realization.IMP)
+    # One wordline per block is always legal, so this never needs the
+    # auto-fit growth loop — the requested geometry is used verbatim.
+    width = max(len(block.devices) for block in program.blocks)
+    height = program.num_devices
+    placed = map_program(program, width, height)
+    assert placed.width == width and placed.height == height
+    assert placed_identical(program, placed)

@@ -1,0 +1,141 @@
+"""Property tests for crossbar placement and scheduling legality.
+
+Random MIGs are compiled and mapped; the properties pin down the
+mapper's contract: every live register gets a unique in-bounds
+``(row, col)`` cell, no parallel step violates the wordline sense-path
+rule, and the row-parallel schedule never exceeds the sequential step
+count.  The from-scratch auditors in :mod:`repro.crossbar.model` —
+not the mapper's own incremental bookkeeping — are the judges.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar import (
+    CrossbarModel,
+    MappingError,
+    check_placed,
+    check_placement,
+    map_program,
+    place_greedy,
+    step_row_violation,
+)
+from repro.mig import Mig, Realization, signal_not
+from repro.rram import compile_mig
+
+
+def random_mig(seed: int, num_pis: int = 4, num_gates: int = 10) -> Mig:
+    rng = random.Random(seed)
+    mig = Mig(f"rand{seed}")
+    signals = [mig.add_pi() for _ in range(num_pis)] + [0]
+    for _ in range(num_gates):
+        picks = []
+        while len(picks) < 3:
+            s = signals[rng.randrange(len(signals))]
+            if rng.random() < 0.4:
+                s = signal_not(s)
+            picks.append(s)
+        signals.append(mig.make_maj(*picks))
+    for _ in range(2):
+        s = signals[rng.randrange(len(signals) // 2, len(signals))]
+        if rng.random() < 0.3:
+            s = signal_not(s)
+        mig.add_po(s)
+    return mig
+
+
+@given(st.integers(0, 10_000), st.sampled_from(list(Realization)))
+@settings(max_examples=25, deadline=None)
+def test_mapping_is_legal_and_bounded(seed, realization):
+    program = compile_mig(random_mig(seed), realization).program
+    placed = map_program(program)
+
+    # Unique in-bounds cell per device.
+    assert set(placed.cells) == set(range(program.num_devices))
+    seen = set()
+    for device, (row, col) in placed.cells.items():
+        assert 0 <= row < placed.height
+        assert 0 <= col < placed.width
+        assert (row, col) not in seen
+        seen.add((row, col))
+
+    # No parallel step violates the wordline sense-path rule.
+    row_of = {device: cell[0] for device, cell in placed.cells.items()}
+    for step in placed.steps:
+        assert step_row_violation(step.ops, row_of) is None
+
+    # Parallel step count never exceeds the paper's sequential S.
+    assert placed.num_parallel_steps <= program.num_steps
+    assert 0.0 < placed.step_ratio <= 1.0
+
+    # The full independent audit agrees.
+    check_placed(placed)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_one_device_per_wordline_is_always_feasible(seed):
+    program = compile_mig(random_mig(seed), Realization.MAJ).program
+    placed = map_program(program, 1, program.num_devices, refine=False)
+    check_placed(placed)
+    assert placed.num_parallel_steps <= program.num_steps
+
+
+@given(st.integers(0, 10_000), st.sampled_from(list(Realization)))
+@settings(max_examples=10, deadline=None)
+def test_mapping_is_deterministic(seed, realization):
+    program = compile_mig(random_mig(seed), realization).program
+    first = map_program(program)
+    second = map_program(program)
+    assert first.cells == second.cells
+    assert first.steps == second.steps
+    assert first.op_map == second.op_map
+    assert first.sense_map == second.sense_map
+
+
+class TestInfeasibleArrays:
+    def test_too_few_cells_raises(self):
+        program = compile_mig(random_mig(7), Realization.MAJ).program
+        with pytest.raises(MappingError, match="cells"):
+            map_program(program, 2, 2)
+
+    def test_capacity_check_in_placer(self):
+        program = compile_mig(random_mig(7), Realization.IMP).program
+        with pytest.raises(MappingError):
+            place_greedy(program, CrossbarModel(1, 1))
+
+    def test_nonpositive_geometry_rejected(self):
+        with pytest.raises(MappingError, match="positive"):
+            CrossbarModel(0, 4)
+
+
+class TestAuditors:
+    def test_check_placement_rejects_shared_cell(self):
+        program = compile_mig(random_mig(3), Realization.MAJ).program
+        placed = map_program(program)
+        cells = dict(placed.cells)
+        cells[0] = cells[1]  # collide two devices
+        with pytest.raises(MappingError, match="share cell"):
+            check_placement(
+                program, CrossbarModel(placed.width, placed.height), cells
+            )
+
+    def test_check_placement_rejects_row_conflicts(self):
+        # All devices crammed onto one wordline: any step with two ops
+        # sensing two different devices must trip the rule.
+        program = compile_mig(random_mig(3), Realization.IMP).program
+        model = CrossbarModel(program.num_devices, 1)
+        cells = {d: (0, d) for d in range(program.num_devices)}
+        with pytest.raises(MappingError, match="sense path"):
+            check_placement(program, model, cells)
+
+    def test_check_placed_rejects_dropped_op(self):
+        program = compile_mig(random_mig(11), Realization.MAJ).program
+        placed = map_program(program)
+        placed.steps[0].ops.pop()
+        placed.steps[0].sources.pop()
+        with pytest.raises(MappingError):
+            check_placed(placed)

@@ -63,6 +63,39 @@ class TestPlantedBugs:
         assert failure.describe()["detail"]
 
 
+class TestCrossbarChecks:
+    def test_crossbar_checks_registered(self):
+        assert "crossbar-imp" in CHECKS
+        assert "crossbar-maj" in CHECKS
+
+    @pytest.mark.parametrize("kind", ("mig", "table", "gates"))
+    def test_generated_cases_pass_crossbar_only(self, kind):
+        netlist, mig = case_circuit(kind, 1337)
+        failure = check_case(
+            netlist, mig, effort=3, checks=["crossbar-imp", "crossbar-maj"]
+        )
+        assert failure is None
+
+    def test_trivial_netlist_passes_crossbar(self):
+        assert (
+            check_case(_xor_netlist(), checks=["crossbar-imp", "crossbar-maj"])
+            is None
+        )
+
+    def test_wide_netlists_skip_the_exhaustive_sweep(self):
+        # The crossbar differential is exhaustive, so it is gated to
+        # <= 8 inputs; a wider circuit must sail through untested
+        # rather than hang.
+        netlist = Netlist("wide")
+        inputs = [netlist.add_input(f"x{i}") for i in range(10)]
+        netlist.add_gate("f", GateType.AND, inputs)
+        netlist.set_output("f")
+        assert (
+            check_case(netlist, checks=["crossbar-imp", "crossbar-maj"])
+            is None
+        )
+
+
 class TestCheckFiltering:
     def test_subset_runs_only_requested_checks(self):
         netlist, mig = case_circuit("mig", 99)
