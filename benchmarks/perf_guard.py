@@ -27,7 +27,17 @@ Timings are published through the telemetry registry
 CI trend checks can consume the guard verdict without scraping stdout.
 ``--no-append`` skips the ledger write; ``--output`` redirects it.
 
+A third, separate mode guards the *scale* tier (the numpy-slab storage
+engine's reason to exist): ``--scale NAME`` builds one generated
+large benchmark (``repro.benchmarks.scale``), runs an
+inverter-propagation pass over it with an attached CostView, and fails
+if the whole flow exceeds ``--scale-budget`` seconds.  The timing is
+published as the ``perf_guard.scale_seconds`` gauge and appended as a
+``perf-guard-scale`` ledger entry.  ``--scale`` runs *instead of* the
+corpus guard, so CI can budget the two checks independently.
+
 Run:  PYTHONPATH=src python benchmarks/perf_guard.py
+      PYTHONPATH=src python benchmarks/perf_guard.py --scale rca1536 --scale-budget 300
 Not pytest-collected: plain script, exit code 1 on violation.
 """
 
@@ -59,6 +69,71 @@ def _run_corpus(enabled: bool, effort: int):
     return seconds, sizes
 
 
+def _run_scale(args) -> int:
+    """The ``--scale`` mode: one large generated benchmark under a
+    wall-clock budget, exercising the slab engine's bulk paths."""
+    from repro.benchmarks import load_scale_mig
+    from repro.mig import CostView, Realization, graph_engine_name
+    from repro.mig.algorithms import inverter_propagation_pass
+
+    effort = args.effort or 2
+    start = time.perf_counter()
+    mig = load_scale_mig(args.scale)
+    build_seconds = time.perf_counter() - start
+    gates = mig.num_gates()
+    view = CostView(mig)
+    before = view.costs(Realization.MAJ)
+    inverter_propagation_pass(
+        mig, Realization.MAJ, max_rounds=max(1, effort), view=view
+    )
+    after = view.costs(Realization.MAJ)
+    total_seconds = time.perf_counter() - start
+
+    from repro.telemetry import metrics
+
+    registry = metrics()
+    registry.gauge("perf_guard.scale_seconds").set(round(total_seconds, 3))
+
+    print(f"scale guard: {args.scale} ({gates} gates, "
+          f"engine {graph_engine_name()}):")
+    print(f"  build                          : {build_seconds:.3f}s")
+    print(f"  total (build + invprop + view) : {total_seconds:.3f}s")
+    print(f"  MAJ R/S                        : {before.rrams}/{before.steps}"
+          f" -> {after.rrams}/{after.steps}")
+
+    failed = total_seconds > args.scale_budget
+    if failed:
+        print(
+            f"FAIL: {total_seconds:.3f}s exceeds scale budget "
+            f"{args.scale_budget:.1f}s"
+        )
+    else:
+        print("scale guard PASS")
+
+    if not args.no_append:
+        from repro.flows.bench import append_bench_entry
+
+        entry = {
+            "kind": "perf-guard-scale",
+            "passed": not failed,
+            "benchmark": args.scale,
+            "gates": gates,
+            "effort": effort,
+            "graph_engine": graph_engine_name(),
+            "build_seconds": round(build_seconds, 3),
+            "scale_seconds": round(total_seconds, 3),
+            "scale_budget": args.scale_budget,
+            "rrams_before": before.rrams,
+            "steps_before": before.steps,
+            "rrams": after.rrams,
+            "steps": after.steps,
+            "metrics": registry.snapshot(),
+        }
+        append_bench_entry(entry, path=args.output)
+        print(f"appended perf-guard-scale entry to {args.output}")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -76,6 +151,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--effort", type=int, default=None)
     parser.add_argument(
+        "--scale",
+        default=None,
+        metavar="NAME",
+        help="run the scale-tier guard on one generated large benchmark "
+        "(see repro.benchmarks.scale) instead of the corpus guard",
+    )
+    parser.add_argument(
+        "--scale-budget",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the --scale flow (build + optimize)",
+    )
+    parser.add_argument(
         "--output",
         default=BENCH_JSON,
         help="bench ledger to append the machine-readable entry to",
@@ -86,6 +175,9 @@ def main(argv=None) -> int:
         help="skip appending the perf-guard entry to the ledger",
     )
     args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        return _run_scale(args)
 
     with open(BENCH_JSON, encoding="utf-8") as handle:
         ledger = json.load(handle)
@@ -138,10 +230,13 @@ def main(argv=None) -> int:
     if not args.no_append:
         from repro.flows.bench import append_bench_entry
 
+        from repro.mig import graph_engine_name
+
         entry = {
             "kind": "perf-guard",
             "passed": not failed,
             "effort": effort,
+            "graph_engine": graph_engine_name(),
             "tx_seconds": round(tx_seconds, 3),
             "legacy_seconds": round(legacy_seconds, 3),
             "baseline_seconds": baseline_seconds,

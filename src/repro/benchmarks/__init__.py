@@ -3,6 +3,12 @@ two evaluation suites, and the paper's published numbers."""
 
 from . import builders, paperdata
 from .generators import SyntheticSpec, synthesize
+from .scale import (
+    load_scale_mig,
+    load_scale_netlist,
+    scale_names,
+    wallace_multiplier_netlist,
+)
 from .suite import (
     ALL_BENCHMARKS,
     LARGE_BENCHMARKS,
@@ -30,5 +36,9 @@ __all__ = [
     "large_names",
     "load_mig",
     "load_netlist",
+    "load_scale_mig",
+    "load_scale_netlist",
+    "scale_names",
     "small_names",
+    "wallace_multiplier_netlist",
 ]

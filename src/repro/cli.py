@@ -57,7 +57,9 @@ from .io import (
 from .mig import (
     ALGORITHMS,
     EquivalenceGuard,
+    MigError,
     Realization,
+    graph_engine_name,
     mig_from_netlist,
     rram_costs,
 )
@@ -484,6 +486,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         append_bench_entry,
         bench_crossbar,
         bench_fuzz_smoke,
+        bench_scale,
         bench_table2,
         bench_tx_engine,
     )
@@ -515,6 +518,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 args.benchmarks or None, effort=args.effort, jobs=args.jobs
             )
         )
+    if args.what == "scale":
+        print(f"timing the EPFL-class scale tier "
+              f"(effort={args.effort}) ...")
+        entries.append(
+            bench_scale(args.benchmarks or None, effort=args.effort)
+        )
     for entry in entries:
         if not args.no_append:
             append_bench_entry(entry, args.output)
@@ -530,6 +539,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"{totals['parallel_over_s']}x over "
                     f"{len(entry['benchmarks'])} benchmarks"
                 )
+        elif entry["kind"] == "scale":
+            for name, cell in entry["benchmarks"].items():
+                for realization in ("imp", "maj"):
+                    costs = cell[realization]
+                    print(
+                        f"scale        : {name} ({cell['gates']} gates) "
+                        f"{realization} R={costs['rrams']} "
+                        f"S={costs['steps']} in "
+                        f"{costs['optimize_seconds']}s "
+                        f"(build {cell['build_seconds']}s)"
+                    )
         elif entry["kind"] == "tx-engine":
             for label, flow in entry["flows"].items():
                 speedup = flow.get("speedup_vs_clone_baseline")
@@ -738,10 +758,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Table II subset for the table2 timing")
     bench.add_argument(
         "--what",
-        choices=["table2", "fuzz-smoke", "tx-engine", "crossbar", "all"],
+        choices=["table2", "fuzz-smoke", "tx-engine", "crossbar", "scale",
+                 "all"],
         default="all",
-        help="which measurement to run (default all; tx-engine and "
-        "crossbar only when named explicitly)",
+        help="which measurement to run (default all; tx-engine, "
+        "crossbar, and scale only when named explicitly)",
     )
     bench.add_argument("--effort", type=int, default=10,
                        help="optimizer effort for the table2 timing")
@@ -837,6 +858,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        # Fail fast on a bad REPRO_GRAPH before any flow builds a graph
+        # (worker processes inherit the variable, so a typo would
+        # otherwise surface as a mid-run crash in a pool).
+        graph_engine_name()
+    except MigError as error:
+        print(f"repro-synth: error: {error}", file=sys.stderr)
+        return 2
     try:
         with _telemetry_session(args) as session:
             args._telemetry = session

@@ -25,8 +25,16 @@ so historical records like ``baseline_pre_costview`` survive):
   recording both wall-clocks plus the speedup against the recorded
   ``baseline_pre_costview`` clone-based numbers.
 
-Entries are plain dicts so downstream tooling (CI trend checks,
-EXPERIMENTS.md tables) can consume them without importing this module.
+* **scale** — the EPFL-class large-circuit tier: generated ripple
+  adders / Wallace multipliers up to >100k MIG gates, each built and
+  run through the Ω.I inverter-propagation flow with Table I R/S and
+  wall time recorded per realization (:func:`bench_scale`).
+
+Every entry records ``effort`` and ``graph_engine`` (the slab/object
+storage-engine switch), and the ledger is written with sorted keys so
+diffs stay reviewable.  Entries are plain dicts so downstream tooling
+(CI trend checks, EXPERIMENTS.md tables) can consume them without
+importing this module.
 """
 
 from __future__ import annotations
@@ -55,6 +63,19 @@ def _machine_info() -> Dict[str, object]:
     }
 
 
+def _entry_common(effort: Optional[int]) -> Dict[str, object]:
+    """Fields every ledger entry must carry so diffs are comparable:
+    the effort knob (None where the flow has no such knob) and the
+    graph storage engine the numbers were measured on."""
+    from ..mig.graph import graph_engine_name
+
+    return {
+        "effort": effort,
+        "graph_engine": graph_engine_name(),
+        **_machine_info(),
+    }
+
+
 def bench_table2(
     names: Optional[Sequence[str]] = None,
     *,
@@ -73,11 +94,10 @@ def bench_table2(
     return {
         "kind": "table2",
         "seconds": round(seconds, 3),
-        "effort": effort,
         "jobs": jobs,
         "benchmarks": len(result.rows),
         "profile": result.merged_profile(),
-        **_machine_info(),
+        **_entry_common(effort),
     }
 
 
@@ -149,7 +169,7 @@ def bench_fuzz_smoke(*, jobs: int = 1) -> Dict[str, object]:
         "scalar_seconds": round(scalar_seconds, 4),
         "speedup": round(speedup, 2),
         "jobs": jobs,
-        **_machine_info(),
+        **_entry_common(None),
     }
 
 
@@ -182,10 +202,9 @@ def bench_tx_engine(
     corpus = list(names) if names else large_names()
     entry: Dict[str, object] = {
         "kind": "tx-engine",
-        "effort": effort,
         "benchmarks": len(corpus),
         "flows": {},
-        **_machine_info(),
+        **_entry_common(effort),
     }
     baseline: Dict[str, float] = {}
     if os.path.exists(DEFAULT_BENCH_PATH):
@@ -282,11 +301,73 @@ def bench_crossbar(
     return {
         "kind": "crossbar",
         "seconds": round(seconds, 3),
-        "effort": effort,
         "jobs": jobs,
         "benchmarks": benchmarks,
         "totals": aggregate,
-        **_machine_info(),
+        **_entry_common(effort),
+    }
+
+
+def bench_scale(
+    names: Optional[Sequence[str]] = None, *, effort: int = 2
+) -> Dict[str, object]:
+    """Time a synthesis flow over the EPFL-class *scale* tier.
+
+    For each generated large circuit (``repro.benchmarks.scale`` —
+    ripple adders and Wallace multipliers up to >100k MIG gates): build
+    the MIG, then for each realization run the Ω.I inverter-propagation
+    pass (``effort`` bounds its rounds) against an attached CostView and
+    record Table I R/S before and after plus per-phase wall-clocks.
+    The full Alg. 1–4 ladders are quadratic in graph size and stay
+    restricted to the paper's corpus; Ω.I is the flow whose per-node
+    cost is bounded, which is what makes the ≥100k-gate datapoint
+    tractable at all (see PERFORMANCE.md).
+    """
+    from ..benchmarks.scale import load_scale_mig, scale_names
+    from ..mig import CostView, Realization
+    from ..mig.algorithms import inverter_propagation_pass
+
+    corpus = list(names) if names else scale_names()
+    benchmarks: Dict[str, object] = {}
+    total_seconds = 0.0
+    for name in corpus:
+        build_start = time.perf_counter()
+        base = load_scale_mig(name)
+        build_seconds = time.perf_counter() - build_start
+        cell: Dict[str, object] = {
+            "gates": base.num_gates(),
+            "build_seconds": round(build_seconds, 3),
+        }
+        for realization in (Realization.IMP, Realization.MAJ):
+            mig = base.clone()
+            view = CostView(mig)
+            before = view.costs(realization)
+            opt_start = time.perf_counter()
+            inverter_propagation_pass(
+                mig,
+                realization,
+                max_rounds=max(1, effort),
+                view=view,
+            )
+            opt_seconds = time.perf_counter() - opt_start
+            after = view.costs(realization)
+            cell[realization.value] = {
+                "rrams_before": before.rrams,
+                "steps_before": before.steps,
+                "rrams": after.rrams,
+                "steps": after.steps,
+                "depth": after.depth,
+                "optimize_seconds": round(opt_seconds, 3),
+            }
+            total_seconds += opt_seconds
+        total_seconds += build_seconds
+        benchmarks[name] = cell
+        _observe_flow_seconds(build_seconds)
+    return {
+        "kind": "scale",
+        "seconds": round(total_seconds, 3),
+        "benchmarks": benchmarks,
+        **_entry_common(effort),
     }
 
 

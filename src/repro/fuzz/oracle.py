@@ -19,12 +19,18 @@ For one generated circuit the oracle asserts, in order:
    and once under the legacy clone-based rollback engine, must leave
    *structurally identical* graphs (the bit-identity contract of the
    checkpoint/rollback/commit journal, checked on adversarial inputs).
-5. **Compile cost triangle** — for both realizations, the analytic
+5. **Graph-engine differential** — every optimizer flow run twice from
+   the same netlist, once on the object-dict storage engine and once on
+   the numpy-slab engine (with the vectorized kernels force-enabled so
+   the small fuzz circuits actually exercise them), must produce
+   bit-identical graphs and identical Table I costs (the
+   ``REPRO_GRAPH`` migration oracle).
+6. **Compile cost triangle** — for both realizations, the analytic
    ``S = K_S·D + L`` equals the CostView's incremental answer equals
    the compiler's measured step count, and the compiled program
    replayed on the device-level array simulator matches the MIG.
-6. **PLiM backend** — the serial RM3 stream computes the same function.
-7. **Crossbar mapping** — both realizations placed onto an auto-fitted
+7. **PLiM backend** — the serial RM3 stream computes the same function.
+8. **Crossbar mapping** — both realizations placed onto an auto-fitted
    W×H array and rescheduled into row-parallel steps must stay within
    the sequential step count, survive the full legality audit, and be
    bit-identical to the sequential program over the whole assignment
@@ -48,6 +54,7 @@ from ..mig import (
     Mig,
     Realization,
     anneal_complements,
+    graph_engine,
     mig_from_netlist,
     mig_matches_netlist,
     optimize_area,
@@ -86,6 +93,7 @@ CHECKS: Tuple[str, ...] = (
     "flow-rewrite",
     "costview-diff",
     "tx-diff",
+    "graph-diff",
     "compile-imp",
     "compile-maj",
     "plim-exec",
@@ -304,6 +312,66 @@ def _check_tx_differential(
     return None
 
 
+def _check_graph_differential(
+    netlist: Netlist, effort: int
+) -> Optional[OracleFailure]:
+    """Object-dict vs numpy-slab storage must be bit-identical.
+
+    Both engines build the MIG from the same netlist and run every
+    optimizer flow; the resulting graphs must be *structurally* equal
+    (same children arrays, same output signals) and agree on the
+    Table I cost model.  The slab clone force-enables the vectorized
+    kernels (``KERNEL_MIN_NODES = 0``) so the fuzz corpus — far below
+    the production cutover size — still exercises the numpy paths.
+    """
+    with graph_engine("object"):
+        object_base = mig_from_netlist(netlist)
+    with graph_engine("slab"):
+        slab_base = mig_from_netlist(netlist)
+    if (
+        object_base._children != slab_base._children
+        or object_base._pos != slab_base._pos
+    ):
+        return OracleFailure(
+            "graph-diff",
+            "object and slab engines built structurally different MIGs "
+            "from the same netlist",
+        )
+    for name, runner in _FLOWS:
+        object_mig = object_base.clone()
+        slab_mig = slab_base.clone()
+        slab_mig.KERNEL_MIN_NODES = 0
+        runner(object_mig, effort)
+        runner(slab_mig, effort)
+        if (
+            object_mig._children != slab_mig._children
+            or object_mig._pos != slab_mig._pos
+        ):
+            return OracleFailure(
+                "graph-diff",
+                f"flow {name}: object and slab engines produced "
+                f"structurally different graphs "
+                f"({object_mig.num_gates()} vs {slab_mig.num_gates()} gates)",
+            )
+        slab_mig.check_invariants()
+        for realization in (Realization.IMP, Realization.MAJ):
+            object_costs = rram_costs(object_mig, realization)
+            slab_costs = rram_costs(slab_mig, realization)
+            if object_costs != slab_costs:
+                return OracleFailure(
+                    "graph-diff",
+                    f"flow {name}: {realization.value} costs diverge "
+                    f"{object_costs.as_row()} (object) vs "
+                    f"{slab_costs.as_row()} (slab kernel)",
+                )
+        if not mig_matches_netlist(slab_mig, netlist):
+            return OracleFailure(
+                "graph-diff",
+                f"flow {name} on the slab engine broke the function",
+            )
+    return None
+
+
 def _check_compile(
     base: Mig, netlist: Netlist, realization: Realization, effort: int
 ) -> Optional[OracleFailure]:
@@ -464,6 +532,14 @@ def check_case(
         failure = _guarded(
             "tx-diff",
             lambda: _check_tx_differential(base, netlist, effort),
+        )
+        if failure is not None:
+            return failure
+
+    if on("graph-diff"):
+        failure = _guarded(
+            "graph-diff",
+            lambda: _check_graph_differential(netlist, effort),
         )
         if failure is not None:
             return failure

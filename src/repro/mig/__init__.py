@@ -6,7 +6,10 @@ from .graph import (
     CONST1,
     Mig,
     MigError,
+    ObjectMig,
     Signal,
+    graph_engine,
+    graph_engine_name,
     make_signal,
     signal_is_complemented,
     signal_node,
@@ -14,6 +17,7 @@ from .graph import (
     transaction_engine,
     transactions_enabled,
 )
+from .slab import SlabMig
 from .views import (
     LevelStats,
     Realization,
@@ -63,6 +67,10 @@ __all__ = [
     "signal_is_complemented",
     "signal_node",
     "signal_not",
+    "ObjectMig",
+    "SlabMig",
+    "graph_engine",
+    "graph_engine_name",
     "transaction_engine",
     "transactions_enabled",
     "CostView",

@@ -38,6 +38,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .graph import EVENT_ATTACH, EVENT_DETACH, EVENT_PO, Mig
 from .views import LevelStats, Realization, RramCosts, level_stats
 
@@ -114,8 +116,13 @@ class CostView:
 
     def _full_rebuild(self) -> None:
         mig = self.mig
+        kernel = getattr(mig, "slab_cost_arrays", None)
+        packed = kernel() if kernel is not None else None
+        if packed is not None:
+            self._rebuild_from_arrays(packed)
+            return
         children_arr = mig._children
-        order = mig.reachable_nodes()
+        order = mig._reachable_cached()
         levels: Dict[int, int] = {}
         live_ref: Dict[int, int] = {}
         in_comp: Dict[int, int] = {}
@@ -141,6 +148,52 @@ class CostView:
             n_at[level] = n_at.get(level, 0) + 1
             if comp:
                 c_at[level] = c_at.get(level, 0) + comp
+        for po in mig._pos:
+            driver = po >> 1
+            if driver != 0 and not is_pi[driver]:
+                live_ref[driver] = live_ref.get(driver, 0) + 1
+        self._levels = levels
+        self._live_ref = live_ref
+        self._in_comp = in_comp
+        self._n_at = n_at
+        self._c_at = c_at
+        self._order = order
+        self._order_gen = mig._generation
+        self._refresh_po_summary()
+        self._generation = mig._generation
+        self._cursor = mig.event_cursor()
+        mig.discard_events_upto(self._cursor)
+        self._costs_cache.clear()
+        self.counters.full_recomputes += 1
+
+    def _rebuild_from_arrays(self, packed: dict) -> None:
+        """Full rebuild from the slab engine's bulk arrays (see
+        ``SlabMig.slab_cost_arrays``) — identical content to the scalar
+        loop (only n_at/c_at/live_ref *insertion order* differs, which
+        nothing observes: they are value-aggregated or key-looked-up)."""
+        mig = self.mig
+        is_pi = mig._is_pi
+        order = packed["order"]
+        lvl_list = packed["lvl_list"]
+        levels = dict(zip(order, map(lvl_list.__getitem__, order)))
+        in_comp = dict(zip(order, packed["comp"].tolist()))
+        levels_np = packed["levels"]
+        comp_np = packed["comp"]
+        n_counts = np.bincount(levels_np)
+        n_at = {
+            level: count
+            for level, count in enumerate(n_counts.tolist())
+            if count
+        }
+        c_counts = np.bincount(levels_np, weights=comp_np).astype(np.int64)
+        c_at = {
+            level: count
+            for level, count in enumerate(c_counts.tolist())
+            if count
+        }
+        refs = packed["refs"]
+        nonzero = refs.nonzero()[0]
+        live_ref = dict(zip(nonzero.tolist(), refs[nonzero].tolist()))
         for po in mig._pos:
             driver = po >> 1
             if driver != 0 and not is_pi[driver]:
@@ -461,7 +514,7 @@ class CostView:
         """Topological live-node order (cached per generation)."""
         self._sync()
         if self._order_gen != self._generation or self._order is None:
-            self._order = self.mig.reachable_nodes()
+            self._order = self.mig._reachable_cached()
             self._order_gen = self._generation
         else:
             self.counters.cache_hits += 1
@@ -587,6 +640,7 @@ class CostView:
             "tx_undo_replayed": mig.tx_undo_replayed,
             "strash_hits": mig.strash_hits,
             "strash_misses": mig.strash_misses,
+            "compactions": mig.compactions,
         }
 
     def profile(self) -> Dict[str, int]:
@@ -598,6 +652,10 @@ class CostView:
         base = self._mig_counter_base
         for key, value in self._mig_counters().items():
             merged[key] = value - base[key]
+        # Occupancy gauges (not deltas): summing across --jobs shards
+        # totals the slot/slab footprint of the whole run.
+        merged["nodes_allocated"] = self.mig.num_nodes_allocated
+        merged["slab_capacity"] = self.mig.slab_capacity
         return merged
 
     # ------------------------------------------------------------------

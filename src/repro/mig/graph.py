@@ -110,6 +110,70 @@ class transaction_engine:
         return False
 
 
+# ----------------------------------------------------------------------
+# Graph-engine switch
+# ----------------------------------------------------------------------
+# Two storage engines implement the same ``Mig`` facade: the historical
+# pure-object core (``ObjectMig`` — tuples, dicts, lists) and the
+# numpy-slab core (:class:`repro.mig.slab.SlabMig` — a contiguous
+# ``(capacity, 3)`` signal array kept in sync lazily, feeding vectorized
+# cost kernels).  Both are bit-identical by construction (the slab is a
+# cache *next to* the object arrays, never the source of truth for
+# mutation), so the switch is pure performance.  ``REPRO_GRAPH`` is read
+# lazily on every construction so worker processes and tests see the
+# ambient environment; :class:`graph_engine` overrides it in-process.
+
+_GRAPH_ENGINES = ("object", "slab")
+_GRAPH_OVERRIDE: Optional[str] = None
+
+
+def graph_engine_name() -> str:
+    """The storage engine new :class:`Mig` instances use.
+
+    ``"slab"`` (default) or ``"object"``; raises :class:`MigError` on an
+    unknown ``REPRO_GRAPH`` value so callers (the CLI) can fail fast.
+    """
+    name = _GRAPH_OVERRIDE
+    if name is None:
+        name = os.environ.get("REPRO_GRAPH", "slab")
+    if name not in _GRAPH_ENGINES:
+        raise MigError(
+            f"unknown graph engine {name!r} (expected one of "
+            f"{', '.join(_GRAPH_ENGINES)})"
+        )
+    return name
+
+
+class graph_engine:
+    """Context manager forcing the graph storage engine for a block.
+
+    ``with graph_engine("object"): ...`` builds every new ``Mig`` on the
+    legacy object core regardless of ``REPRO_GRAPH``; existing instances
+    keep their engine (``clone`` preserves the concrete class).  Nested
+    uses restore the previous override on exit.
+    """
+
+    def __init__(self, name: str) -> None:
+        if name not in _GRAPH_ENGINES:
+            raise MigError(
+                f"unknown graph engine {name!r} (expected one of "
+                f"{', '.join(_GRAPH_ENGINES)})"
+            )
+        self._name = name
+        self._prev: Optional[str] = None
+
+    def __enter__(self) -> "graph_engine":
+        global _GRAPH_OVERRIDE
+        self._prev = _GRAPH_OVERRIDE
+        _GRAPH_OVERRIDE = self._name
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        global _GRAPH_OVERRIDE
+        _GRAPH_OVERRIDE = self._prev
+        return False
+
+
 def make_signal(node: int, complement: bool = False) -> Signal:
     """Build a signal from a node index and a complement flag."""
     return (node << 1) | (1 if complement else 0)
@@ -152,7 +216,25 @@ def _reduce_majority(children: Tuple[Signal, Signal, Signal]) -> Optional[Signal
 
 
 class Mig:
-    """A mutable, structurally hashed Majority-Inverter Graph."""
+    """A mutable, structurally hashed Majority-Inverter Graph.
+
+    ``Mig(...)`` is a facade: construction dispatches to the concrete
+    storage engine selected by :func:`graph_engine_name` (the numpy-slab
+    core by default, the legacy object core under
+    ``REPRO_GRAPH=object``).  Subclasses instantiate themselves
+    directly, so ``clone()`` — which builds ``type(self)(...)`` — always
+    preserves the engine of the instance being cloned.
+    """
+
+    def __new__(cls, name: str = "mig") -> "Mig":
+        if cls is Mig:
+            if graph_engine_name() == "slab":
+                from .slab import SlabMig
+
+                cls = SlabMig
+            else:
+                cls = ObjectMig
+        return object.__new__(cls)
 
     def __init__(self, name: str = "mig") -> None:
         self.name = name
@@ -185,12 +267,20 @@ class Mig:
         # Nested checkpoints share the journal through a mark stack.
         self._undo: List[tuple] = []
         self._tx_stack: List[int] = []
+        # Per-generation memo of :meth:`reachable_nodes` — the single
+        # hottest traversal (cloning, simulation, level/cost rebuilds
+        # all start from it).  Every mutating primitive bumps
+        # ``_generation`` before the next traversal, so keying the memo
+        # on the generation is exact.
+        self._order_cache: Optional[List[int]] = None
+        self._order_cache_gen = -1
         # Monotone profiling counters (surfaced via CostView.profile()).
         self.tx_checkpoints = 0
         self.tx_rollbacks = 0
         self.tx_undo_replayed = 0
         self.strash_hits = 0
         self.strash_misses = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -213,7 +303,15 @@ class Mig:
             "mig.tx_undo_replayed": self.tx_undo_replayed,
             "mig.strash_hits": self.strash_hits,
             "mig.strash_misses": self.strash_misses,
+            "graph.compactions": self.compactions,
+            "graph.nodes_allocated": len(self._children),
+            "graph.slab_capacity": self.slab_capacity,
         }
+
+    @property
+    def slab_capacity(self) -> int:
+        """Allocated slab rows (0 on the object engine — no slab)."""
+        return 0
 
     def enable_event_log(self) -> int:
         """Start recording structural events for incremental views.
@@ -515,7 +613,27 @@ class Mig:
     # ------------------------------------------------------------------
 
     def reachable_nodes(self) -> List[int]:
-        """Gate nodes reachable from the POs, in topological order."""
+        """Gate nodes reachable from the POs, in topological order.
+
+        Memoized per generation (every mutating primitive bumps
+        ``_generation`` before control returns to a caller that could
+        traverse); returns a fresh list the caller may mutate.
+        """
+        return list(self._reachable_cached())
+
+    def _reachable_cached(self) -> List[int]:
+        """The shared per-generation topological order — do NOT mutate.
+
+        In-package consumers (CostView, clone, simulation, the cost
+        kernels) read this directly to skip both the DFS and the
+        defensive copy.
+        """
+        if self._order_cache_gen != self._generation or self._order_cache is None:
+            self._order_cache = self._compute_reachable()
+            self._order_cache_gen = self._generation
+        return self._order_cache
+
+    def _compute_reachable(self) -> List[int]:
         children_arr = self._children
         visited: Set[int] = set()
         order: List[int] = []
@@ -545,7 +663,7 @@ class Mig:
 
     def num_gates(self) -> int:
         """Number of live (PO-reachable) gate nodes — the MIG *size*."""
-        return len(self.reachable_nodes())
+        return len(self._reachable_cached())
 
     def cone_nodes(self, signal: Signal) -> List[int]:
         """Gate nodes in the transitive fan-in cone of ``signal`` (topo order)."""
@@ -578,20 +696,21 @@ class Mig:
         """True iff ``target`` is in the fan-in cone of ``node`` (or equal)."""
         if node == target:
             return True
-        if not self.is_gate(node):
+        children_arr = self._children
+        if children_arr[node] is None:
             return False
         stack = [node]
         seen = {node}
         while stack:
             current = stack.pop()
-            triple = self._children[current]
+            triple = children_arr[current]
             if triple is None:
                 continue
             for s in triple:
-                child = signal_node(s)
+                child = s >> 1
                 if child == target:
                     return True
-                if child not in seen and self.is_gate(child):
+                if child not in seen and children_arr[child] is not None:
                     seen.add(child)
                     stack.append(child)
         return False
@@ -621,7 +740,7 @@ class Mig:
             word = values[signal_node(signal)]
             return word ^ mask if signal & 1 else word
 
-        for node in self.reachable_nodes():
+        for node in self._reachable_cached():
             a, b, c = (signal_word(s) for s in self.children(node))
             values[node] = (a & b) | (a & c) | (b & c)
         return [signal_word(po) for po in self._pos]
@@ -652,7 +771,7 @@ class Mig:
         nor collide in the strash, and the result is identical to the
         (much slower) make_maj-based rebuild it replaces.
         """
-        copy = Mig(self.name)
+        copy = type(self)(self.name)  # clones stay on the same engine
         children_arr = self._children
         mapping = [-1] * len(children_arr)  # node -> signal in copy
         mapping[0] = CONST0
@@ -691,7 +810,7 @@ class Mig:
                 fo[idx] = fo.get(idx, 0) + 1
             mapping[node] = idx << 1
 
-        for node in self.reachable_nodes():
+        for node in self._reachable_cached():
             copy_gate(node)
         for po, name in zip(self._pos, self._po_names):
             driver = signal_node(po)
@@ -716,7 +835,7 @@ class Mig:
         analyses (single-use checks, MFFC sizes) see only live logic.
         Node ids remain stable; returns the number of nodes detached.
         """
-        live = set(self.reachable_nodes())
+        live = set(self._reachable_cached())
         detached = 0
         for node in range(len(self._children)):
             if self._children[node] is not None and node not in live:
@@ -781,6 +900,7 @@ class Mig:
         clone-based engine renumbered state via ``copy_from``, keeping
         the two engines bit-identical.
         """
+        self.compactions += 1
         self.copy_from(self.clone())
 
     # ------------------------------------------------------------------
@@ -989,3 +1109,15 @@ class Mig:
             f"Mig({self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
             f"gates={self.num_gates()})"
         )
+
+
+class ObjectMig(Mig):
+    """The legacy pure-object storage engine (tuples/dicts/lists only).
+
+    Kept alive for one release as the bit-identity oracle for the slab
+    engine (``REPRO_GRAPH=object``, the fuzz harness ``graph-diff``
+    mode, the CI engine-identity smoke).  All behavior lives in the
+    :class:`Mig` base; this class only pins the dispatch.
+    """
+
+    __slots__ = ()

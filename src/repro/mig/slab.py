@@ -1,0 +1,311 @@
+"""Numpy-slab storage engine for the MIG.
+
+:class:`SlabMig` keeps the object-graph arrays of :class:`Mig` as the
+source of truth for *mutation* (so every primitive — ``make_maj``,
+``substitute``, the undo journal, the event log — behaves byte-for-byte
+like the object engine) and maintains, next to them, a flat numpy slab:
+one contiguous ``(capacity, 3)`` int64 array of child signals plus a
+packed primary-input bitmask.  The slab feeds the vectorized cost
+kernels (`slab_cost_arrays`) and the gather-based ``clone``/``compact``
+path; it is synchronized *lazily*:
+
+* ``_attach``/``_detach`` append the touched node id to a dirty list —
+  O(1) per mutation, no numpy scalar writes on the hot path;
+* ``rollback`` pre-scans the journal suffix once and batches every
+  touched row into the same dirty list (homogeneous records become one
+  sliced array write at the next sync), while wholesale ``copy_from``
+  records flip the slab to a full rebuild;
+* ``_sync_slab`` settles the dirty rows (or rebuilds the whole slab)
+  with sliced writes, doubling capacity when the graph outgrows it.
+
+Node ids are row indices; the free-list discipline is inherited from
+the object engine unchanged (rollback pops recycle the tail slots, so
+ids — and therefore rows — stay identical across engines).  Because the
+slab is a cache and never the mutation source, bit-identity with
+``ObjectMig`` holds by construction; the kernels below are only *used*
+above :data:`SlabMig.KERNEL_MIN_NODES` live nodes, where the fixed
+numpy overhead amortizes.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Mig, Signal
+
+_ZERO_ROW = (0, 0, 0)
+
+
+class SlabMig(Mig):
+    """MIG storage engine backed by a flat numpy signal slab."""
+
+    #: Minimum live-node count before the vectorized kernels engage.
+    #: Below this, per-call numpy overhead loses to the scalar paths
+    #: (MCNC-scale circuits stay scalar); the cutover is bit-invisible.
+    KERNEL_MIN_NODES = 4096
+
+    #: Dirty-list bound: past this many pending row updates a full
+    #: rebuild is cheaper (and bounds memory).
+    DIRTY_LIMIT = 1 << 18
+
+    #: Smallest slab allocation, in rows.
+    MIN_CAPACITY = 1024
+
+    def __init__(self, name: str = "mig") -> None:
+        super().__init__(name)
+        self._slab: Optional[np.ndarray] = None
+        self._pi_np: Optional[np.ndarray] = None
+        self._slab_len = 0  # rows valid as of the last sync
+        self._slab_dirty: List[int] = []
+        self._slab_full = True  # next sync must rebuild from scratch
+
+    # ------------------------------------------------------------------
+    # Dirty tracking (mutation side)
+    # ------------------------------------------------------------------
+
+    def _attach(self, node: int, children: Tuple[Signal, Signal, Signal]) -> None:
+        super()._attach(node, children)
+        if not self._slab_full:
+            dirty = self._slab_dirty
+            dirty.append(node)
+            if len(dirty) > self.DIRTY_LIMIT:
+                self._slab_full = True
+
+    def _detach(self, node: int) -> None:
+        had = self._children[node] is not None
+        super()._detach(node)
+        if had and not self._slab_full:
+            dirty = self._slab_dirty
+            dirty.append(node)
+            if len(dirty) > self.DIRTY_LIMIT:
+                self._slab_full = True
+
+    def rollback(self, token: int) -> None:
+        # The base replay writes rows directly (it does not go through
+        # _attach/_detach), so batch the touched ids from the journal
+        # suffix before it runs.  Invalid tokens fall through to the
+        # base error path untouched.
+        if token == len(self._tx_stack) - 1 and token >= 0:
+            mark = self._tx_stack[token]
+            if not self._slab_full:
+                dirty = self._slab_dirty
+                for record in self._undo[mark:]:
+                    kind = record[0]
+                    if kind == "w":
+                        self._slab_full = True
+                        break
+                    if kind != "p":  # "a"/"d"/"n" all touch a row
+                        dirty.append(record[1])
+                if len(dirty) > self.DIRTY_LIMIT:
+                    self._slab_full = True
+        super().rollback(token)
+
+    def copy_from(self, other: "Mig") -> None:
+        super().copy_from(other)
+        self._slab_full = True
+
+    # ------------------------------------------------------------------
+    # Slab synchronization
+    # ------------------------------------------------------------------
+
+    @property
+    def slab_capacity(self) -> int:
+        """Allocated slab rows (0 before the first sync)."""
+        return 0 if self._slab is None else int(self._slab.shape[0])
+
+    def _grow_to(self, n: int) -> None:
+        cap = self.MIN_CAPACITY
+        while cap < n:
+            cap <<= 1
+        slab = np.zeros((cap, 3), dtype=np.int64)
+        pi_np = np.zeros(cap, dtype=bool)
+        if self._slab is not None and self._slab_len:
+            keep = min(self._slab_len, n)
+            slab[:keep] = self._slab[:keep]
+            pi_np[:keep] = self._pi_np[:keep]
+        self._slab = slab
+        self._pi_np = pi_np
+
+    def _sync_slab(self) -> None:
+        """Settle pending row updates so ``slab[:len(children)]`` holds
+        every node's child triple ((0,0,0) for PIs/constants/dead)."""
+        children = self._children
+        n = len(children)
+        if self._slab_full or self._slab is None:
+            if self._slab is None or self._slab.shape[0] < n:
+                self._slab = None
+                self._slab_len = 0
+                self._grow_to(n)
+            flat = np.fromiter(
+                chain.from_iterable(
+                    t if t is not None else _ZERO_ROW for t in children
+                ),
+                dtype=np.int64,
+                count=3 * n,
+            )
+            self._slab[:n] = flat.reshape(n, 3)
+            self._pi_np[:n] = np.fromiter(self._is_pi, dtype=bool, count=n)
+            self._slab_len = n
+            self._slab_dirty = []
+            self._slab_full = False
+            return
+        if self._slab.shape[0] < n:
+            self._grow_to(n)
+        if self._slab_len < n:
+            # Rows appended since the last sync: zero-fill (stale data
+            # may linger from rolled-back allocations) and refresh the
+            # PI mask; gate triples arrive via the dirty list.
+            self._slab[self._slab_len : n] = 0
+            is_pi = self._is_pi
+            self._pi_np[self._slab_len : n] = [
+                is_pi[i] for i in range(self._slab_len, n)
+            ]
+        # Rows past n (rollback pops) are stale and simply ignored.
+        self._slab_len = n
+        dirty = self._slab_dirty
+        if dirty:
+            ids = sorted({d for d in dirty if d < n})
+            if ids:
+                rows = [
+                    children[d] if children[d] is not None else _ZERO_ROW
+                    for d in ids
+                ]
+                idx = np.fromiter(ids, dtype=np.int64, count=len(ids))
+                self._slab[idx] = np.fromiter(
+                    chain.from_iterable(rows),
+                    dtype=np.int64,
+                    count=3 * len(ids),
+                ).reshape(len(ids), 3)
+            self._slab_dirty = []
+
+    # ------------------------------------------------------------------
+    # Vectorized kernels
+    # ------------------------------------------------------------------
+
+    def _level_list(self, order: List[int]) -> List[int]:
+        """Levels indexed by node id (0 for PIs/constants/non-order).
+
+        A single depth-independent scalar pass: a frontier-wave numpy
+        relaxation degrades to O(depth) kernel launches on deep
+        arithmetic (a 1536-bit ripple adder has depth in the thousands),
+        so the level recurrence itself stays scalar while everything
+        around it (histograms, reference counts, gathers) vectorizes.
+        """
+        children = self._children
+        lvl = [0] * len(children)
+        for n in order:
+            a, b, c = children[n]
+            la = lvl[a >> 1]
+            lb = lvl[b >> 1]
+            lc = lvl[c >> 1]
+            if lb > la:
+                la = lb
+            if lc > la:
+                la = lc
+            lvl[n] = la + 1
+        return lvl
+
+    def slab_cost_arrays(self) -> Optional[Dict[str, object]]:
+        """Bulk per-live-node arrays for the cost-view/level-stats
+        rebuilds, or None when the graph is small enough that the
+        scalar paths win (the caller then uses those — results are
+        identical either way).
+
+        Keys: ``order`` (shared topo list — do not mutate), ``levels``
+        (int64 per order position), ``comp`` (complemented non-constant
+        in-edges per order position), ``lvl_list`` (levels indexed by
+        node id, plain ints), ``refs`` (gate-side live reference counts
+        indexed by node id, excluding constants/PIs — PO references are
+        the caller's).
+        """
+        order = self._reachable_cached()
+        m = len(order)
+        if m < self.KERNEL_MIN_NODES:
+            return None
+        self._sync_slab()
+        order_np = np.fromiter(order, dtype=np.int64, count=m)
+        signals = self._slab[order_np]
+        child = signals >> 1
+        comp = ((signals & 1) & (child != 0)).sum(axis=1, dtype=np.int64)
+        lvl_list = self._level_list(order)
+        levels = np.fromiter(
+            map(lvl_list.__getitem__, order), dtype=np.int64, count=m
+        )
+        # live_ref semantics of the scalar rebuild: every child slot of
+        # a live gate counts unless it is the constant or a PI (dead
+        # non-PI children included — resurrection logic depends on it).
+        mask = (child != 0) & ~self._pi_np[child]
+        refs = np.bincount(
+            child[mask], minlength=len(self._children)
+        )
+        return {
+            "order": order,
+            "order_np": order_np,
+            "levels": levels,
+            "comp": comp,
+            "lvl_list": lvl_list,
+            "refs": refs,
+        }
+
+    # ------------------------------------------------------------------
+    # Vectorized clone (compact() inherits it via copy_from(clone()))
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Mig":
+        order = self._reachable_cached()
+        m = len(order)
+        if m < self.KERNEL_MIN_NODES:
+            return super().clone()
+        self._sync_slab()
+        num_slots = len(self._children)
+        npi = len(self._pis)
+        mapping = np.full(num_slots, -1, dtype=np.int64)
+        mapping[0] = 0
+        if npi:
+            mapping[np.fromiter(self._pis, dtype=np.int64, count=npi)] = (
+                np.arange(1, npi + 1, dtype=np.int64) << 1
+            )
+        order_np = np.fromiter(order, dtype=np.int64, count=m)
+        mapping[order_np] = np.arange(npi + 1, npi + 1 + m, dtype=np.int64) << 1
+        for po in self._pos:
+            if mapping[po >> 1] < 0:
+                # PO cone disjoint from the main order (or detached):
+                # the scalar path owns these edge cases.
+                return super().clone()
+        signals = self._slab[order_np]
+        remapped = mapping[signals >> 1] ^ (signals & 1)
+        if remapped.size and remapped.min() < 0:
+            return super().clone()  # child outside the live closure
+        remapped.sort(axis=1)  # 3-wide row sort == copy_gate's inline sort
+        triples = list(map(tuple, remapped.tolist()))
+        copy = type(self)(self.name)
+        c_children = copy._children
+        c_is_pi = copy._is_pi
+        c_fanout = copy._fanout
+        for node, name in zip(self._pis, self._pi_names):
+            c_children.append(None)
+            c_is_pi.append(True)
+            c_fanout.append({})
+            copy._pis.append(len(c_children) - 1)
+            copy._pi_names.append(name)
+        c_children.extend(triples)
+        c_is_pi.extend([False] * m)
+        c_fanout.extend({} for _ in range(m))
+        c_strash = copy._strash
+        base_idx = npi + 1
+        for i, triple in enumerate(triples):
+            c_strash[triple] = base_idx + i
+        for i, triple in enumerate(triples):
+            idx = base_idx + i
+            for s in triple:
+                fo = c_fanout[s >> 1]
+                fo[idx] = fo.get(idx, 0) + 1
+        po_map = mapping.tolist()
+        for po, name in zip(self._pos, self._po_names):
+            copy._pos.append(po_map[po >> 1] ^ (po & 1))
+            copy._po_names.append(name)
+        copy._generation = len(c_children) - 1 + len(copy._pos)
+        return copy

@@ -48,6 +48,10 @@ LEGACY_PROFILE_NAMES: Dict[str, str] = {
     "tx_undo_replayed": "mig.tx_undo_replayed",
     "strash_hits": "mig.strash_hits",
     "strash_misses": "mig.strash_misses",
+    # Graph storage-engine occupancy (slab/object switch).
+    "compactions": "graph.compactions",
+    "nodes_allocated": "graph.nodes_allocated",
+    "slab_capacity": "graph.slab_capacity",
     # Fuzz campaign stage wall-clocks (seconds).
     "generate": "fuzz.stage_seconds.generate",
     "oracle": "fuzz.stage_seconds.oracle",
@@ -82,6 +86,7 @@ KNOWN_METRICS = frozenset(
         "perf_guard.tx_seconds",
         "perf_guard.legacy_seconds",
         "perf_guard.baseline_seconds",
+        "perf_guard.scale_seconds",
     }
 )
 
