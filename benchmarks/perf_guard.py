@@ -36,6 +36,13 @@ published as the ``perf_guard.scale_seconds`` gauge and appended as a
 ``perf-guard-scale`` ledger entry.  ``--scale`` runs *instead of* the
 corpus guard, so CI can budget the two checks independently.
 
+When batched trial evaluation is on (``REPRO_BATCH=1``, the default)
+the scale guard additionally asserts the batch kernels actually
+engaged (``batch_score_calls > 0``): a silently degraded batch path
+would otherwise only show up as a slow run, which a generous CI budget
+could absorb.  Pair this with a tightened ``--scale-budget`` sized for
+the batched flow.
+
 Run:  PYTHONPATH=src python benchmarks/perf_guard.py
       PYTHONPATH=src python benchmarks/perf_guard.py --scale rca1536 --scale-budget 300
 Not pytest-collected: plain script, exit code 1 on violation.
@@ -73,7 +80,13 @@ def _run_scale(args) -> int:
     """The ``--scale`` mode: one large generated benchmark under a
     wall-clock budget, exercising the slab engine's bulk paths."""
     from repro.benchmarks import load_scale_mig
-    from repro.mig import CostView, Realization, graph_engine_name
+    from repro.mig import (
+        CostView,
+        Realization,
+        batch_enabled,
+        batch_min_nodes,
+        graph_engine_name,
+    )
     from repro.mig.algorithms import inverter_propagation_pass
 
     effort = args.effort or 2
@@ -101,13 +114,25 @@ def _run_scale(args) -> int:
     print(f"  MAJ R/S                        : {before.rrams}/{before.steps}"
           f" -> {after.rrams}/{after.steps}")
 
+    counters = view.counters.as_dict()
+    batch_expected = (
+        batch_enabled()
+        and hasattr(mig, "slab_invprop_case_array")
+        and gates >= batch_min_nodes()
+    )
     failed = total_seconds > args.scale_budget
     if failed:
         print(
             f"FAIL: {total_seconds:.3f}s exceeds scale budget "
             f"{args.scale_budget:.1f}s"
         )
-    else:
+    if batch_expected and counters["batch_score_calls"] == 0:
+        print(
+            "FAIL: batched evaluation enabled but the batch scorer never "
+            "engaged (batch_score_calls == 0) — no-op batch path"
+        )
+        failed = True
+    if not failed:
         print("scale guard PASS")
 
     if not args.no_append:
@@ -118,8 +143,21 @@ def _run_scale(args) -> int:
             "passed": not failed,
             "benchmark": args.scale,
             "gates": gates,
+            "seconds": round(total_seconds, 3),
             "effort": effort,
             "graph_engine": graph_engine_name(),
+            "batch_enabled": batch_enabled(),
+            "counters": {
+                key: counters[key]
+                for key in (
+                    "moves_tried",
+                    "predicted_skips",
+                    "batch_score_calls",
+                    "batch_candidates_scored",
+                    "batch_group_calls",
+                    "batch_strash_probes",
+                )
+            },
             "build_seconds": round(build_seconds, 3),
             "scale_seconds": round(total_seconds, 3),
             "scale_budget": args.scale_budget,
@@ -235,6 +273,7 @@ def main(argv=None) -> int:
         entry = {
             "kind": "perf-guard",
             "passed": not failed,
+            "seconds": round(tx_seconds + legacy_seconds, 3),
             "effort": effort,
             "graph_engine": graph_engine_name(),
             "tx_seconds": round(tx_seconds, 3),

@@ -39,7 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .benchmarks import ALL_BENCHMARKS, benchmark, large_names, load_netlist, small_names
 from .io import (
@@ -484,6 +484,7 @@ def _cmd_bench_list(_args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .flows.bench import (
         append_bench_entry,
+        bench_batch_engine,
         bench_crossbar,
         bench_fuzz_smoke,
         bench_scale,
@@ -524,6 +525,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         entries.append(
             bench_scale(args.benchmarks or None, effort=args.effort)
         )
+    if args.what == "batch":
+        print(f"timing the scale-tier flow with batch kernels off vs on "
+              f"(effort={args.effort}) ...")
+        entries.append(
+            bench_batch_engine(args.benchmarks or None, effort=args.effort)
+        )
     for entry in entries:
         if not args.no_append:
             append_bench_entry(entry, args.output)
@@ -550,6 +557,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                         f"{costs['optimize_seconds']}s "
                         f"(build {cell['build_seconds']}s)"
                     )
+        elif entry["kind"] == "batch-engine":
+            for name, cell in entry["benchmarks"].items():
+                for realization in ("imp", "maj"):
+                    timing = cell[realization]
+                    print(
+                        f"batch-engine : {name} ({cell['gates']} gates) "
+                        f"{realization} scalar "
+                        f"{timing['scalar_seconds']}s / batch "
+                        f"{timing['batch_seconds']}s = "
+                        f"{timing['speedup']}x"
+                    )
         elif entry["kind"] == "tx-engine":
             for label, flow in entry["flows"].items():
                 speedup = flow.get("speedup_vs_clone_baseline")
@@ -567,7 +585,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
-    from .telemetry import load_trace, render_trace_report, validate_trace
+    from .telemetry import (
+        load_bench_ledger,
+        load_trace,
+        render_trace_report,
+        validate_bench_ledger,
+        validate_trace,
+    )
+
+    # A BENCH_runtime.json-style ledger (one JSON object with an
+    # "entries" list) is not a JSONL trace; validate its entry schema
+    # instead of failing the JSONL parse.
+    ledger = load_bench_ledger(args.trace_file)
+    if ledger is not None:
+        entries = ledger.get("entries", [])
+        if args.validate:
+            errors = validate_bench_ledger(ledger)
+            if errors:
+                for error in errors:
+                    print(f"trace-report: {error}", file=sys.stderr)
+                print(
+                    f"trace-report: {args.trace_file}: "
+                    f"{len(errors)} ledger violation(s)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"schema       : OK ({len(entries)} ledger entries)")
+        kinds: Dict[str, int] = {}
+        for entry in entries:
+            kind = entry.get("kind", "?") if isinstance(entry, dict) else "?"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        print(f"ledger       : {len(entries)} entries")
+        for kind in sorted(kinds):
+            print(f"  {kind:<12s} : {kinds[kind]}")
+        return 0
 
     try:
         records = load_trace(args.trace_file)
@@ -759,10 +810,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--what",
         choices=["table2", "fuzz-smoke", "tx-engine", "crossbar", "scale",
-                 "all"],
+                 "batch", "all"],
         default="all",
         help="which measurement to run (default all; tx-engine, "
-        "crossbar, and scale only when named explicitly)",
+        "crossbar, scale, and batch only when named explicitly)",
     )
     bench.add_argument("--effort", type=int, default=10,
                        help="optimizer effort for the table2 timing")

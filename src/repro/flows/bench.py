@@ -27,14 +27,22 @@ so historical records like ``baseline_pre_costview`` survive):
 
 * **scale** — the EPFL-class large-circuit tier: generated ripple
   adders / Wallace multipliers up to >100k MIG gates, each built and
-  run through the Ω.I inverter-propagation flow with Table I R/S and
-  wall time recorded per realization (:func:`bench_scale`).
+  run through the Ω.I inverter-propagation flow with Table I R/S, wall
+  time, and the optimizer counters (``moves_tried``/``predicted_skips``
+  and the ``batch.*`` family) recorded per realization
+  (:func:`bench_scale`).
+* **batch-engine** — the batched trial-evaluation claim: the scale-tier
+  Ω.I flow timed per realization with the batch kernels off and on
+  (``repro.mig.batch``), asserting bit-identical graphs and non-batch
+  counters, and recording both wall-clocks plus the speedup
+  (:func:`bench_batch_engine`).
 
-Every entry records ``effort`` and ``graph_engine`` (the slab/object
-storage-engine switch), and the ledger is written with sorted keys so
-diffs stay reviewable.  Entries are plain dicts so downstream tooling
-(CI trend checks, EXPERIMENTS.md tables) can consume them without
-importing this module.
+Every entry records ``seconds``, ``effort``, and ``graph_engine`` (the
+slab/object storage-engine switch) — ``trace-report --validate``
+enforces this schema on the ledger — and the file is written with
+sorted keys so diffs stay reviewable.  Entries are plain dicts so
+downstream tooling (CI trend checks, EXPERIMENTS.md tables) can consume
+them without importing this module.
 """
 
 from __future__ import annotations
@@ -163,6 +171,7 @@ def bench_fuzz_smoke(*, jobs: int = 1) -> Dict[str, object]:
     speedup = scalar_seconds / packed_seconds if packed_seconds > 0 else 0.0
     return {
         "kind": "fuzz-smoke",
+        "seconds": round(packed_seconds + scalar_seconds, 4),
         "programs": len(compiled),
         "verdicts_all_pass": all(packed_verdicts),
         "packed_seconds": round(packed_seconds, 4),
@@ -200,6 +209,7 @@ def bench_tx_engine(
         "steps_maj": lambda mig: optimize_steps(mig, Realization.MAJ, effort),
     }
     corpus = list(names) if names else large_names()
+    bench_start = time.perf_counter()
     entry: Dict[str, object] = {
         "kind": "tx-engine",
         "benchmarks": len(corpus),
@@ -250,6 +260,7 @@ def bench_tx_engine(
                 recorded / timings["tx"], 2
             )
         entry["flows"][label] = flow_entry  # type: ignore[index]
+    entry["seconds"] = round(time.perf_counter() - bench_start, 3)
     return entry
 
 
@@ -351,6 +362,7 @@ def bench_scale(
             )
             opt_seconds = time.perf_counter() - opt_start
             after = view.costs(realization)
+            counters = view.counters.as_dict()
             cell[realization.value] = {
                 "rrams_before": before.rrams,
                 "steps_before": before.steps,
@@ -358,6 +370,19 @@ def bench_scale(
                 "steps": after.steps,
                 "depth": after.depth,
                 "optimize_seconds": round(opt_seconds, 3),
+                # The batching win must show in the perf trajectory,
+                # not just wall time (see docs/PERFORMANCE.md).
+                "counters": {
+                    key: counters[key]
+                    for key in (
+                        "moves_tried",
+                        "predicted_skips",
+                        "batch_score_calls",
+                        "batch_candidates_scored",
+                        "batch_group_calls",
+                        "batch_strash_probes",
+                    )
+                },
             }
             total_seconds += opt_seconds
         total_seconds += build_seconds
@@ -365,6 +390,86 @@ def bench_scale(
         _observe_flow_seconds(build_seconds)
     return {
         "kind": "scale",
+        "seconds": round(total_seconds, 3),
+        "benchmarks": benchmarks,
+        **_entry_common(effort),
+    }
+
+
+def bench_batch_engine(
+    names: Optional[Sequence[str]] = None, *, effort: int = 1
+) -> Dict[str, object]:
+    """Measure the batched trial-evaluation speedup on the scale tier.
+
+    For each scale benchmark (default: ``wallace128``, the ≥100k-gate
+    datapoint) and each realization, runs the Ω.I inverter-propagation
+    flow once with the batch kernels disabled and once enabled
+    (:class:`repro.mig.batch.batch_evaluation`), requiring bit-identical
+    result graphs and identical non-batch CostView counters, and
+    records both wall-clocks plus the ratio.  One bench entry.
+    """
+    from ..benchmarks.scale import load_scale_mig
+    from ..mig import CostView, Realization, batch_evaluation
+    from ..mig.algorithms import inverter_propagation_pass
+    from ..mig.costview import CostViewCounters
+
+    corpus = list(names) if names else ["wallace128"]
+    benchmarks: Dict[str, object] = {}
+    total_seconds = 0.0
+    for name in corpus:
+        base = load_scale_mig(name)
+        cell: Dict[str, object] = {"gates": base.num_gates()}
+        for realization in (Realization.IMP, Realization.MAJ):
+            timings: Dict[str, float] = {}
+            graphs: Dict[str, List] = {}
+            counters: Dict[str, Dict[str, int]] = {}
+            for label, enabled in (("scalar", False), ("batch", True)):
+                mig = base.clone()
+                view = CostView(mig)
+                with batch_evaluation(enabled):
+                    start = time.perf_counter()
+                    inverter_propagation_pass(
+                        mig,
+                        realization,
+                        max_rounds=max(1, effort),
+                        view=view,
+                    )
+                    timings[label] = time.perf_counter() - start
+                graphs[label] = [
+                    mig.children(node) for node in mig.reachable_nodes()
+                ]
+                counters[label] = view.counters.as_dict()
+            if graphs["scalar"] != graphs["batch"]:
+                raise AssertionError(
+                    f"{name}/{realization.value}: batch and scalar "
+                    "optimizer runs diverge"
+                )
+            batch_only = set(CostViewCounters.BATCH_ONLY)
+            for key, value in counters["scalar"].items():
+                if key not in batch_only and counters["batch"][key] != value:
+                    raise AssertionError(
+                        f"{name}/{realization.value}: counter {key} "
+                        f"diverges ({value} scalar vs "
+                        f"{counters['batch'][key]} batch)"
+                    )
+            total_seconds += timings["scalar"] + timings["batch"]
+            cell[realization.value] = {
+                "scalar_seconds": round(timings["scalar"], 4),
+                "batch_seconds": round(timings["batch"], 4),
+                "speedup": round(
+                    timings["scalar"] / timings["batch"], 2
+                )
+                if timings["batch"] > 0
+                else 0.0,
+                "batch_score_calls": counters["batch"]["batch_score_calls"],
+                "batch_candidates_scored": counters["batch"][
+                    "batch_candidates_scored"
+                ],
+            }
+            _observe_flow_seconds(timings["batch"])
+        benchmarks[name] = cell
+    return {
+        "kind": "batch-engine",
         "seconds": round(total_seconds, 3),
         "benchmarks": benchmarks,
         **_entry_common(effort),

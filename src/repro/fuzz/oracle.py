@@ -25,12 +25,18 @@ For one generated circuit the oracle asserts, in order:
    the small fuzz circuits actually exercise them), must produce
    bit-identical graphs and identical Table I costs (the
    ``REPRO_GRAPH`` migration oracle).
-6. **Compile cost triangle** — for both realizations, the analytic
+6. **Batch differential** — every batch-reachable optimizer flow run
+   twice on slab clones, once with batched trial evaluation
+   force-enabled (``REPRO_BATCH_MIN_NODES=0`` so the small fuzz
+   circuits actually take the vectorized scoring paths) and once with
+   it disabled, must produce bit-identical graphs and identical
+   Table I costs (the ``REPRO_BATCH`` oracle).
+7. **Compile cost triangle** — for both realizations, the analytic
    ``S = K_S·D + L`` equals the CostView's incremental answer equals
    the compiler's measured step count, and the compiled program
    replayed on the device-level array simulator matches the MIG.
-7. **PLiM backend** — the serial RM3 stream computes the same function.
-8. **Crossbar mapping** — both realizations placed onto an auto-fitted
+8. **PLiM backend** — the serial RM3 stream computes the same function.
+9. **Crossbar mapping** — both realizations placed onto an auto-fitted
    W×H array and rescheduled into row-parallel steps must stay within
    the sequential step count, survive the full legality audit, and be
    bit-identical to the sequential program over the whole assignment
@@ -94,6 +100,7 @@ CHECKS: Tuple[str, ...] = (
     "costview-diff",
     "tx-diff",
     "graph-diff",
+    "batch-diff",
     "compile-imp",
     "compile-maj",
     "plim-exec",
@@ -372,6 +379,84 @@ def _check_graph_differential(
     return None
 
 
+#: Flows whose optimizers consult the batch layer (inverter
+#: propagation, complemented-level clearing, annealing's census init).
+#: ``flow-area``/``flow-depth``/``flow-rewrite`` never reach batched
+#: code — cut_rewrite is excluded by design — so running them under
+#: the batch differential would compare two identical scalar runs and
+#: only burn fuzz budget.
+_BATCH_FLOWS: Tuple[str, ...] = ("flow-rram", "flow-steps", "flow-anneal")
+
+
+def _check_batch_differential(
+    netlist: Netlist, effort: int
+) -> Optional[OracleFailure]:
+    """Batched vs scalar trial evaluation must be bit-identical.
+
+    Every batch-reachable optimizer flow (``_BATCH_FLOWS``) runs twice
+    on identical slab clones — once with the batched candidate scorer
+    force-enabled (the cutover ``REPRO_BATCH_MIN_NODES`` dropped to 0
+    so the fuzz corpus, far below the production 4096-node threshold,
+    actually exercises the vectorized paths) and once with batching
+    disabled — and the resulting graphs must be *structurally* equal
+    with identical Table I costs.  This is the acceptance-order
+    contract of the batch layer checked on adversarial inputs instead
+    of the benchmark set.
+    """
+    import os
+
+    from ..mig import batch_evaluation
+
+    with graph_engine("slab"):
+        base = mig_from_netlist(netlist)
+    saved = os.environ.get("REPRO_BATCH_MIN_NODES")
+    os.environ["REPRO_BATCH_MIN_NODES"] = "0"
+    try:
+        for name, runner in _FLOWS:
+            if name not in _BATCH_FLOWS:
+                continue
+            scalar_mig = base.clone()
+            batch_mig = base.clone()
+            with batch_evaluation(False):
+                runner(scalar_mig, effort)
+            with batch_evaluation(True):
+                runner(batch_mig, effort)
+            if (
+                scalar_mig._children != batch_mig._children
+                or scalar_mig._pos != batch_mig._pos
+            ):
+                return OracleFailure(
+                    "batch-diff",
+                    f"flow {name}: scalar and batched evaluation produced "
+                    f"structurally different graphs "
+                    f"({scalar_mig.num_gates()} vs "
+                    f"{batch_mig.num_gates()} gates)",
+                )
+            batch_mig.check_invariants()
+            for realization in (Realization.IMP, Realization.MAJ):
+                scalar_costs = rram_costs(scalar_mig, realization)
+                batch_costs = rram_costs(batch_mig, realization)
+                if scalar_costs != batch_costs:
+                    return OracleFailure(
+                        "batch-diff",
+                        f"flow {name}: {realization.value} costs diverge "
+                        f"{scalar_costs.as_row()} (scalar) vs "
+                        f"{batch_costs.as_row()} (batched)",
+                    )
+            if not mig_matches_netlist(batch_mig, netlist):
+                return OracleFailure(
+                    "batch-diff",
+                    f"flow {name} under batched evaluation broke the "
+                    f"function",
+                )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_BATCH_MIN_NODES", None)
+        else:
+            os.environ["REPRO_BATCH_MIN_NODES"] = saved
+    return None
+
+
 def _check_compile(
     base: Mig, netlist: Netlist, realization: Realization, effort: int
 ) -> Optional[OracleFailure]:
@@ -540,6 +625,14 @@ def check_case(
         failure = _guarded(
             "graph-diff",
             lambda: _check_graph_differential(netlist, effort),
+        )
+        if failure is not None:
+            return failure
+
+    if on("batch-diff"):
+        failure = _guarded(
+            "batch-diff",
+            lambda: _check_batch_differential(netlist, effort),
         )
         if failure is not None:
             return failure

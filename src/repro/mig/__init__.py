@@ -17,6 +17,7 @@ from .graph import (
     transaction_engine,
     transactions_enabled,
 )
+from .batch import batch_enabled, batch_evaluation, batch_min_nodes
 from .slab import SlabMig
 from .views import (
     LevelStats,
@@ -73,6 +74,9 @@ __all__ = [
     "graph_engine_name",
     "transaction_engine",
     "transactions_enabled",
+    "batch_enabled",
+    "batch_evaluation",
+    "batch_min_nodes",
     "CostView",
     "CostViewCounters",
     "LevelStats",

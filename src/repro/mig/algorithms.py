@@ -21,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..telemetry import active_trajectory, span, traced
+from .batch import batch_enabled, batch_min_nodes
 from .costview import CostView
 from .graph import (
     Mig,
@@ -231,6 +234,13 @@ def push_up(
 # Inverter propagation pass (Sec. III-C3 / III-D)
 # ----------------------------------------------------------------------
 
+#: Batched-score rebuilds per inverter-propagation round before the
+#: round falls back to scalar scoring.  Every accepted flip invalidates
+#: the batch (the score arrays price moves against the pre-flip
+#: histogram), so a round with many accepts would otherwise re-kernel
+#: per accept; past this cap the scalar loop is cheaper.
+_BATCH_CASE_REBUILDS = 32
+
 
 def _apply_flip_tracked(
     mig: Mig, node: int, levels: Dict[int, int]
@@ -303,43 +313,133 @@ def inverter_propagation_pass(
                 best = max(best, k_r * n_per_level[level] + c_levels[level])
             return best
 
-        changed = False
-        for node in _reachable_of(mig, view):
-            if not mig.is_gate(node):
-                continue
-            case = inverter_propagation_case(mig, node)
-            if cases is not None and (case is None or case not in cases):
-                continue
-            level = levels.get(node)
-            if level is None or level >= len(c_per_level):
-                continue
-            # Predict the new complement counts after flipping `node`.
+        def predict_one(node: int, level: int):
+            """Scalar per-move prediction (shared by both paths): the
+            post-flip complement histogram ``(new_c, new_po_c)``, or
+            None when an attached parent is untracked (dead) or out of
+            range — the move is unscorable and is skipped."""
             new_c = list(c_per_level)
             new_po_c = po_complements
             children = mig.children(node)
             non_const = [s for s in children if signal_node(s) != 0]
             old_cin = sum(1 for s in non_const if signal_is_complemented(s))
             new_c[level] += (len(non_const) - old_cin) - old_cin
-            ok = True
             for parent in mig.fanout_counts(node):
                 parent_level = levels.get(parent)
                 if parent_level is None or parent_level >= len(new_c):
-                    ok = False
-                    break
+                    return None
                 for s in mig.children(parent):
                     if signal_node(s) != node:
                         continue
                     new_c[parent_level] += -1 if signal_is_complemented(s) else 1
-            if not ok:
-                continue
             for po_index in mig.po_refs(node):
                 po = mig.pos[po_index]
                 new_po_c += -1 if signal_is_complemented(po) else 1
+            return new_c, new_po_c
 
+        # Batched trial evaluation (repro.mig.batch): classify and
+        # price every candidate in one numpy pass against the slab
+        # arrays, then walk the same node order consuming precomputed
+        # verdicts.  Accepted flips invalidate the batch (the scores
+        # price moves against the pre-flip histogram), so the arrays
+        # rebuild on generation drift — bounded per round by
+        # ``_BATCH_CASE_REBUILDS`` before falling back to scalar.
+        case_kernel = (
+            getattr(mig, "slab_invprop_case_array", None)
+            if view is not None and batch_enabled()
+            else None
+        )
+        kernel_on = case_kernel is not None
+        case_arr = score_ok = score_cost = score_own = None
+        case_gen = -1
+        rebuilds = 0
+
+        changed = False
+        for node in _reachable_of(mig, view):
+            if not mig.is_gate(node):
+                continue
+            if kernel_on and case_gen != mig._generation:
+                rebuilds += 1
+                if rebuilds > _BATCH_CASE_REBUILDS:
+                    kernel_on = False
+                else:
+                    with span(
+                        "opt.batch_score", pass_name="inverter_propagation"
+                    ):
+                        arr = case_kernel(batch_min_nodes())
+                    if arr is None:
+                        kernel_on = False
+                    else:
+                        case_gen = mig._generation
+                        count = len(levels)
+                        ids = np.fromiter(
+                            levels.keys(), dtype=np.int64, count=count
+                        )
+                        lvls = np.fromiter(
+                            levels.values(), dtype=np.int64, count=count
+                        )
+                        # Candidate superset: tracked gates the scalar
+                        # loop could query (stale entries for detached
+                        # nodes are harmless — never looked up).
+                        keep = (
+                            (lvls > 0)
+                            & (lvls < len(c_per_level))
+                            & (ids < len(arr))
+                        )
+                        cand = ids[keep]
+                        if cases is not None:
+                            cand = cand[np.isin(arr[cand], list(cases))]
+                        view.counters.batch_score_calls += 1
+                        view.counters.batch_candidates_scored += len(cand)
+                        # Python lists beat per-element numpy indexing
+                        # in the scalar walk below by ~5×.
+                        case_arr = arr.tolist()
+                        if len(cand):
+                            with span(
+                                "opt.batch_score", pass_name="invprop_scores"
+                            ):
+                                scores = mig.slab_invprop_scores(
+                                    cand,
+                                    levels,
+                                    n_per_level,
+                                    c_per_level,
+                                    po_complements,
+                                    k_r,
+                                    steps_weight,
+                                    rram_weight,
+                                )
+                            score_ok = scores["ok"].tolist()
+                            score_cost = scores["cost"].tolist()
+                            score_own = scores["c_own"].tolist()
+                        else:
+                            # Nothing passes the case filter, so the
+                            # score rows are never read.
+                            score_ok = score_cost = score_own = ()
+            if kernel_on:
+                case = case_arr[node] or None
+            else:
+                case = inverter_propagation_case(mig, node)
+            if cases is not None and (case is None or case not in cases):
+                continue
+            level = levels.get(node)
+            if level is None or level >= len(c_per_level):
+                continue
+            # Predict the new complement counts after flipping `node`.
+            predicted = None
+            if kernel_on:
+                if not score_ok[node]:
+                    continue
+                new_cost = score_cost[node]
+                c_own = score_own[node]
+            else:
+                predicted = predict_one(node, level)
+                if predicted is None:
+                    continue
+                new_cost = steps_weight * total_l(predicted[0], predicted[1])
+                new_cost += rram_weight * total_r(predicted[0])
+                c_own = predicted[0][level]
             old_cost = steps_weight * total_l(c_per_level, po_complements)
             old_cost += rram_weight * total_r(c_per_level)
-            new_cost = steps_weight * total_l(new_c, new_po_c)
-            new_cost += rram_weight * total_r(new_c)
             if view is not None:
                 view.counters.moves_tried += 1
             if new_cost > old_cost:
@@ -349,8 +449,15 @@ def inverter_propagation_pass(
                 # 1/2 shrink the current level's complement population),
                 # which is what creates follow-up opportunities
                 # (Sec. III-D); refuse neutral case-3 churn.
-                if case == 3 or case is None or new_c[level] >= c_per_level[level]:
+                if case == 3 or case is None or c_own >= c_per_level[level]:
                     continue
+            if predicted is None:
+                # Batch path: materialize the exact histogram only for
+                # the accepted move (bookkeeping below needs it).
+                predicted = predict_one(node, level)
+                if predicted is None:
+                    continue
+            new_c, new_po_c = predicted
             outcome = _apply_flip_tracked(mig, node, levels)
             if outcome is None:
                 continue
@@ -431,6 +538,48 @@ def _try_clear_level(mig: Mig, level: int, levels: Dict[int, int]) -> bool:
     return True
 
 
+def _batch_collision_cache(
+    mig: Mig,
+    view: CostView,
+    remaining: Sequence[Tuple[int, int]],
+    node_level_map: Dict[int, int],
+) -> Dict[Tuple[int, ...], bool]:
+    """Strash-collision verdicts for every remaining level candidate.
+
+    Recomputes each candidate's flip plan exactly as the main loop
+    will (PO level inline, gate levels via :func:`_level_clear_plan`)
+    and probes the whole batch in one vectorized strash pass
+    (:meth:`CostView.batch_probe_flip_groups`).  Sound only at the
+    round's compaction fixpoint, where the graph content — and hence
+    every plan and every probe verdict — is invariant across rejected
+    trials; an accepted candidate breaks the loop, so stale verdicts
+    are never consumed.
+    """
+    plans: List[List[int]] = []
+    for _count, level in remaining:
+        if level == -1:
+            flips: List[int] = []
+            feasible = True
+            for po in mig.pos:
+                if signal_is_complemented(po) and signal_node(po) != 0:
+                    driver = signal_node(po)
+                    if not mig.is_gate(driver):
+                        feasible = False
+                        break
+                    flips.append(driver)
+            if not feasible or not flips:
+                continue
+            flips = list(dict.fromkeys(flips))
+        else:
+            plan = _level_clear_plan(mig, level, node_level_map)
+            if plan is None:
+                continue
+            flips = plan[0] + plan[1]
+        plans.append(flips)
+    with span("opt.batch_score", pass_name="clear_levels_probe"):
+        return view.batch_probe_flip_groups(plans)
+
+
 @traced("pass.clear_complemented_levels")
 def clear_complemented_levels(
     mig: Mig,
@@ -493,7 +642,26 @@ def clear_complemented_levels(
                 mig.compact()
                 at_fixpoint = True
 
-        for _count, level in candidates:
+        # Batched strash probing: once the round hits its compaction
+        # fixpoint the graph content is pinned across rejected trials,
+        # so the collision pre-check inside ``predict_flip_group`` can
+        # be hoisted out and vectorized over all remaining candidates.
+        collision_cache: Optional[Dict[Tuple[int, ...], bool]] = None
+        batch_probes = (
+            view is not None
+            and batch_enabled()
+            and stats.size >= batch_min_nodes()
+        )
+        for cand_index, (_count, level) in enumerate(candidates):
+            if (
+                batch_probes
+                and at_fixpoint
+                and collision_cache is None
+                and len(candidates) - cand_index >= 2
+            ):
+                collision_cache = _batch_collision_cache(
+                    mig, view, candidates[cand_index:], node_level_map
+                )
             # Cheap structural feasibility check before paying for the
             # snapshot clone (and the exact flip plan for prediction).
             if level == -1:
@@ -519,7 +687,14 @@ def clear_complemented_levels(
                 flips = plan[0] + plan[1]
             if view is not None:
                 view.counters.moves_tried += 1
-                predicted = view.predict_flip_group(flips, realization)
+                collides = (
+                    collision_cache.get(tuple(flips))
+                    if collision_cache is not None
+                    else None
+                )
+                predicted = view.predict_flip_group(
+                    flips, realization, collides=collides
+                )
                 if predicted is not None:
                     if predicted < before:
                         for node in flips:

@@ -26,7 +26,10 @@ import math
 import random
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..telemetry import active_trajectory, metrics, span
+from .batch import batch_enabled
 from .graph import (
     Mig,
     signal_is_complemented,
@@ -82,10 +85,26 @@ class _ComplementModel:
             )
         self.flips: Dict[int, bool] = {node: False for node in self.nodes}
         self.c_per_level = [0] * (self.po_level + 1)
-        for node in self.nodes:
-            for edge in self.in_edges.get(node, []):
-                if self._edge_complement(node, edge):
-                    self.c_per_level[edge[1]] += 1
+        # With no flips set, the initial histogram is just "complemented
+        # non-const in-edges per parent level" — the slab engine has
+        # those as arrays (one bincount instead of an O(E) dict walk).
+        arrays = (
+            mig.slab_cost_arrays()
+            if batch_enabled() and hasattr(mig, "slab_cost_arrays")
+            else None
+        )
+        if arrays is not None:
+            counts = np.bincount(
+                arrays["levels"],
+                weights=arrays["comp"],
+                minlength=self.po_level + 1,
+            )
+            self.c_per_level = counts.astype(np.int64).tolist()
+        else:
+            for node in self.nodes:
+                for edge in self.in_edges.get(node, []):
+                    if self._edge_complement(node, edge):
+                        self.c_per_level[edge[1]] += 1
         for po in mig.pos:
             driver = signal_node(po)
             if driver != 0 and signal_is_complemented(po):

@@ -1,0 +1,93 @@
+"""Batched trial-evaluation switch for the Ω-rule optimizers.
+
+PR 8 made the slab engine the default and vectorized the bulk *queries*
+(level stats, CostView rebuilds, clone); the optimizer inner loops still
+classified and priced candidate moves one node at a time.  This module
+is the process-wide switch for the *batched* trial-evaluation layer that
+prices whole candidate sets against the slab arrays before any graph
+mutation:
+
+* :meth:`repro.mig.slab.SlabMig.slab_invprop_case_array` classifies
+  every gate for the Ω.I cases of paper Sec. III-C3 in one vector pass
+  (replacing per-node ``inverter_propagation_case`` fanout scans);
+* :meth:`repro.mig.costview.CostView.predict_flip_groups` scores a
+  whole list of flip-group plans under one synchronization, with the
+  strash collision pre-checks probed as one vectorized batch
+  (:meth:`repro.mig.slab.SlabMig.strash_probe_batch`);
+* :func:`repro.mig.algorithms.inverter_propagation_pass` and the
+  fixpoint phase of ``clear_complemented_levels`` consume both.
+
+The batch path is **bit-identical by construction** to the scalar path:
+candidates are visited in the same order, the same counters increment
+at the same points, and every batched quantity equals its scalar
+counterpart exactly (pinned by ``tests/test_mig_batch.py`` and the fuzz
+oracle's ``batch-diff`` differential).  ``REPRO_BATCH=0`` disables the
+layer process-wide; :class:`batch_evaluation` overrides it for one
+in-process block (mirroring ``transaction_engine``/``graph_engine``).
+
+The kernels only engage above :func:`batch_min_nodes` live nodes
+(default 4096, same rationale as ``SlabMig.KERNEL_MIN_NODES``: fixed
+numpy overhead loses on MCNC-scale graphs).  ``REPRO_BATCH_MIN_NODES``
+lowers the cutover so CI byte-diffs and the fuzz differential exercise
+the batch path on small circuits where it would otherwise be vacuous.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Default live-node cutover below which the batch kernels stay off.
+DEFAULT_BATCH_MIN_NODES = 4096
+
+_BATCH_OVERRIDE: Optional[bool] = None
+
+
+def batch_enabled() -> bool:
+    """True when optimizers should use the batched trial-evaluation
+    kernels (the paths are bit-identical; see ``REPRO_BATCH`` and
+    :class:`batch_evaluation`).  The environment is read lazily so
+    worker processes and tests see the ambient value."""
+    if _BATCH_OVERRIDE is not None:
+        return _BATCH_OVERRIDE
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def batch_min_nodes() -> int:
+    """Live-node count above which the batch kernels engage.
+
+    ``REPRO_BATCH_MIN_NODES`` overrides the default (0 forces the batch
+    path on any graph — used by CI byte-diffs and the fuzz oracle's
+    ``batch-diff`` check so small corpora actually exercise it)."""
+    raw = os.environ.get("REPRO_BATCH_MIN_NODES")
+    if raw is None:
+        return DEFAULT_BATCH_MIN_NODES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_BATCH_MIN_NODES
+
+
+class batch_evaluation:
+    """Context manager forcing the batch-evaluation choice for a block.
+
+    ``with batch_evaluation(False): ...`` runs the wrapped optimizer
+    calls on the scalar inner loops regardless of ``REPRO_BATCH``;
+    ``batch_evaluation(True)`` forces the batched kernels.  Nested uses
+    restore the previous override on exit.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+        self._prev: Optional[bool] = None
+
+    def __enter__(self) -> "batch_evaluation":
+        global _BATCH_OVERRIDE
+        self._prev = _BATCH_OVERRIDE
+        _BATCH_OVERRIDE = self._enabled
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        global _BATCH_OVERRIDE
+        _BATCH_OVERRIDE = self._prev
+        return False

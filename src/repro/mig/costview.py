@@ -59,6 +59,23 @@ class CostViewCounters:
     moves_tried: int = 0
     moves_accepted: int = 0
     predicted_skips: int = 0
+    # Batched trial evaluation (repro.mig.batch).  Always present —
+    # zero when the batch path is off — and *excluded* from batch-vs-
+    # scalar bit-identity comparisons (they count kernel invocations,
+    # which only exist on the batch path).
+    batch_score_calls: int = 0
+    batch_candidates_scored: int = 0
+    batch_group_calls: int = 0
+    batch_strash_probes: int = 0
+
+    #: Counter names that only accrue on the batch path (everything
+    #: else must match bit-for-bit between REPRO_BATCH=0 and 1).
+    BATCH_ONLY = (
+        "batch_score_calls",
+        "batch_candidates_scored",
+        "batch_group_calls",
+        "batch_strash_probes",
+    )
 
     def merge(self, other: "CostViewCounters") -> None:
         self.full_recomputes += other.full_recomputes
@@ -68,6 +85,10 @@ class CostViewCounters:
         self.moves_tried += other.moves_tried
         self.moves_accepted += other.moves_accepted
         self.predicted_skips += other.predicted_skips
+        self.batch_score_calls += other.batch_score_calls
+        self.batch_candidates_scored += other.batch_candidates_scored
+        self.batch_group_calls += other.batch_group_calls
+        self.batch_strash_probes += other.batch_strash_probes
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -78,6 +99,10 @@ class CostViewCounters:
             "moves_tried": self.moves_tried,
             "moves_accepted": self.moves_accepted,
             "predicted_skips": self.predicted_skips,
+            "batch_score_calls": self.batch_score_calls,
+            "batch_candidates_scored": self.batch_candidates_scored,
+            "batch_group_calls": self.batch_group_calls,
+            "batch_strash_probes": self.batch_strash_probes,
         }
 
 
@@ -544,7 +569,11 @@ class CostView:
     # ------------------------------------------------------------------
 
     def predict_flip_group(
-        self, flips: Sequence[int], realization: Realization
+        self,
+        flips: Sequence[int],
+        realization: Realization,
+        *,
+        collides: Optional[bool] = None,
     ) -> Optional[Tuple[int, int]]:
         """Exact ``(S, R)`` after Ω.I-flipping every gate in ``flips``.
 
@@ -554,27 +583,39 @@ class CostView:
         collision check is conservative (order-aware over the planned
         sequence): when a collision is possible this returns ``None``
         and the caller must fall back to apply-and-measure.
+
+        ``collides`` injects a precomputed verdict for that check (from
+        :meth:`batch_probe_flip_groups`): ``True`` short-circuits to
+        ``None``, ``False`` skips the scalar probe loop, ``None`` (the
+        default) probes scalar-ly.  The injected verdict must have been
+        computed against the current graph content — callers batch it
+        only at the ``clear_complemented_levels`` fixpoint, where the
+        graph is invariant across rejected trials.
         """
         self._sync()
+        if collides:
+            return None
         mig = self.mig
         children_arr = mig._children
         strash = mig._strash
         levels = self._levels
         applied = [f for f in flips if children_arr[f] is not None]
-        done: set = set()
-        for node in applied:
-            triple = children_arr[node]
-            if not (
-                (triple[0] >> 1) in done  # type: ignore[index]
-                or (triple[1] >> 1) in done  # type: ignore[index]
-                or (triple[2] >> 1) in done  # type: ignore[index]
-            ):
-                # No earlier flip rewrote a child, so the negated triple
-                # is looked up verbatim — a hit means a possible merge.
-                negated = tuple(sorted(s ^ 1 for s in triple))  # type: ignore[union-attr]
-                if negated in strash:
-                    return None
-            done.add(node)
+        if collides is None:
+            done: set = set()
+            for node in applied:
+                triple = children_arr[node]
+                if not (
+                    (triple[0] >> 1) in done  # type: ignore[index]
+                    or (triple[1] >> 1) in done  # type: ignore[index]
+                    or (triple[2] >> 1) in done  # type: ignore[index]
+                ):
+                    # No earlier flip rewrote a child, so the negated
+                    # triple is looked up verbatim — a hit means a
+                    # possible merge.
+                    negated = tuple(sorted(s ^ 1 for s in triple))  # type: ignore[union-attr]
+                    if negated in strash:
+                        return None
+                done.add(node)
         flip_set = set(applied)
         c_delta: Dict[int, int] = {}
         po_delta = 0
@@ -627,6 +668,71 @@ class CostView:
             if value > best:
                 best = value
         return (steps, best)
+
+    #: Probe-count threshold below which :meth:`batch_probe_flip_groups`
+    #: stays on scalar dict lookups (numpy call overhead loses).
+    BATCH_PROBE_MIN = 8
+
+    def batch_probe_flip_groups(
+        self, plans: Sequence[Sequence[int]]
+    ) -> Dict[Tuple[int, ...], bool]:
+        """Strash-collision verdicts for a batch of flip-group plans.
+
+        For each plan this replays :meth:`predict_flip_group`'s
+        order-aware collision pre-check (probe the negated triple of
+        every flip whose children no earlier flip rewrote) and returns
+        ``{tuple(plan): would_collide}``.  The probes are vectorized
+        against the slab-side packed strash table
+        (:meth:`repro.mig.slab.SlabMig.strash_probe_batch`) when the
+        batch is large enough; otherwise they stay scalar dict lookups.
+
+        The method is *pure* with respect to view state — it reads the
+        graph's children/strash directly and never synchronizes — so it
+        leaves the scalar counter stream untouched.  Verdicts are only
+        valid while the graph content is unchanged (the
+        ``clear_complemented_levels`` fixpoint guarantees this across
+        rejected trials).
+        """
+        self.counters.batch_group_calls += 1
+        self.counters.batch_candidates_scored += len(plans)
+        mig = self.mig
+        children_arr = mig._children
+        strash = mig._strash
+        # Collect every probe triple, remembering which plan it belongs
+        # to; a plan collides iff any of its probes hits the strash.
+        probes: List[Tuple[int, int, int]] = []
+        probe_plan: List[int] = []
+        keys: List[Tuple[int, ...]] = []
+        for idx, flips in enumerate(plans):
+            keys.append(tuple(flips))
+            done: set = set()
+            for node in flips:
+                triple = children_arr[node]
+                if triple is None:
+                    continue
+                if not (
+                    (triple[0] >> 1) in done
+                    or (triple[1] >> 1) in done
+                    or (triple[2] >> 1) in done
+                ):
+                    negated = tuple(sorted(s ^ 1 for s in triple))
+                    probes.append(negated)  # type: ignore[arg-type]
+                    probe_plan.append(idx)
+                done.add(node)
+        self.counters.batch_strash_probes += len(probes)
+        verdicts = [False] * len(plans)
+        hits: Optional[Sequence[bool]] = None
+        probe_batch = getattr(mig, "strash_probe_batch", None)
+        if probe_batch is not None and len(probes) >= self.BATCH_PROBE_MIN:
+            result = probe_batch(np.asarray(probes, dtype=np.int64))
+            if result is not None:
+                hits = result.tolist()
+        if hits is None:
+            hits = [probe in strash for probe in probes]
+        for idx, hit in zip(probe_plan, hits):
+            if hit:
+                verdicts[idx] = True
+        return dict(zip(keys, verdicts))
 
     # ------------------------------------------------------------------
     # Profiling

@@ -352,6 +352,17 @@ class Mig:
             self._events_base += len(self._events)  # recompute downstream
             self._events.clear()
 
+    def _log_events_bulk(self, batch: List[tuple]) -> None:
+        """Append many events with one ``extend`` when the memory bound
+        allows; otherwise fall back to per-event :meth:`_log_event` so
+        the overflow (base jump + clear) fires at exactly the same
+        event as a sequential append would."""
+        if len(self._events) + len(batch) <= (1 << 20):
+            self._events.extend(batch)
+        else:
+            for event in batch:
+                self._log_event(event)
+
     @property
     def num_nodes_allocated(self) -> int:
         """Total node slots ever allocated (including dead nodes)."""
@@ -959,7 +970,12 @@ class Mig:
         strash = self._strash
         track = self._track_events
         replayed = 0
-        for i in range(len(undo) - 1, mark - 1, -1):
+        # Inverse events are buffered and flushed with one extend (same
+        # order, same overflow point — see _log_events_bulk); runs of
+        # consecutive allocation records pop the tail with one truncate.
+        pending: List[tuple] = []
+        i = len(undo) - 1
+        while i >= mark:
             record = undo[i]
             kind = record[0]
             if kind == "a":
@@ -976,7 +992,7 @@ class Mig:
                     if not counts[node]:
                         del counts[node]
                 if track:
-                    self._log_event((EVENT_DETACH, node, triple))
+                    pending.append((EVENT_DETACH, node, triple))
             elif kind == "d":
                 _kind, node, triple, owned = record
                 children_arr[node] = triple
@@ -986,21 +1002,36 @@ class Mig:
                     counts = fanout[s >> 1]
                     counts[node] = counts.get(node, 0) + 1
                 if track:
-                    self._log_event((EVENT_ATTACH, node, triple))
+                    pending.append((EVENT_ATTACH, node, triple))
             elif kind == "n":
-                node = record[1]
-                if node != len(children_arr) - 1 or children_arr[node] is not None:
-                    raise MigError("undo journal corrupt: bad node pop")
-                children_arr.pop()
-                self._is_pi.pop()
-                fanout.pop()
+                # Allocations journal in ascending node order, so a
+                # reverse-replay run of "n" records pops a contiguous
+                # tail — validate the whole run, then truncate once.
+                top = len(children_arr) - 1
+                run = 0
+                while i - run >= mark and undo[i - run][0] == "n":
+                    node = undo[i - run][1]
+                    if node != top - run or children_arr[node] is not None:
+                        raise MigError("undo journal corrupt: bad node pop")
+                    run += 1
+                del children_arr[top - run + 1 :]
+                del self._is_pi[top - run + 1 :]
+                del fanout[top - run + 1 :]
+                replayed += run
+                i -= run
+                continue
             elif kind == "p":
                 _kind, index, old = record
                 current = self._pos[index]
                 self._pos[index] = old
                 if track and current != old:
-                    self._log_event((EVENT_PO, index, current, old))
+                    pending.append((EVENT_PO, index, current, old))
             else:  # "w" — wholesale array swap (copy_from/compact)
+                # Flush buffered events first: the base jump below
+                # depends on the live event count.
+                if pending:
+                    self._log_events_bulk(pending)
+                    pending = []
                 (
                     self._children,
                     self._is_pi,
@@ -1019,6 +1050,9 @@ class Mig:
                 self._events_base += len(self._events) + 1
                 self._events.clear()
             replayed += 1
+            i -= 1
+        if pending:
+            self._log_events_bulk(pending)
         del undo[mark:]
         self.tx_rollbacks += 1
         self.tx_undo_replayed += replayed

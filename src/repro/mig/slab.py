@@ -54,6 +54,10 @@ class SlabMig(Mig):
     #: Smallest slab allocation, in rows.
     MIN_CAPACITY = 1024
 
+    #: Signal-id bit width of the packed strash probe table; ids at or
+    #: above ``1 << _STRASH_PACK_BITS`` fall back to scalar dict probes.
+    _STRASH_PACK_BITS = 21
+
     def __init__(self, name: str = "mig") -> None:
         super().__init__(name)
         self._slab: Optional[np.ndarray] = None
@@ -61,6 +65,9 @@ class SlabMig(Mig):
         self._slab_len = 0  # rows valid as of the last sync
         self._slab_dirty: List[int] = []
         self._slab_full = True  # next sync must rebuild from scratch
+        # Packed strash-key table for batched probing (per generation).
+        self._strash_table: Optional[np.ndarray] = None
+        self._strash_table_gen = -1
 
     # ------------------------------------------------------------------
     # Dirty tracking (mutation side)
@@ -249,6 +256,229 @@ class SlabMig(Mig):
             "lvl_list": lvl_list,
             "refs": refs,
         }
+
+    # ------------------------------------------------------------------
+    # Batched trial evaluation (see repro.mig.batch)
+    # ------------------------------------------------------------------
+
+    def slab_invprop_case_array(self, min_nodes: int) -> Optional[np.ndarray]:
+        """Ω.I case per node id in one vector pass, or None below the
+        cutover.
+
+        ``result[node]`` equals ``inverter_propagation_case(mig, node)``
+        for every gate (0 encodes None); non-gate rows are zero and must
+        be filtered by the caller's ``is_gate`` check, exactly like the
+        scalar classifier's guard.  Matches the scalar semantics
+        including the dead-but-attached subtlety: ``fanout_all_
+        complemented`` counts *attached* references (slot-level
+        multiplicity, live or dead) plus PO refs, which is exactly the
+        slot population of the non-zero slab rows.
+        """
+        order = self._reachable_cached()
+        if len(order) < min_nodes:
+            return None
+        self._sync_slab()
+        n = len(self._children)
+        signals = self._slab[:n]
+        child = signals >> 1
+        comp = signals & 1
+        cin = ((comp != 0) & (child != 0)).sum(axis=1)
+        # Reference polarity census.  Zero rows (PIs/constants/dead)
+        # only contribute to index 0, which is never a gate.
+        flat_child = child.ravel()
+        total = np.bincount(flat_child, minlength=n)
+        plain = np.bincount(flat_child[comp.ravel() == 0], minlength=n)
+        for po in self._pos:
+            total[po >> 1] += 1
+            if not po & 1:
+                plain[po >> 1] += 1
+        all_comp = (total > 0) & (plain == 0)
+        case = np.zeros(n, dtype=np.int8)
+        case[cin == 3] = 1
+        two = cin == 2
+        case[two & all_comp] = 2
+        case[two & ~all_comp] = 3
+        return case
+
+    def slab_invprop_scores(
+        self,
+        candidates: np.ndarray,
+        levels: Dict[int, int],
+        n_per_level: List[int],
+        c_per_level: List[int],
+        po_complements: int,
+        k_r: int,
+        steps_weight: int,
+        rram_weight: int,
+        chunk_rows: int = 256,
+    ) -> Dict[str, np.ndarray]:
+        """Price an entire Ω.I candidate batch against the slab arrays.
+
+        For every node id in ``candidates`` this computes, without
+        touching the graph, exactly what the scalar inner loop of
+        ``inverter_propagation_pass`` derives per move: the post-flip
+        complement histogram (own-level in-edge delta plus the fanout
+        and PO edge toggles), the weighted cost ``steps_weight·L +
+        rram_weight·R`` (R floored at the *old* PO complement count,
+        matching the scalar ``total_r``), the feasibility bit (every
+        attached parent live), and the tie-break quantity (the new
+        complement count at the candidate's own level).
+
+        ``levels``/``n_per_level``/``c_per_level``/``po_complements``
+        are the optimizer's *maintained* per-round state (not re-read
+        from any view, so attached-CostView counters stay bit-identical
+        to the scalar path).  Dense rows are materialized ``chunk_rows``
+        candidates at a time so memory stays bounded at
+        ``chunk_rows × (depth+1)`` regardless of graph size.
+
+        Returns full-length arrays indexed by node id: ``ok`` (bool),
+        ``cost`` (int64, valid where ok), ``c_own`` (int64, the
+        tie-break value).  Rows outside ``candidates`` are zero.
+        """
+        if len(candidates) == 0:
+            zeros = np.zeros(len(self._children), dtype=np.int64)
+            return {
+                "ok": np.zeros(len(self._children), dtype=bool),
+                "cost": zeros,
+                "c_own": zeros,
+            }
+        self._sync_slab()
+        n = len(self._children)
+        signals = self._slab[:n]
+        child = signals >> 1
+        comp = (signals & 1) & (child != 0)
+        nonconst = (child != 0).sum(axis=1)
+        d_own = nonconst - 2 * comp.sum(axis=1)
+
+        lvl_arr = np.zeros(n, dtype=np.int64)
+        live = np.zeros(n, dtype=bool)
+        if levels:
+            count = len(levels)
+            ids = np.fromiter(levels.keys(), dtype=np.int64, count=count)
+            vals = np.fromiter(levels.values(), dtype=np.int64, count=count)
+            keep = ids < n
+            ids = ids[keep]
+            vals = vals[keep]
+            lvl_arr[ids] = vals
+            live[ids] = vals > 0
+
+        # Flat (parent, child, sign) edge arrays over every attached
+        # slot; only attached rows have non-zero child slots.
+        flat_child = child.ravel()
+        edge_mask = flat_child != 0
+        e_par = np.repeat(np.arange(n, dtype=np.int64), 3)[edge_mask]
+        e_child = flat_child[edge_mask]
+        e_sign = 1 - 2 * (signals.ravel()[edge_mask] & 1)
+        # Feasibility: an edge from an attached-but-dead parent makes
+        # the flip unscorable (the scalar loop bails with ok=False).
+        par_live = live[e_par]
+        bad = np.bincount(e_child[~par_live], minlength=n)
+        ok = bad == 0
+
+        po_delta = np.zeros(n, dtype=np.int64)
+        for po in self._pos:
+            po_delta[po >> 1] += -1 if po & 1 else 1
+
+        cost = np.zeros(n, dtype=np.int64)
+        c_own = np.zeros(n, dtype=np.int64)
+        m = len(candidates)
+        if m == 0:
+            return {"ok": ok, "cost": cost, "c_own": c_own}
+        depth1 = len(c_per_level)
+        c_vec = np.asarray(c_per_level, dtype=np.int64)
+        n_vec = np.asarray(n_per_level, dtype=np.int64)
+        pos = np.full(n, -1, dtype=np.int64)
+        pos[candidates] = np.arange(m, dtype=np.int64)
+        # Out-edges into candidate nodes from live parents, ordered by
+        # candidate position so each chunk slices contiguously.
+        sel = par_live & (pos[e_child] >= 0)
+        ce_pos = pos[e_child[sel]]
+        ce_lvl = lvl_arr[e_par[sel]]
+        ce_sign = e_sign[sel]
+        order = np.argsort(ce_pos, kind="stable")
+        ce_pos = ce_pos[order]
+        ce_lvl = ce_lvl[order]
+        ce_sign = ce_sign[order]
+
+        for lo in range(0, m, chunk_rows):
+            hi = min(m, lo + chunk_rows)
+            rows = candidates[lo:hi]
+            k = hi - lo
+            newc = np.tile(c_vec, (k, 1))
+            ridx = np.arange(k)
+            own = lvl_arr[rows]
+            newc[ridx, own] += d_own[rows]
+            a = np.searchsorted(ce_pos, lo)
+            b = np.searchsorted(ce_pos, hi)
+            np.add.at(newc, (ce_pos[a:b] - lo, ce_lvl[a:b]), ce_sign[a:b])
+            new_po = po_complements + po_delta[rows]
+            body = newc[:, 1:]
+            total_l = (body > 0).sum(axis=1) + (new_po > 0)
+            if depth1 > 1:
+                total_r = np.maximum(
+                    po_complements, (k_r * n_vec[1:] + body).max(axis=1)
+                )
+            else:
+                total_r = np.full(k, po_complements, dtype=np.int64)
+            cost[rows] = steps_weight * total_l + rram_weight * total_r
+            c_own[rows] = newc[ridx, own]
+        return {"ok": ok, "cost": cost, "c_own": c_own}
+
+    def _strash_probe_table(self) -> Optional[np.ndarray]:
+        """Sorted packed strash keys for this generation, or None when
+        a signal id overflows the packing width."""
+        if self._strash_table_gen == self._generation:
+            return self._strash_table
+        self._strash_table_gen = self._generation
+        keys = self._strash
+        shift = self._STRASH_PACK_BITS
+        if not keys:
+            table: Optional[np.ndarray] = np.empty(0, dtype=np.int64)
+        else:
+            flat = np.fromiter(
+                chain.from_iterable(keys), dtype=np.int64, count=3 * len(keys)
+            ).reshape(-1, 3)
+            if int(flat.max()) >= 1 << shift:
+                table = None
+            else:
+                table = (
+                    (flat[:, 0] << (2 * shift))
+                    | (flat[:, 1] << shift)
+                    | flat[:, 2]
+                )
+                table.sort()
+        self._strash_table = table
+        return table
+
+    def strash_probe_batch(
+        self, triples: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorized ``tuple(row) in self._strash`` over a ``(P, 3)``
+        int64 array of sorted signal triples.
+
+        Returns a boolean hit mask, or None when the packed table
+        cannot represent the id space (the caller falls back to scalar
+        dict probes — identical results either way).
+        """
+        table = self._strash_probe_table()
+        if table is None:
+            return None
+        if triples.size == 0:
+            return np.zeros(0, dtype=bool)
+        shift = self._STRASH_PACK_BITS
+        if int(triples.max()) >= 1 << shift:
+            return None
+        packed = (
+            (triples[:, 0] << (2 * shift))
+            | (triples[:, 1] << shift)
+            | triples[:, 2]
+        )
+        if not table.size:
+            return np.zeros(len(packed), dtype=bool)
+        idx = np.minimum(
+            np.searchsorted(table, packed), table.size - 1
+        )
+        return table[idx] == packed
 
     # ------------------------------------------------------------------
     # Vectorized clone (compact() inherits it via copy_from(clone()))

@@ -38,9 +38,12 @@ from .registry import (
     use_registry,
 )
 from .report import (
+    BENCH_ENTRY_REQUIRED_KEYS,
+    load_bench_ledger,
     load_trace,
     render_profile,
     render_trace_report,
+    validate_bench_ledger,
     validate_trace,
 )
 from .schema import (
@@ -95,7 +98,10 @@ __all__ = [
     "current_tracer",
     "install_tracer",
     "isolated_registry",
+    "BENCH_ENTRY_REQUIRED_KEYS",
+    "load_bench_ledger",
     "load_trace",
+    "validate_bench_ledger",
     "metric_name_known",
     "metrics",
     "publish_profile",

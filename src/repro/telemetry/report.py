@@ -93,6 +93,56 @@ def validate_trace(records: Iterable[Any]) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Bench-ledger validation (BENCH_runtime.json)
+# ----------------------------------------------------------------------
+
+#: Keys every bench-ledger entry must carry, whatever its kind — the
+#: normalized schema ``repro.flows.bench`` stamps via ``_entry_common``
+#: (``effort`` may be None for flows without the knob, but the key must
+#: exist so entries stay diffable/comparable across kinds).
+BENCH_ENTRY_REQUIRED_KEYS = ("kind", "seconds", "effort", "graph_engine")
+
+
+def load_bench_ledger(path: str) -> Optional[Dict[str, Any]]:
+    """Parse ``path`` as a bench ledger, or None when it isn't one.
+
+    A ledger is a single JSON object with an ``entries`` list (the
+    ``BENCH_runtime.json`` shape) — distinct from a JSONL trace, whose
+    first line is a complete JSON record.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(data, dict) and isinstance(data.get("entries"), list):
+        return data
+    return None
+
+
+def validate_bench_ledger(data: Mapping[str, Any]) -> List[str]:
+    """Flag ledger entries missing the normalized key set."""
+    errors: List[str] = []
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        return ["'entries' is missing or not a list"]
+    for index, entry in enumerate(entries, start=1):
+        if not isinstance(entry, dict):
+            errors.append(f"entry {index}: not an object")
+            continue
+        missing = [
+            key for key in BENCH_ENTRY_REQUIRED_KEYS if key not in entry
+        ]
+        if missing:
+            kind = entry.get("kind", "?")
+            errors.append(
+                f"entry {index} (kind={kind}): missing required "
+                f"key(s) {', '.join(missing)}"
+            )
+    return errors
+
+
+# ----------------------------------------------------------------------
 # trace-report rendering
 # ----------------------------------------------------------------------
 

@@ -42,6 +42,11 @@ LEGACY_PROFILE_NAMES: Dict[str, str] = {
     "moves_tried": "optimizer.moves_tried",
     "moves_accepted": "optimizer.moves_accepted",
     "predicted_skips": "optimizer.predicted_skips",
+    # Batched trial-evaluation counters (REPRO_BATCH=1 only).
+    "batch_score_calls": "optimizer.batch_score_calls",
+    "batch_candidates_scored": "optimizer.batch_candidates_scored",
+    "batch_group_calls": "optimizer.batch_group_calls",
+    "batch_strash_probes": "optimizer.batch_strash_probes",
     # Mig transaction-engine / structural-hashing counters.
     "tx_checkpoints": "mig.tx_checkpoints",
     "tx_rollbacks": "mig.tx_rollbacks",

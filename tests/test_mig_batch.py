@@ -1,0 +1,427 @@
+"""Batched trial-evaluation tests (the ``REPRO_BATCH`` switch).
+
+The batch layer must be a *bit-identical* drop-in for the scalar inner
+loops: the vectorized case classifier, the candidate scorer, and the
+strash-probe batch each pinned element-for-element against their scalar
+counterparts on generated graphs, and the full optimizer passes pinned
+graph-for-graph (including the CostView counter stream, modulo the
+batch-only counters) with the cutover forced to zero so the small
+property-test graphs actually take the numpy paths.
+"""
+
+import os
+import random
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mig import (
+    CostView,
+    Mig,
+    Realization,
+    batch_enabled,
+    batch_evaluation,
+    batch_min_nodes,
+    graph_engine,
+    level_stats,
+    signal_not,
+)
+from repro.mig.algorithms import (
+    clear_complemented_levels,
+    inverter_propagation_pass,
+)
+from repro.mig.batch import DEFAULT_BATCH_MIN_NODES
+from repro.mig.costview import CostViewCounters
+from repro.mig.rewrite import inverter_propagation_case
+
+
+def build_random_mig(seed: int, num_pis: int = 4, num_gates: int = 12) -> Mig:
+    rng = random.Random(seed)
+    mig = Mig(f"batch{seed}")
+    signals = [mig.add_pi() for _ in range(num_pis)] + [0]
+    for _ in range(num_gates):
+        picks = []
+        while len(picks) < 3:
+            s = signals[rng.randrange(len(signals))]
+            if rng.random() < 0.4:
+                s = signal_not(s)
+            picks.append(s)
+        signals.append(mig.make_maj(*picks))
+    for _ in range(3):
+        s = signals[rng.randrange(len(signals) // 2, len(signals))]
+        if rng.random() < 0.3:
+            s = signal_not(s)
+        mig.add_po(s)
+    return mig
+
+
+def build_slab_mig(seed: int, **kwargs) -> Mig:
+    with graph_engine("slab"):
+        mig = build_random_mig(seed, **kwargs)
+    mig.KERNEL_MIN_NODES = 0
+    return mig
+
+
+@contextmanager
+def forced_batch(enabled: bool = True):
+    """Batch mode on/off with the size cutover dropped to zero."""
+    saved = os.environ.get("REPRO_BATCH_MIN_NODES")
+    os.environ["REPRO_BATCH_MIN_NODES"] = "0"
+    try:
+        with batch_evaluation(enabled):
+            yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_BATCH_MIN_NODES", None)
+        else:
+            os.environ["REPRO_BATCH_MIN_NODES"] = saved
+
+
+def capture(mig: Mig):
+    return (
+        list(mig._children),
+        list(mig._pos),
+        [dict(counts) for counts in mig._fanout],
+        dict(mig._strash),
+    )
+
+
+def scalar_score(mig: Mig, stats, node: int, k_r, steps_weight, rram_weight):
+    """The scalar inner loop's per-move prediction, reimplemented
+    independently: (ok, weighted cost, own-level complement count)."""
+    levels = stats.node_levels
+    n_per_level = list(stats.nodes_per_level)
+    c_per_level = list(stats.complements_per_level)
+    po_complements = stats.po_complements
+    level = levels[node]
+    new_c = list(c_per_level)
+    new_po = po_complements
+    non_const = [s for s in mig.children(node) if s >> 1 != 0]
+    old_cin = sum(1 for s in non_const if s & 1)
+    new_c[level] += len(non_const) - 2 * old_cin
+    for parent in mig.fanout_counts(node):
+        parent_level = levels.get(parent)
+        if parent_level is None or parent_level >= len(new_c):
+            return (False, None, None)
+        for s in mig.children(parent):
+            if s >> 1 == node:
+                new_c[parent_level] += -1 if s & 1 else 1
+    for po_index in mig.po_refs(node):
+        po = mig.pos[po_index]
+        new_po += -1 if po & 1 else 1
+    total_l = sum(1 for c in new_c[1:] if c > 0) + (1 if new_po > 0 else 0)
+    total_r = po_complements
+    for lvl in range(1, len(n_per_level)):
+        total_r = max(total_r, k_r * n_per_level[lvl] + new_c[lvl])
+    cost = steps_weight * total_l + rram_weight * total_r
+    return (True, cost, new_c[level])
+
+
+def scalar_collides(mig: Mig, flips) -> bool:
+    """predict_flip_group's order-aware strash pre-check, standalone."""
+    done = set()
+    for node in flips:
+        triple = mig._children[node]
+        if triple is None:
+            continue
+        if not (
+            (triple[0] >> 1) in done
+            or (triple[1] >> 1) in done
+            or (triple[2] >> 1) in done
+        ):
+            if tuple(sorted(s ^ 1 for s in triple)) in mig._strash:
+                return True
+        done.add(node)
+    return False
+
+
+class TestBatchSwitch:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert batch_enabled() is True
+
+    def test_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        assert batch_enabled() is False
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        assert batch_enabled() is True
+
+    def test_context_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        with batch_evaluation(True):
+            assert batch_enabled() is True
+            with batch_evaluation(False):
+                assert batch_enabled() is False
+            assert batch_enabled() is True
+        assert batch_enabled() is False
+
+    def test_min_nodes_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_MIN_NODES", raising=False)
+        assert batch_min_nodes() == DEFAULT_BATCH_MIN_NODES
+        monkeypatch.setenv("REPRO_BATCH_MIN_NODES", "0")
+        assert batch_min_nodes() == 0
+        monkeypatch.setenv("REPRO_BATCH_MIN_NODES", "-7")
+        assert batch_min_nodes() == 0
+        monkeypatch.setenv("REPRO_BATCH_MIN_NODES", "junk")
+        assert batch_min_nodes() == DEFAULT_BATCH_MIN_NODES
+
+    def test_batch_only_counter_names(self):
+        counters = CostViewCounters()
+        flat = counters.as_dict()
+        for name in CostViewCounters.BATCH_ONLY:
+            assert name in flat
+
+
+class TestKernelsMatchScalar:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_case_array_matches_scalar_classifier(self, seed):
+        mig = build_slab_mig(seed % 10_000, num_gates=8 + seed % 16)
+        arr = mig.slab_invprop_case_array(0)
+        assert arr is not None
+        for node in range(len(mig._children)):
+            if not mig.is_gate(node):
+                continue
+            expected = inverter_propagation_case(mig, node)
+            assert arr[node] == (expected or 0)
+
+    def test_case_array_none_below_cutover(self):
+        mig = build_slab_mig(1)
+        assert mig.slab_invprop_case_array(10**9) is None
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_match_scalar_prediction(self, seed):
+        mig = build_slab_mig(seed % 10_000, num_gates=8 + seed % 16)
+        stats = level_stats(mig)
+        levels = stats.node_levels
+        c_len = len(stats.complements_per_level)
+        cand = [
+            node
+            for node, lvl in sorted(levels.items())
+            if mig.is_gate(node) and 0 < lvl < c_len
+        ]
+        if not cand:
+            return
+        k_r = Realization.MAJ.rrams_per_gate
+        scores = mig.slab_invprop_scores(
+            np.asarray(cand, dtype=np.int64),
+            levels,
+            list(stats.nodes_per_level),
+            list(stats.complements_per_level),
+            stats.po_complements,
+            k_r,
+            4,
+            1,
+        )
+        for node in cand:
+            ok, cost, c_own = scalar_score(mig, stats, node, k_r, 4, 1)
+            assert bool(scores["ok"][node]) == ok
+            if ok:
+                assert int(scores["cost"][node]) == cost
+                assert int(scores["c_own"][node]) == c_own
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_scores_chunking_invariant(self, seed):
+        mig = build_slab_mig(seed % 10_000, num_gates=20)
+        stats = level_stats(mig)
+        c_len = len(stats.complements_per_level)
+        cand = np.asarray(
+            [
+                node
+                for node, lvl in sorted(stats.node_levels.items())
+                if mig.is_gate(node) and 0 < lvl < c_len
+            ],
+            dtype=np.int64,
+        )
+        if not len(cand):
+            return
+        args = (
+            stats.node_levels,
+            list(stats.nodes_per_level),
+            list(stats.complements_per_level),
+            stats.po_complements,
+            Realization.IMP.rrams_per_gate,
+            4,
+            1,
+        )
+        whole = mig.slab_invprop_scores(cand, *args)
+        chunked = mig.slab_invprop_scores(cand, *args, chunk_rows=1)
+        assert np.array_equal(whole["ok"], chunked["ok"])
+        assert np.array_equal(whole["cost"], chunked["cost"])
+        assert np.array_equal(whole["c_own"], chunked["c_own"])
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_strash_probe_batch_matches_dict(self, seed):
+        rng = random.Random(seed)
+        mig = build_slab_mig(seed % 10_000, num_gates=15)
+        keys = list(mig._strash)
+        triples = []
+        for _ in range(12):
+            if keys and rng.random() < 0.5:
+                triples.append(list(keys[rng.randrange(len(keys))]))
+            else:
+                triples.append(
+                    sorted(rng.randrange(60) for _ in range(3))
+                )
+        arr = np.asarray(triples, dtype=np.int64)
+        hits = mig.strash_probe_batch(arr)
+        assert hits is not None
+        expected = [tuple(row) in mig._strash for row in triples]
+        assert hits.tolist() == expected
+
+    def test_strash_probe_batch_empty(self):
+        mig = build_slab_mig(2)
+        hits = mig.strash_probe_batch(np.empty((0, 3), dtype=np.int64))
+        assert hits is not None and len(hits) == 0
+
+    def test_strash_probe_batch_overflow_falls_back(self):
+        mig = build_slab_mig(3)
+        huge = np.asarray([[1, 2, 1 << 40]], dtype=np.int64)
+        assert mig.strash_probe_batch(huge) is None
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_probe_flip_groups_matches_scalar(self, seed):
+        rng = random.Random(seed)
+        mig = build_slab_mig(seed % 10_000, num_gates=15)
+        view = CostView(mig)
+        view.stats()
+        gates = [n for n in range(len(mig._children)) if mig.is_gate(n)]
+        if not gates:
+            return
+        plans = []
+        for _ in range(1 + seed % 6):
+            size = rng.randrange(1, min(6, len(gates) + 1))
+            plans.append(tuple(rng.sample(gates, size)))
+        before = view.counters.as_dict()
+        verdicts = view.batch_probe_flip_groups(plans)
+        after = view.counters.as_dict()
+        for plan in plans:
+            assert verdicts[tuple(plan)] == scalar_collides(mig, plan)
+        # Purity: only the batch-only counters may move — the scalar
+        # counter stream (sync work, probes) must be untouched.
+        for name, value in before.items():
+            if name not in CostViewCounters.BATCH_ONLY:
+                assert after[name] == value
+        # Injected verdicts reproduce the scalar probe behaviour.
+        for plan in plans:
+            collides = verdicts[tuple(plan)]
+            injected = view.predict_flip_group(
+                plan, Realization.MAJ, collides=collides
+            )
+            scalar = view.predict_flip_group(plan, Realization.MAJ)
+            assert injected == scalar
+
+
+class TestPassBitIdentity:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_invprop_batch_matches_scalar(self, seed):
+        base = build_slab_mig(seed % 10_000, num_gates=10 + seed % 15)
+        has_reachable_gate = any(
+            base.is_gate(node)
+            for node in level_stats(base).node_levels
+        )
+        results = {}
+        for mode in (False, True):
+            mig = base.clone()
+            mig.KERNEL_MIN_NODES = 0
+            view = CostView(mig)
+            with forced_batch(mode):
+                changed = inverter_propagation_pass(
+                    mig, Realization.MAJ, view=view
+                )
+            results[mode] = (changed, capture(mig), view.counters.as_dict())
+        assert results[False][0] == results[True][0]
+        assert results[False][1] == results[True][1]
+        scalar_counters, batch_counters = results[False][2], results[True][2]
+        for name in scalar_counters:
+            if name in CostViewCounters.BATCH_ONLY:
+                continue
+            assert scalar_counters[name] == batch_counters[name], name
+        # The batch path must actually have engaged (cutover is 0).
+        if has_reachable_gate:
+            assert batch_counters["batch_score_calls"] > 0
+        assert scalar_counters["batch_score_calls"] == 0
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_invprop_base_rule_batch_matches_scalar(self, seed):
+        base = build_slab_mig(seed % 10_000, num_gates=10 + seed % 15)
+        results = {}
+        for mode in (False, True):
+            mig = base.clone()
+            mig.KERNEL_MIN_NODES = 0
+            view = CostView(mig)
+            with forced_batch(mode):
+                inverter_propagation_pass(
+                    mig, Realization.IMP, cases=None, view=view
+                )
+            results[mode] = (capture(mig), view.counters.as_dict())
+        assert results[False][0] == results[True][0]
+        for name, value in results[False][1].items():
+            if name not in CostViewCounters.BATCH_ONLY:
+                assert results[True][1][name] == value, name
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_clear_levels_batch_matches_scalar(self, seed):
+        base = build_slab_mig(seed % 10_000, num_gates=10 + seed % 15)
+        results = {}
+        for mode in (False, True):
+            mig = base.clone()
+            mig.KERNEL_MIN_NODES = 0
+            view = CostView(mig)
+            with forced_batch(mode):
+                changed = clear_complemented_levels(
+                    mig, Realization.MAJ, view=view
+                )
+            results[mode] = (changed, capture(mig), view.counters.as_dict())
+        assert results[False][0] == results[True][0]
+        assert results[False][1] == results[True][1]
+        for name, value in results[False][2].items():
+            if name not in CostViewCounters.BATCH_ONLY:
+                assert results[True][2][name] == value, name
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_rollback_with_costview_after_batch_pass(self, seed):
+        mig = build_slab_mig(seed % 10_000, num_gates=12)
+        view = CostView(mig)
+        view.stats()
+        reference = capture(mig)
+        token = mig.checkpoint()
+        with forced_batch(True):
+            inverter_propagation_pass(mig, Realization.MAJ, view=view)
+        mig.rollback(token)
+        assert capture(mig) == reference
+        # The coalesced inverse-event replay must keep the incremental
+        # view consistent with the restored graph.
+        view.stats()
+        view.assert_consistent()
+
+    def test_scalar_fallback_above_cutover(self):
+        mig = build_slab_mig(7)
+        view = CostView(mig)
+        saved = os.environ.get("REPRO_BATCH_MIN_NODES")
+        os.environ["REPRO_BATCH_MIN_NODES"] = "1000000"
+        try:
+            with batch_evaluation(True):
+                inverter_propagation_pass(mig, Realization.MAJ, view=view)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_BATCH_MIN_NODES", None)
+            else:
+                os.environ["REPRO_BATCH_MIN_NODES"] = saved
+        # Kernel declined (graph below cutover): no batch activity.
+        assert view.counters.batch_candidates_scored == 0
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
