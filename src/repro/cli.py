@@ -584,14 +584,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_or_exit2(path: str):
+    """Load a JSONL trace, returning (records, None) or (None, exit
+    code 2 message).  Missing, empty, unreadable, and truncated files
+    all land here — the CLI contract is exit 2 with one clear line, not
+    a traceback."""
+    import os
+
+    from .telemetry import load_trace
+
+    if not os.path.exists(path):
+        return None, f"{path}: no such trace file"
+    try:
+        records = load_trace(path)
+    except ValueError as error:
+        return None, f"{path}: malformed trace: {error}"
+    except OSError as error:
+        return None, f"{path}: cannot read trace: {error}"
+    if not records:
+        return None, f"{path}: empty trace file (no records)"
+    return records, None
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from .telemetry import (
+        compare_traces,
         load_bench_ledger,
-        load_trace,
+        render_trace_compare,
         render_trace_report,
         validate_bench_ledger,
         validate_trace,
     )
+
+    if args.compare is not None:
+        a_records, error = _load_trace_or_exit2(args.trace_file)
+        if error is None:
+            b_records, error = _load_trace_or_exit2(args.compare)
+        if error is not None:
+            print(f"repro-synth: error: {error}", file=sys.stderr)
+            return 2
+        comparison = compare_traces(a_records, b_records)
+        print(
+            render_trace_compare(
+                comparison,
+                a_label=args.trace_file,
+                b_label=args.compare,
+                top=args.top,
+            )
+        )
+        return 1 if comparison["diverged"] else 0
 
     # A BENCH_runtime.json-style ledger (one JSON object with an
     # "entries" list) is not a JSONL trace; validate its entry schema
@@ -620,9 +661,8 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
             print(f"  {kind:<12s} : {kinds[kind]}")
         return 0
 
-    try:
-        records = load_trace(args.trace_file)
-    except (OSError, ValueError) as error:
+    records, error = _load_trace_or_exit2(args.trace_file)
+    if error is not None:
         print(f"repro-synth: error: {error}", file=sys.stderr)
         return 2
     if args.validate:
@@ -639,6 +679,61 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         print(f"schema       : OK ({len(records)} records)")
     print(render_trace_report(records, top=args.top))
     return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .telemetry import LedgerError, load_ledger
+    from .telemetry.observatory import (
+        build_report,
+        render_report,
+        render_report_html,
+    )
+
+    try:
+        ledger = load_ledger(args.ledger)
+    except LedgerError as error:
+        print(f"repro-synth: error: {error}", file=sys.stderr)
+        return 2
+    report = build_report(ledger, window=args.window)
+    if args.html is not None:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_report_html(report))
+        print(f"wrote {args.html}")
+    print(render_report(report))
+    return 0
+
+
+def _cmd_obs_gate(args: argparse.Namespace) -> int:
+    from .flows.bench import append_bench_entry
+    from .telemetry import LedgerError, load_ledger, metrics
+    from .telemetry.observatory import render_gate, run_gates
+
+    try:
+        ledger = load_ledger(args.ledger)
+    except LedgerError as error:
+        print(f"repro-synth: error: {error}", file=sys.stderr)
+        return 2
+    tiers = ("counters", "wall") if args.tier == "all" else (args.tier,)
+    start = time.perf_counter()
+    outcomes, entry = run_gates(
+        ledger,
+        what=args.what,
+        names=args.benchmarks or None,
+        effort=args.effort,
+        jobs=args.jobs,
+        window=args.window,
+        wall_slack=args.wall_slack,
+        tiers=tiers,
+        strict=args.strict,
+    )
+    metrics().gauge("obs.gate_seconds").set(
+        round(time.perf_counter() - start, 3)
+    )
+    print(render_gate(outcomes))
+    if not args.no_append:
+        append_bench_entry(entry, path=args.ledger)
+        print(f"appended obs-gate entry to {args.ledger}")
+    return 0 if all(outcome.passed for outcome in outcomes) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -892,7 +987,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate every record against the documented schema and "
         "the metric-name catalog first; exit 1 on any violation",
     )
+    trace_report.add_argument(
+        "--compare", metavar="OTHER.jsonl", default=None,
+        help="differential mode: compare TRACE_FILE against OTHER.jsonl "
+        "(per-pass time deltas, deterministic counter deltas, first "
+        "diverging trajectory trial); exit 1 when the runs diverge on "
+        "anything deterministic, 0 when identical",
+    )
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observatory over the benchmark ledger: trend report and "
+        "two-tier regression gate",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="sparkline trend tables per (kind, engine, effort), "
+        "latest-vs-baseline deltas, slab occupancy gauges",
+    )
+    obs_report.add_argument(
+        "--ledger", default="BENCH_runtime.json",
+        help="benchmark ledger path (default BENCH_runtime.json)",
+    )
+    obs_report.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="also write a self-contained HTML dashboard to FILE",
+    )
+    obs_report.add_argument(
+        "--window", type=int, default=8,
+        help="rolling baseline window (default 8 entries)",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    obs_gate = obs_sub.add_parser(
+        "gate",
+        help="run benchmarks and gate against ledger baselines: "
+        "deterministic counters must match exactly, wall-clock must "
+        "stay inside the median+MAD noise band",
+    )
+    obs_gate.add_argument(
+        "--ledger", default="BENCH_runtime.json",
+        help="benchmark ledger path (default BENCH_runtime.json)",
+    )
+    obs_gate.add_argument(
+        "--what", choices=("table2", "scale", "all"), default="all",
+        help="which tier to gate (default all)",
+    )
+    obs_gate.add_argument(
+        "--tier", choices=("counters", "wall", "all"), default="all",
+        help="which detector tier to apply (default all)",
+    )
+    obs_gate.add_argument(
+        "--effort", type=int, default=10,
+        help="optimization effort; must match the ledger baselines "
+        "(default 10)",
+    )
+    obs_gate.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the table2 run (default 1; counters "
+        "are job-count independent, wall bands are keyed on jobs)",
+    )
+    obs_gate.add_argument(
+        "--window", type=int, default=8,
+        help="rolling baseline window for wall bands (default 8)",
+    )
+    obs_gate.add_argument(
+        "--wall-slack", type=float, default=2.0,
+        help="minimum tolerated wall-clock ratio over the baseline "
+        "median before the MAD band kicks in (default 2.0)",
+    )
+    obs_gate.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME", default=None,
+        help="scale-tier benchmark subset (default: every large "
+        "benchmark with a ledger baseline)",
+    )
+    obs_gate.add_argument(
+        "--no-append", action="store_true",
+        help="do not append the obs-gate outcome entry to the ledger",
+    )
+    obs_gate.add_argument(
+        "--strict", action="store_true",
+        help="fail (instead of warn) when a baseline or noise band is "
+        "missing for a gated subject",
+    )
+    obs_gate.set_defaults(func=_cmd_obs_gate)
     return parser
 
 

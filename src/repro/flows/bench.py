@@ -73,11 +73,15 @@ def _machine_info() -> Dict[str, object]:
 
 def _entry_common(effort: Optional[int]) -> Dict[str, object]:
     """Fields every ledger entry must carry so diffs are comparable:
-    the effort knob (None where the flow has no such knob) and the
-    graph storage engine the numbers were measured on."""
+    the effort knob (None where the flow has no such knob), the graph
+    storage engine the numbers were measured on, and the entry schema
+    version (historical entries without the marker are implicitly
+    version 1; ``repro.telemetry.ledger`` documents the versions)."""
     from ..mig.graph import graph_engine_name
+    from ..telemetry import BENCH_SCHEMA_VERSION
 
     return {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "effort": effort,
         "graph_engine": graph_engine_name(),
         **_machine_info(),

@@ -37,11 +37,27 @@ from .registry import (
     set_registry,
     use_registry,
 )
+from .ledger import (
+    ACCEPTED_BENCH_SCHEMA_VERSIONS,
+    BENCH_SCHEMA_VERSION,
+    DETERMINISTIC_COUNTER_KEYS,
+    BaselineKey,
+    CounterDrift,
+    Ledger,
+    LedgerError,
+    NoiseBand,
+    counter_drift,
+    dedupe_entries,
+    load_ledger,
+    noise_band,
+)
 from .report import (
     BENCH_ENTRY_REQUIRED_KEYS,
+    compare_traces,
     load_bench_ledger,
     load_trace,
     render_profile,
+    render_trace_compare,
     render_trace_report,
     validate_bench_ledger,
     validate_trace,
@@ -74,8 +90,22 @@ from .trajectory import (
 )
 
 __all__ = [
+    "ACCEPTED_BENCH_SCHEMA_VERSIONS",
+    "BENCH_SCHEMA_VERSION",
+    "BaselineKey",
     "Counter",
+    "CounterDrift",
+    "DETERMINISTIC_COUNTER_KEYS",
     "Gauge",
+    "Ledger",
+    "LedgerError",
+    "NoiseBand",
+    "compare_traces",
+    "counter_drift",
+    "dedupe_entries",
+    "load_ledger",
+    "noise_band",
+    "render_trace_compare",
     "Histogram",
     "HISTOGRAM_SUFFIXES",
     "KNOWN_HISTOGRAMS",

@@ -17,7 +17,13 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from .schema import canonical_profile, validate_metric_names, validate_record
+from .ledger import ACCEPTED_BENCH_SCHEMA_VERSIONS
+from .schema import (
+    canonical_profile,
+    deterministic_metric,
+    validate_metric_names,
+    validate_record,
+)
 
 
 def _format_value(value: Any) -> str:
@@ -133,11 +139,20 @@ def validate_bench_ledger(data: Mapping[str, Any]) -> List[str]:
         missing = [
             key for key in BENCH_ENTRY_REQUIRED_KEYS if key not in entry
         ]
+        kind = entry.get("kind", "?")
         if missing:
-            kind = entry.get("kind", "?")
             errors.append(
                 f"entry {index} (kind={kind}): missing required "
                 f"key(s) {', '.join(missing)}"
+            )
+        # Entries written before the marker existed are implicitly
+        # version 1; both accepted versions validate identically today.
+        version = entry.get("schema_version", 1)
+        if version not in ACCEPTED_BENCH_SCHEMA_VERSIONS:
+            errors.append(
+                f"entry {index} (kind={kind}): unsupported "
+                f"schema_version {version!r} (accepted: "
+                f"{', '.join(str(v) for v in ACCEPTED_BENCH_SCHEMA_VERSIONS)})"
             )
     return errors
 
@@ -278,4 +293,198 @@ def render_trace_report(
             )
         )
 
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Differential trace comparison (trace-report --compare)
+# ----------------------------------------------------------------------
+
+#: Trajectory fields that must agree trial-for-trial between two runs
+#: of the same deterministic flow (timings are deliberately absent).
+_TRAJECTORY_KEYS = (
+    "iteration",
+    "rule",
+    "accepted",
+    "r",
+    "s",
+    "depth",
+    "size",
+    "complemented_edges",
+    "realization",
+)
+
+
+def _final_metrics(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    snapshot: Dict[str, Any] = {}
+    for record in records:
+        if record.get("type") == "metrics":
+            snapshot = dict(record.get("metrics", {}) or {})
+    return snapshot
+
+
+def compare_traces(
+    a_records: List[Dict[str, Any]], b_records: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Structured differential of two traces.
+
+    Returns a dict with three sections:
+
+    * ``spans`` — per-name (calls, total_s) for both sides plus the
+      delta, sorted by absolute time delta (span *timings* always
+      differ between runs; they are reported, never failed on);
+    * ``metrics`` — final-snapshot deltas split into ``deterministic``
+      (machine-independent counters: any delta is divergence) and
+      ``timing`` (wall-clock-valued: informational);
+    * ``trajectory`` — the first trial where the two runs' R/S paths
+      diverge (or None), plus a count mismatch if one run recorded
+      more trials.
+
+    ``diverged`` is True iff a deterministic counter or the trajectory
+    differs — the machine-independent definition of "these two runs did
+    not do the same work".
+    """
+    a_spans = summarize_spans(a_records)
+    b_spans = summarize_spans(b_records)
+    span_rows = []
+    for name in sorted(set(a_spans) | set(b_spans)):
+        a_entry = a_spans.get(name, {"calls": 0, "total_s": 0.0})
+        b_entry = b_spans.get(name, {"calls": 0, "total_s": 0.0})
+        span_rows.append(
+            {
+                "name": name,
+                "a_calls": a_entry["calls"],
+                "b_calls": b_entry["calls"],
+                "a_total_s": a_entry["total_s"],
+                "b_total_s": b_entry["total_s"],
+                "delta_s": b_entry["total_s"] - a_entry["total_s"],
+            }
+        )
+    span_rows.sort(key=lambda row: (-abs(row["delta_s"]), row["name"]))
+
+    a_metrics = _final_metrics(a_records)
+    b_metrics = _final_metrics(b_records)
+    deterministic_deltas = []
+    timing_deltas = []
+    for name in sorted(set(a_metrics) | set(b_metrics)):
+        a_value = a_metrics.get(name)
+        b_value = b_metrics.get(name)
+        if a_value == b_value:
+            continue
+        row = {"name": name, "a": a_value, "b": b_value}
+        if deterministic_metric(name):
+            deterministic_deltas.append(row)
+        else:
+            timing_deltas.append(row)
+
+    a_trajectory = [r for r in a_records if r.get("type") == "trajectory"]
+    b_trajectory = [r for r in b_records if r.get("type") == "trajectory"]
+    first_divergence = None
+    for index, (a_rec, b_rec) in enumerate(
+        zip(a_trajectory, b_trajectory)
+    ):
+        if any(
+            a_rec.get(key) != b_rec.get(key) for key in _TRAJECTORY_KEYS
+        ):
+            first_divergence = {
+                "trial": index,
+                "a": {key: a_rec.get(key) for key in _TRAJECTORY_KEYS},
+                "b": {key: b_rec.get(key) for key in _TRAJECTORY_KEYS},
+            }
+            break
+    trajectory = {
+        "a_trials": len(a_trajectory),
+        "b_trials": len(b_trajectory),
+        "first_divergence": first_divergence,
+    }
+    diverged = bool(
+        deterministic_deltas
+        or first_divergence is not None
+        or len(a_trajectory) != len(b_trajectory)
+    )
+    return {
+        "spans": span_rows,
+        "metrics": {
+            "deterministic": deterministic_deltas,
+            "timing": timing_deltas,
+        },
+        "trajectory": trajectory,
+        "diverged": diverged,
+    }
+
+
+def render_trace_compare(
+    comparison: Mapping[str, Any],
+    *,
+    a_label: str,
+    b_label: str,
+    top: int = 10,
+) -> str:
+    """Human rendering of :func:`compare_traces`."""
+    lines = [f"compare      : A={a_label}  B={b_label}"]
+
+    span_rows = comparison["spans"]
+    if span_rows:
+        shown = span_rows[: max(0, top)] if top else span_rows
+        width = max(len(row["name"]) for row in shown)
+        lines.append("")
+        lines.append(
+            f"span-tree differential (top {len(shown)} by |time delta|):"
+        )
+        lines.append(
+            f"  {'span':<{width}s}  {'A calls':>7s}  {'B calls':>7s}  "
+            f"{'A total_s':>9s}  {'B total_s':>9s}  {'delta_s':>8s}"
+        )
+        for row in shown:
+            lines.append(
+                f"  {row['name']:<{width}s}  {row['a_calls']:>7d}  "
+                f"{row['b_calls']:>7d}  {row['a_total_s']:>9.4f}  "
+                f"{row['b_total_s']:>9.4f}  {row['delta_s']:>+8.4f}"
+            )
+
+    metric_deltas = comparison["metrics"]
+    lines.append("")
+    if metric_deltas["deterministic"]:
+        lines.append("deterministic counter divergence:")
+        for row in metric_deltas["deterministic"]:
+            lines.append(f"  {row['name']}: A={row['a']}  B={row['b']}")
+    else:
+        lines.append("deterministic counters: identical")
+    if metric_deltas["timing"]:
+        lines.append("timing metric deltas (informational):")
+        for row in metric_deltas["timing"]:
+            lines.append(f"  {row['name']}: A={row['a']}  B={row['b']}")
+
+    trajectory = comparison["trajectory"]
+    lines.append("")
+    if trajectory["a_trials"] == 0 and trajectory["b_trials"] == 0:
+        lines.append("trajectory   : no trajectory records in either trace")
+    elif trajectory["first_divergence"] is not None:
+        divergence = trajectory["first_divergence"]
+        a_rec, b_rec = divergence["a"], divergence["b"]
+        lines.append(
+            f"trajectory   : diverges at trial {divergence['trial']}"
+        )
+        for label, rec in (("A", a_rec), ("B", b_rec)):
+            lines.append(
+                f"  {label}: rule={rec['rule']} accepted={rec['accepted']} "
+                f"R={rec['r']} S={rec['s']} depth={rec['depth']} "
+                f"size={rec['size']}"
+            )
+    elif trajectory["a_trials"] != trajectory["b_trials"]:
+        lines.append(
+            f"trajectory   : common prefix identical, but A recorded "
+            f"{trajectory['a_trials']} trials vs B "
+            f"{trajectory['b_trials']}"
+        )
+    else:
+        lines.append(
+            f"trajectory   : identical ({trajectory['a_trials']} trials)"
+        )
+
+    lines.append("")
+    lines.append(
+        "verdict      : "
+        + ("DIVERGED" if comparison["diverged"] else "IDENTICAL")
+    )
     return "\n".join(lines)

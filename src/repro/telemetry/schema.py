@@ -92,6 +92,8 @@ KNOWN_METRICS = frozenset(
         "perf_guard.legacy_seconds",
         "perf_guard.baseline_seconds",
         "perf_guard.scale_seconds",
+        # Observatory gate wall-clock (gauge, seconds).
+        "obs.gate_seconds",
     }
 )
 
@@ -114,6 +116,35 @@ KNOWN_METRIC_PREFIXES = (
     "fuzz.stage_seconds.",
     "report.stage_seconds.",
 )
+
+#: Metric families whose values are pure functions of the algorithm and
+#: its inputs — identical across machines, job counts, and runs.  The
+#: differential trace comparison (``trace-report --compare``) fails on
+#: any delta here and merely *reports* deltas elsewhere (wall-clocks
+#: legitimately differ between runs).
+DETERMINISTIC_METRIC_PREFIXES = (
+    "costview.",
+    "optimizer.",
+    "mig.",
+    "graph.",
+    "resynth.",
+    "rewrite.",
+    "anneal.",
+    "rram.",
+    "crossbar.",
+)
+
+#: Exact deterministic names outside the prefix families.
+DETERMINISTIC_METRICS = frozenset(
+    {"fuzz.cases", "parallel.tasks_completed"}
+)
+
+
+def deterministic_metric(name: str) -> bool:
+    """Is ``name`` (a snapshot key) machine-independent by contract?"""
+    return name in DETERMINISTIC_METRICS or name.startswith(
+        DETERMINISTIC_METRIC_PREFIXES
+    )
 
 
 def canonical_profile(profile: Mapping[str, Any]) -> Dict[str, Any]:
